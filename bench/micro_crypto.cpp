@@ -1,0 +1,63 @@
+// Micro-benchmarks of the cryptographic substrate (google-benchmark):
+// these costs are what the host chain's compute-unit model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace {
+
+using namespace bmg;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(32)->Arg(256)->Arg(1232)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1232);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_label("bench");
+  const Bytes msg = bytes_of("a guest block digest: 32 bytes..");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  const crypto::PrivateKey key = crypto::PrivateKey::from_label("bench");
+  const Bytes msg = bytes_of("a guest block digest: 32 bytes..");
+  const crypto::Signature sig = key.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(key.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_Ed25519DerivePublic(benchmark::State& state) {
+  crypto::ed25519::Seed seed{};
+  seed[0] = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519::derive_public(seed));
+  }
+}
+BENCHMARK(BM_Ed25519DerivePublic);
+
+}  // namespace
+
+BENCHMARK_MAIN();

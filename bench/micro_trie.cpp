@@ -1,0 +1,106 @@
+// Micro-benchmarks of the sealable trie: insert/lookup/seal and proof
+// generation/verification costs, plus proof sizes (what a relayer pays
+// to ship in transaction bytes).
+#include <benchmark/benchmark.h>
+
+#include "crypto/sha256.hpp"
+#include "trie/trie.hpp"
+
+namespace {
+
+using namespace bmg;
+
+Bytes key_of(std::uint64_t i) {
+  Encoder e;
+  e.u64(0x1234).u64(i);
+  return e.take();
+}
+
+trie::SealableTrie prefilled(std::uint64_t n) {
+  trie::SealableTrie t;
+  Hash32 v;
+  v.bytes[0] = 1;
+  for (std::uint64_t i = 0; i < n; ++i) t.set(key_of(i), v);
+  return t;
+}
+
+void BM_TrieInsert(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Hash32 v;
+  v.bytes[0] = 1;
+  for (auto _ : state) {
+    trie::SealableTrie t;
+    for (std::uint64_t i = 0; i < n; ++i) t.set(key_of(i), v);
+    benchmark::DoNotOptimize(t.root_hash());
+  }
+  // Report per-insert cost.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TrieInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TrieLookup(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const trie::SealableTrie t = prefilled(n);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.get(key_of(i++ % n)));
+  }
+}
+BENCHMARK(BM_TrieLookup)->Arg(1000)->Arg(100000);
+
+void BM_TrieSeal(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Hash32 v;
+  v.bytes[0] = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    trie::SealableTrie t = prefilled(n);
+    state.ResumeTiming();
+    // Seal the oldest half (contiguous prefix, newest kept live).
+    for (std::uint64_t i = 0; i < n / 2; ++i) t.seal(key_of(i));
+    benchmark::DoNotOptimize(t.stats());
+  }
+}
+BENCHMARK(BM_TrieSeal)->Arg(1000);
+
+void BM_TrieProve(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const trie::SealableTrie t = prefilled(n);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.prove(key_of(i++ % n)));
+  }
+}
+BENCHMARK(BM_TrieProve)->Arg(1000)->Arg(100000);
+
+void BM_TrieVerifyProof(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const trie::SealableTrie t = prefilled(n);
+  const Bytes key = key_of(n / 2);
+  const trie::Proof proof = t.prove(key);
+  const Hash32 root = t.root_hash();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie::verify_proof(root, key, proof));
+  }
+}
+BENCHMARK(BM_TrieVerifyProof)->Arg(1000)->Arg(100000);
+
+void BM_ProofByteSize(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const trie::SealableTrie t = prefilled(n);
+  std::size_t total = 0, count = 0;
+  for (auto _ : state) {
+    const trie::Proof p = t.prove(key_of(count % n));
+    total += p.byte_size();
+    ++count;
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["proof_bytes"] =
+      benchmark::Counter(static_cast<double>(total) / static_cast<double>(count));
+}
+BENCHMARK(BM_ProofByteSize)->Arg(64)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// §V-D — Storage costs: the 10 MiB guest account, its rent-exempt
+// deposit (~14.6 k$), how many key-value pairs fit (paper: >72k), and
+// how the sealable trie keeps long-term usage bounded.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ibc/commitment.hpp"
+#include "trie/trie.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmg;
+  const bench::Args args = bench::Args::parse(argc, argv, 0.0);
+  bench::print_header("Section V-D: storage costs", args);
+
+  // Rent for the largest possible account.
+  const std::uint64_t deposit = host::kRentLamportsPerByte * host::kMaxAccountSize;
+  std::printf("10 MiB account rent-exempt deposit: %.0f USD  (paper: ~14.6 k$)\n\n",
+              host::lamports_to_usd(deposit));
+
+  // How many key-value pairs fit into 10 MiB of trie storage.
+  trie::SealableTrie trie;
+  Hash32 value;
+  value.bytes[0] = 1;
+  std::size_t pairs = 0;
+  while (true) {
+    const Bytes key =
+        ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0", pairs);
+    trie.set(key, value);
+    ++pairs;
+    if (pairs % 4096 == 0 && trie.stats().byte_size > host::kMaxAccountSize) break;
+  }
+  std::printf("key-value pairs fitting in 10 MiB: %zu  (paper: >72k)\n", pairs);
+  std::printf("  bytes per pair: %.1f   (leaves + amortized interior nodes)\n\n",
+              static_cast<double>(trie.stats().byte_size) / static_cast<double>(pairs));
+
+  // Long-term behaviour: with sealing, state tracks the in-flight
+  // window instead of history.
+  trie::SealableTrie churn;
+  std::size_t peak = 0;
+  const std::size_t window = 64;
+  for (std::size_t i = 0; i < 200'000; ++i) {
+    churn.set(ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0",
+                              i + 1),
+              value);
+    if (i + 1 > window)
+      churn.seal(ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0",
+                                 i + 1 - window));
+    peak = std::max(peak, churn.stats().byte_size);
+  }
+  std::printf("sealable trie under 200k-packet churn (64 in flight):\n");
+  std::printf("  peak live storage: %zu bytes (%.4f%% of the 10 MiB account)\n", peak,
+              100.0 * static_cast<double>(peak) /
+                  static_cast<double>(host::kMaxAccountSize));
+  std::printf("  => the account never grows with history; deposit is recoverable\n");
+  return 0;
+}

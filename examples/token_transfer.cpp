@@ -1,0 +1,123 @@
+// Cross-chain token transfer walkthrough (ICS-20 over the guest
+// blockchain): escrow on the source, voucher minting on the
+// destination, a return leg that burns the voucher and releases the
+// escrow, and a timed-out transfer that refunds the sender.
+//
+//   $ ./examples/token_transfer
+#include <cstdio>
+
+#include "relayer/deployment.hpp"
+
+using namespace bmg;
+
+namespace {
+
+void print_balances(relayer::Deployment& d, const std::string& voucher) {
+  std::printf("    alice(guest): %6llu SOL | escrow: %5llu | bob(cp): %5llu %s"
+              " | voucher supply: %llu\n",
+              (unsigned long long)d.guest().bank().balance("alice", "SOL"),
+              (unsigned long long)d.guest().bank().balance(
+                  ibc::TokenTransferApp::escrow_account(d.guest_channel()), "SOL"),
+              (unsigned long long)d.cp().bank().balance("bob", voucher),
+              voucher.c_str(),
+              (unsigned long long)d.cp().bank().total_supply(voucher));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ICS-20 fungible token transfer over the guest blockchain ==\n\n");
+
+  relayer::DeploymentConfig cfg;
+  cfg.seed = 7;
+  cfg.guest.delta_seconds = 60.0;
+  for (int i = 0; i < 5; ++i) {
+    relayer::ValidatorProfile p;
+    p.name = "v" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(2.0, 3.0, 0.4);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 16;
+  relayer::Deployment d(std::move(cfg));
+  d.open_ibc();
+
+  const std::string voucher = "transfer/" + d.cp_channel() + "/SOL";
+  std::printf("channel open. starting state:\n");
+  print_balances(d, voucher);
+
+  // Leg 1: 3000 SOL-tokens guest -> counterparty.
+  std::printf("\n[1] alice sends 3000 to bob (escrow + mint)\n");
+  (void)d.send_transfer_from_guest(3000, host::FeePolicy::bundle(
+                                             host::usd_to_lamports(3.019)));
+  if (!d.run_until([&] { return d.cp().bank().balance("bob", voucher) == 3000; },
+                   900.0))
+    return 1;
+  print_balances(d, voucher);
+
+  // Leg 2: bob returns 1200 (burn + unescrow).
+  std::printf("\n[2] bob returns 1200 (voucher burned, escrow released)\n");
+  d.cp().transfer().send_transfer(d.cp_channel(), voucher, 1200, "bob", "alice", 0,
+                                  d.sim().now() + 3600.0);
+  if (!d.run_until(
+          [&] { return d.guest().bank().balance("alice", "SOL") == 1'000'000 - 1800; },
+          1800.0))
+    return 1;
+  print_balances(d, voucher);
+
+  // Invariant: escrow always equals outstanding voucher supply.
+  const bool invariant =
+      d.guest().bank().balance(
+          ibc::TokenTransferApp::escrow_account(d.guest_channel()), "SOL") ==
+      d.cp().bank().total_supply(voucher);
+  std::printf("\ninvariant escrow == outstanding vouchers: %s\n",
+              invariant ? "HOLDS" : "VIOLATED");
+
+  // Leg 3: a transfer that times out and refunds.
+  std::printf("\n[3] alice sends 500 with a 1-second timeout (will expire)\n");
+  const double timeout_at = d.sim().now() + 1.0;
+  host::Transaction tx;
+  tx.payer = d.client_payer();
+  tx.fee = host::FeePolicy::priority(5'000'000);
+  tx.instructions.push_back(guest::ix::send_transfer(d.guest_channel(), "SOL", 500,
+                                                     "alice", "bob", 0, timeout_at));
+  const std::uint64_t seq =
+      d.guest().ibc().next_send_sequence("transfer", d.guest_channel());
+  bool sent = false;
+  d.host().submit(std::move(tx), [&](const host::TxResult& r) { sent = r.success; });
+  (void)d.run_until([&] { return sent; }, 120.0);
+  std::printf("    after send:   alice %llu SOL (500 in escrow)\n",
+              (unsigned long long)d.guest().bank().balance("alice", "SOL"));
+
+  // Let the counterparty clock pass the deadline, then relay the
+  // timeout with a receipt-absence proof.
+  d.run_for(30.0);
+  const ibc::Height cp_h = d.cp().height();
+  bool updated = false;
+  d.relayer().update_guest_client(cp_h, [&] { updated = true; });
+  (void)d.run_until([&] { return updated; }, 900.0);
+
+  ibc::Packet packet;
+  for (ibc::Height h = d.guest().head().header.height; h > 0; --h) {
+    for (const auto& p : d.guest().block_at(h).packets)
+      if (p.sequence == seq) packet = p;
+  }
+  bool refunded = false;
+  d.relayer().deliver_timeout_to_guest(
+      packet, cp_h,
+      [&](const relayer::RelayerAgent::SequenceOutcome& out) { refunded = out.ok; });
+  (void)d.run_until([&] { return refunded; }, 900.0);
+  std::printf("    after timeout refund: alice %llu SOL\n",
+              (unsigned long long)d.guest().bank().balance("alice", "SOL"));
+
+  std::printf("\nrelayer totals: %llu packets to counterparty, %llu into guest, "
+              "%zu light client updates (mean %.1f txs)\n",
+              (unsigned long long)d.relayer().packets_relayed_to_cp(),
+              (unsigned long long)d.relayer().packets_relayed_to_guest(),
+              d.relayer().update_tx_counts().count(),
+              d.relayer().update_tx_counts().empty()
+                  ? 0.0
+                  : d.relayer().update_tx_counts().mean());
+  return 0;
+}

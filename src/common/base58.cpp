@@ -1,0 +1,68 @@
+#include "common/base58.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bmg {
+
+namespace {
+constexpr char kAlphabet[] = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+int digit_of(char c) {
+  const char* pos = std::char_traits<char>::find(kAlphabet, 58, c);
+  return pos == nullptr ? -1 : static_cast<int>(pos - kAlphabet);
+}
+}  // namespace
+
+std::string base58_encode(ByteView data) {
+  // Count leading zeros: each encodes as '1'.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Big-number base conversion, 256 -> 58.
+  std::vector<std::uint8_t> digits;  // base-58 digits, least significant first
+  for (std::size_t i = zeros; i < data.size(); ++i) {
+    std::uint32_t carry = data[i];
+    for (auto& d : digits) {
+      carry += static_cast<std::uint32_t>(d) << 8;
+      d = static_cast<std::uint8_t>(carry % 58);
+      carry /= 58;
+    }
+    while (carry > 0) {
+      digits.push_back(static_cast<std::uint8_t>(carry % 58));
+      carry /= 58;
+    }
+  }
+
+  std::string out(zeros, '1');
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it)
+    out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+Bytes base58_decode(std::string_view text) {
+  std::size_t ones = 0;
+  while (ones < text.size() && text[ones] == '1') ++ones;
+
+  std::vector<std::uint8_t> bytes;  // base-256 digits, least significant first
+  for (std::size_t i = ones; i < text.size(); ++i) {
+    const int d = digit_of(text[i]);
+    if (d < 0) throw std::invalid_argument("base58: invalid character");
+    std::uint32_t carry = static_cast<std::uint32_t>(d);
+    for (auto& b : bytes) {
+      carry += static_cast<std::uint32_t>(b) * 58;
+      b = static_cast<std::uint8_t>(carry);
+      carry >>= 8;
+    }
+    while (carry > 0) {
+      bytes.push_back(static_cast<std::uint8_t>(carry));
+      carry >>= 8;
+    }
+  }
+
+  Bytes out(ones, 0);
+  out.insert(out.end(), bytes.rbegin(), bytes.rend());
+  return out;
+}
+
+}  // namespace bmg

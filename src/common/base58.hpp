@@ -1,0 +1,20 @@
+// Base58 encoding (Bitcoin/Solana alphabet).
+//
+// Host-chain account keys are Ed25519 public keys; Solana tooling
+// displays them base58-encoded.  Used for human-readable identifiers
+// in examples and logs.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bmg {
+
+/// Encodes `data` in base58 (leading zero bytes become '1's).
+[[nodiscard]] std::string base58_encode(ByteView data);
+
+/// Decodes base58; throws std::invalid_argument on bad characters.
+[[nodiscard]] Bytes base58_decode(std::string_view text);
+
+}  // namespace bmg

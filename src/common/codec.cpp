@@ -1,0 +1,120 @@
+#include "common/codec.hpp"
+
+namespace bmg {
+
+Encoder& Encoder::u8(std::uint8_t v) {
+  buf_.push_back(v);
+  return *this;
+}
+
+Encoder& Encoder::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+Encoder& Encoder::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  return *this;
+}
+
+Encoder& Encoder::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  return *this;
+}
+
+Encoder& Encoder::raw(ByteView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Encoder& Encoder::bytes(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  return raw(data);
+}
+
+Encoder& Encoder::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  return *this;
+}
+
+Encoder& Encoder::hash(const Hash32& h) { return raw(h.view()); }
+
+Encoder& Encoder::boolean(bool v) { return u8(v ? 1 : 0); }
+
+void Decoder::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) throw CodecError("decoder: truncated input");
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Decoder::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Decoder::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes Decoder::bytes() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::string Decoder::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Hash32 Decoder::hash() {
+  need(32);
+  Hash32 h;
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + 32), h.bytes.begin());
+  pos_ += 32;
+  return h;
+}
+
+bool Decoder::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw CodecError("decoder: bad boolean");
+  return v == 1;
+}
+
+void Decoder::expect_done() const {
+  if (!done()) throw CodecError("decoder: trailing bytes");
+}
+
+}  // namespace bmg

@@ -1,0 +1,75 @@
+// Canonical, deterministic binary serialization.
+//
+// Every hashed structure in the system (guest blocks, IBC packets,
+// counterparty headers, trie nodes) is serialized through this codec so
+// hashes are stable across runs.  Integers are big-endian; variable
+// length data is length-prefixed with a u32.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace bmg {
+
+/// Thrown by Decoder on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  Encoder& u8(std::uint8_t v);
+  Encoder& u16(std::uint16_t v);
+  Encoder& u32(std::uint32_t v);
+  Encoder& u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (fixed-size fields).
+  Encoder& raw(ByteView data);
+  /// Length-prefixed bytes.
+  Encoder& bytes(ByteView data);
+  /// Length-prefixed UTF-8 string.
+  Encoder& str(std::string_view s);
+  Encoder& hash(const Hash32& h);
+  Encoder& boolean(bool v);
+
+  [[nodiscard]] const Bytes& out() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(ByteView data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] Bytes raw(std::size_t n);
+  [[nodiscard]] Bytes bytes();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Hash32 hash();
+  [[nodiscard]] bool boolean();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  /// Throws CodecError unless all input was consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bmg

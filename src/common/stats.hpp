@@ -1,0 +1,52 @@
+// Summary statistics and text renderings used by the evaluation
+// harnesses: quantiles (Table I), CDFs (Figs. 2 and 4), histograms
+// (Figs. 3, 5, 6) and Pearson correlation (Validator cost/latency).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bmg {
+
+/// Collects samples and answers order statistics about them.
+class Series {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator, 0 for n<2).
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated quantile, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double cdf_at(double x) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Pearson correlation coefficient of two equally-long sequences.
+[[nodiscard]] double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Renders an ASCII CDF of the series: `points` rows of "x  F(x)".
+[[nodiscard]] std::string render_cdf(const Series& s, int points, const std::string& x_label);
+
+/// Renders an ASCII histogram with `bins` equal-width buckets.
+[[nodiscard]] std::string render_histogram(const Series& s, int bins, const std::string& x_label);
+
+/// One row of Table I style summary: min/Q1/median/Q3/max/mean/stddev.
+[[nodiscard]] std::string render_quantile_row(const Series& s);
+
+}  // namespace bmg

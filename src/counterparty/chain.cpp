@@ -1,0 +1,117 @@
+#include "counterparty/chain.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace bmg::counterparty {
+
+CounterpartyChain::CounterpartyChain(sim::Simulation& sim, Rng rng, Config cfg)
+    : sim_(sim),
+      rng_(rng),
+      cfg_(std::move(cfg)),
+      module_(store_),
+      transfer_(module_, bank_, "transfer") {
+  for (int i = 0; i < cfg_.num_validators; ++i) {
+    validator_keys_.push_back(
+        crypto::PrivateKey::from_label(cfg_.chain_id + "-validator-" + std::to_string(i)));
+    validator_set_.validators.push_back(
+        {validator_keys_.back().public_key(), cfg_.stake_per_validator});
+  }
+
+  module_.set_self_identity(cfg_.chain_id, [this] { return validator_set_.hash(); });
+
+  // Seed application state so IBC proofs have realistic depth.
+  for (std::size_t i = 0; i < cfg_.background_state_keys; ++i) {
+    Encoder e;
+    e.str(cfg_.chain_id).u64(i);
+    const Hash32 key = crypto::Sha256::digest(e.out());
+    store_.set(key.view(), crypto::Sha256::digest(key.view()));
+  }
+}
+
+void CounterpartyChain::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.after(cfg_.block_interval_s, [this] { produce_block(); });
+}
+
+void CounterpartyChain::produce_block() {
+  ++height_;
+
+  ibc::QuorumHeader header;
+  header.chain_id = cfg_.chain_id;
+  header.height = height_;
+  header.timestamp = sim_.now();
+  header.state_root = store_.root_hash();
+  header.validator_set_hash = validator_set_.hash();
+
+  // Sample the commit: each validator participates with probability
+  // `signature_participation`; top up deterministically if the sample
+  // fell short of quorum (Tendermint commits always carry >2/3).
+  PendingCommit commit;
+  commit.header = header;
+  std::uint64_t power = 0;
+  const double participation =
+      rng_.uniform(cfg_.participation_min, cfg_.participation_max);
+  std::vector<bool> in_commit(validator_keys_.size(), false);
+  for (std::size_t i = 0; i < validator_keys_.size(); ++i) {
+    if (rng_.chance(participation)) {
+      in_commit[i] = true;
+      power += validator_set_.validators[i].stake;
+    }
+  }
+  for (std::size_t i = 0; i < validator_keys_.size() && power < validator_set_.quorum_stake();
+       ++i) {
+    if (!in_commit[i]) {
+      in_commit[i] = true;
+      power += validator_set_.validators[i].stake;
+    }
+  }
+  for (std::size_t i = 0; i < validator_keys_.size(); ++i)
+    if (in_commit[i]) commit.signer_indices.push_back(i);
+
+  unsigned_headers_[height_] = std::move(commit);
+  while (unsigned_headers_.size() > 4096)
+    unsigned_headers_.erase(unsigned_headers_.begin());
+  while (headers_.size() > 4096) headers_.erase(headers_.begin());
+  // Historical proof basis; reuse the previous snapshot when the state
+  // did not change (the common case between IBC actions).
+  if (!last_snapshot_ || last_snapshot_->root_hash() != store_.root_hash())
+    last_snapshot_ = std::make_shared<const trie::SealableTrie>(store_);
+  snapshots_[height_] = last_snapshot_;
+  while (snapshots_.size() > 256) snapshots_.erase(snapshots_.begin());
+
+  for (const auto& cb : block_callbacks_) cb(height_);
+
+  sim_.after(cfg_.block_interval_s, [this] { produce_block(); });
+}
+
+const ibc::SignedQuorumHeader& CounterpartyChain::header_at(ibc::Height h) const {
+  const auto it = headers_.find(h);
+  if (it != headers_.end()) return it->second;
+
+  const auto pending = unsigned_headers_.find(h);
+  if (pending == unsigned_headers_.end())
+    throw ibc::IbcError("counterparty: no header at height " + std::to_string(h));
+
+  ibc::SignedQuorumHeader sh;
+  sh.header = pending->second.header;
+  const Hash32 digest = sh.header.signing_digest();
+  for (const std::size_t i : pending->second.signer_indices)
+    sh.signatures.emplace_back(validator_keys_[i].public_key(),
+                               validator_keys_[i].sign(digest.view()));
+  unsigned_headers_.erase(pending);
+  return headers_.emplace(h, std::move(sh)).first->second;
+}
+
+void CounterpartyChain::on_new_block(std::function<void(ibc::Height)> cb) {
+  block_callbacks_.push_back(std::move(cb));
+}
+
+trie::Proof CounterpartyChain::prove_at(ibc::Height h, ByteView key) const {
+  const auto it = snapshots_.find(h);
+  if (it == snapshots_.end())
+    throw ibc::IbcError("counterparty: no snapshot at height " + std::to_string(h));
+  return it->second->prove(key);
+}
+
+}  // namespace bmg::counterparty

@@ -1,0 +1,516 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/sha512.hpp"
+
+namespace bmg::crypto::ed25519 {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19, radix-2^51 representation.
+// ---------------------------------------------------------------------------
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
+
+Fe fe_zero() { return Fe{{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_from_u64(std::uint64_t x) { return Fe{{x & kMask51, x >> 51, 0, 0, 0}}; }
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+// a - b with a 4p bias added limb-wise so limbs stay non-negative.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL * 2 - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL * 2 - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL * 2 - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL * 2 - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL * 2 - b.v[4];
+  return r;
+}
+
+// Weak reduction: bring limbs below ~2^52.
+Fe fe_carry(const Fe& a) {
+  Fe r = a;
+  std::uint64_t c;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  c = r.v[1] >> 51; r.v[1] &= kMask51; r.v[2] += c;
+  c = r.v[2] >> 51; r.v[2] &= kMask51; r.v[3] += c;
+  c = r.v[3] >> 51; r.v[3] &= kMask51; r.v[4] += c;
+  c = r.v[4] >> 51; r.v[4] &= kMask51; r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  using u128 = unsigned __int128;
+  const std::uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const std::uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const std::uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 + (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 + (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 + (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 + (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 + (u128)a4 * b0;
+
+  Fe r;
+  std::uint64_t c;
+  r.v[0] = (std::uint64_t)t0 & kMask51; c = (std::uint64_t)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (std::uint64_t)t1 & kMask51; c = (std::uint64_t)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (std::uint64_t)t2 & kMask51; c = (std::uint64_t)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (std::uint64_t)t3 & kMask51; c = (std::uint64_t)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (std::uint64_t)t4 & kMask51; c = (std::uint64_t)(t4 >> 51);
+  r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_neg(const Fe& a) { return fe_carry(fe_sub(fe_zero(), a)); }
+
+// Full (canonical) reduction to [0, p).
+void fe_to_bytes(std::uint8_t out[32], const Fe& a) {
+  // Repeated carries fully radix-normalize the limbs (each pass moves a
+  // possible +1 excess one limb further; six passes guarantee all limbs
+  // are <= 2^51 - 1, i.e. the value is in [0, 2^255)).
+  Fe t = a;
+  for (int i = 0; i < 6; ++i) t = fe_carry(t);
+  // Canonicalize: value is in [0, 2^255) < 2p, so subtract p at most once.
+  std::uint64_t l0 = t.v[0], l1 = t.v[1], l2 = t.v[2], l3 = t.v[3], l4 = t.v[4];
+  // Canonicalize: add 19, see if >= 2^255, then subtract p accordingly.
+  std::uint64_t q = (l0 + 19) >> 51;
+  q = (l1 + q) >> 51;
+  q = (l2 + q) >> 51;
+  q = (l3 + q) >> 51;
+  q = (l4 + q) >> 51;
+  l0 += 19 * q;
+  std::uint64_t c;
+  c = l0 >> 51; l0 &= kMask51; l1 += c;
+  c = l1 >> 51; l1 &= kMask51; l2 += c;
+  c = l2 >> 51; l2 &= kMask51; l3 += c;
+  c = l3 >> 51; l3 &= kMask51; l4 += c;
+  l4 &= kMask51;
+
+  const std::uint64_t w0 = l0 | (l1 << 51);
+  const std::uint64_t w1 = (l1 >> 13) | (l2 << 38);
+  const std::uint64_t w2 = (l2 >> 26) | (l3 << 25);
+  const std::uint64_t w3 = (l3 >> 39) | (l4 << 12);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = (std::uint8_t)(w0 >> (8 * i));
+    out[8 + i] = (std::uint8_t)(w1 >> (8 * i));
+    out[16 + i] = (std::uint8_t)(w2 >> (8 * i));
+    out[24 + i] = (std::uint8_t)(w3 >> (8 * i));
+  }
+}
+
+Fe fe_from_bytes(const std::uint8_t in[32]) {
+  auto load64 = [&](int off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | in[off + i];
+    return v;
+  };
+  const std::uint64_t w0 = load64(0), w1 = load64(8), w2 = load64(16), w3 = load64(24);
+  Fe r;
+  r.v[0] = w0 & kMask51;
+  r.v[1] = ((w0 >> 51) | (w1 << 13)) & kMask51;
+  r.v[2] = ((w1 >> 38) | (w2 << 26)) & kMask51;
+  r.v[3] = ((w2 >> 25) | (w3 << 39)) & kMask51;
+  r.v[4] = (w3 >> 12) & kMask51;  // top bit dropped (sign bit handled by caller)
+  return r;
+}
+
+bool fe_is_zero(const Fe& a) {
+  std::uint8_t b[32];
+  fe_to_bytes(b, a);
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 32; ++i) acc |= b[i];
+  return acc == 0;
+}
+
+bool fe_eq(const Fe& a, const Fe& b) {
+  std::uint8_t ba[32], bb[32];
+  fe_to_bytes(ba, a);
+  fe_to_bytes(bb, b);
+  return std::memcmp(ba, bb, 32) == 0;
+}
+
+bool fe_is_negative(const Fe& a) {
+  std::uint8_t b[32];
+  fe_to_bytes(b, a);
+  return (b[0] & 1) != 0;
+}
+
+// Generic exponentiation with a little-endian 255-bit exponent.
+Fe fe_pow(const Fe& base, const std::uint8_t exp_le[32]) {
+  Fe result = fe_one();
+  Fe acc = base;
+  for (int bit = 0; bit < 255; ++bit) {
+    if ((exp_le[bit / 8] >> (bit % 8)) & 1) result = fe_mul(result, acc);
+    acc = fe_sq(acc);
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) {
+  // p - 2 = 2^255 - 21, little-endian.
+  static const std::uint8_t kPm2[32] = {
+      0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+  return fe_pow(a, kPm2);
+}
+
+Fe fe_pow_p58(const Fe& a) {
+  // (p - 5) / 8 = 2^252 - 3, little-endian.
+  static const std::uint8_t kP58[32] = {
+      0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
+  return fe_pow(a, kP58);
+}
+
+const Fe& fe_d() {
+  // d = -121665/121666 mod p, computed once.
+  static const Fe d = [] {
+    const Fe num = fe_from_u64(121665);
+    const Fe den = fe_from_u64(121666);
+    return fe_neg(fe_mul(num, fe_invert(den)));
+  }();
+  return d;
+}
+
+const Fe& fe_2d() {
+  static const Fe d2 = fe_carry(fe_add(fe_d(), fe_d()));
+  return d2;
+}
+
+const Fe& fe_sqrtm1() {
+  // sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+  static const Fe s = [] {
+    static const std::uint8_t kExp[32] = {
+        0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f};
+    return fe_pow(fe_from_u64(2), kExp);
+  }();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Group arithmetic: extended twisted-Edwards coordinates (X:Y:Z:T).
+// ---------------------------------------------------------------------------
+
+struct Ge {
+  Fe x, y, z, t;
+};
+
+Ge ge_identity() { return Ge{fe_zero(), fe_one(), fe_one(), fe_zero()}; }
+
+// add-2008-hwcd-3 for a = -1.
+Ge ge_add(const Ge& p, const Ge& q) {
+  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), fe_carry(fe_sub(q.y, q.x)));
+  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), fe_carry(fe_add(q.y, q.x)));
+  const Fe c = fe_mul(fe_mul(p.t, fe_2d()), q.t);
+  const Fe d = fe_mul(fe_carry(fe_add(p.z, p.z)), q.z);
+  const Fe e = fe_carry(fe_sub(b, a));
+  const Fe f = fe_carry(fe_sub(d, c));
+  const Fe g = fe_carry(fe_add(d, c));
+  const Fe h = fe_carry(fe_add(b, a));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// dbl-2008-hwcd for a = -1.
+Ge ge_double(const Ge& p) {
+  const Fe a = fe_sq(p.x);
+  const Fe b = fe_sq(p.y);
+  const Fe c = fe_carry(fe_add(fe_sq(p.z), fe_sq(p.z)));
+  const Fe d = fe_neg(a);
+  const Fe xy = fe_carry(fe_add(p.x, p.y));
+  const Fe e = fe_carry(fe_sub(fe_carry(fe_sub(fe_sq(xy), a)), b));
+  const Fe g = fe_carry(fe_add(d, b));
+  const Fe f = fe_carry(fe_sub(g, c));
+  const Fe h = fe_carry(fe_sub(d, b));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_neg(const Ge& p) { return Ge{fe_neg(p.x), p.y, p.z, fe_neg(p.t)}; }
+
+// Scalar is a 32-byte little-endian integer.
+Ge ge_scalarmult(const Ge& p, const std::uint8_t scalar[32]) {
+  Ge r = ge_identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = ge_double(r);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) r = ge_add(r, p);
+  }
+  return r;
+}
+
+void ge_compress(std::uint8_t out[32], const Ge& p) {
+  const Fe zi = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zi);
+  const Fe y = fe_mul(p.y, zi);
+  fe_to_bytes(out, y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+}
+
+bool ge_decompress(Ge& out, const std::uint8_t in[32]) {
+  const bool x_sign = (in[31] & 0x80) != 0;
+  const Fe y = fe_from_bytes(in);
+  // Reject non-canonical y (>= p).  fe_from_bytes masks the sign bit, so
+  // compare the canonical re-encoding with the masked input.
+  std::uint8_t canon[32];
+  fe_to_bytes(canon, y);
+  std::uint8_t masked[32];
+  std::memcpy(masked, in, 32);
+  masked[31] &= 0x7f;
+  if (std::memcmp(canon, masked, 32) != 0) return false;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_carry(fe_sub(y2, fe_one()));
+  const Fe v = fe_carry(fe_add(fe_mul(fe_d(), y2), fe_one()));
+  // candidate x = u v^3 (u v^7)^((p-5)/8)
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow_p58(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_eq(vx2, u)) {
+    if (fe_eq(vx2, fe_neg(u))) {
+      x = fe_mul(x, fe_sqrtm1());
+    } else {
+      return false;
+    }
+  }
+  if (fe_is_zero(x) && x_sign) return false;  // -0 is invalid
+  if (fe_is_negative(x) != x_sign) x = fe_neg(x);
+
+  out.x = x;
+  out.y = y;
+  out.z = fe_one();
+  out.t = fe_mul(x, y);
+  return true;
+}
+
+const Ge& ge_base() {
+  static const Ge b = [] {
+    // Compressed base point: y = 4/5, sign(x) = 0.
+    static const std::uint8_t kB[32] = {
+        0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+        0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+        0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66};
+    Ge g;
+    const bool ok = ge_decompress(g, kB);
+    if (!ok) __builtin_trap();
+    return g;
+  }();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// ---------------------------------------------------------------------------
+
+struct U256 {
+  std::uint64_t w[4];  // little-endian words
+};
+
+const U256 kL = {{0x5812631A5CF5D3EDULL, 0x14DEF9DEA2F79CD6ULL, 0x0000000000000000ULL,
+                  0x1000000000000000ULL}};
+
+int u256_cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] < b.w[i]) return -1;
+    if (a.w[i] > b.w[i]) return 1;
+  }
+  return 0;
+}
+
+void u256_sub_inplace(U256& a, const U256& b) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 d =
+        (unsigned __int128)a.w[i] - b.w[i] - (std::uint64_t)borrow;
+    a.w[i] = (std::uint64_t)d;
+    borrow = (d >> 64) & 1;
+  }
+}
+
+// r = (r << 1) | bit, assuming r < L (so no overflow past 2^253).
+void u256_shl1_or(U256& r, int bit) {
+  std::uint64_t carry = (std::uint64_t)bit;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t next = r.w[i] >> 63;
+    r.w[i] = (r.w[i] << 1) | carry;
+    carry = next;
+  }
+}
+
+// Reduce an arbitrary-size little-endian byte string mod L via binary
+// long division.  Not fast, but simple, obviously correct, and plenty
+// for simulation workloads.
+U256 sc_reduce_bytes(const std::uint8_t* data, std::size_t len) {
+  U256 r = {{0, 0, 0, 0}};
+  for (std::size_t byte = len; byte-- > 0;) {
+    for (int bit = 7; bit >= 0; --bit) {
+      u256_shl1_or(r, (data[byte] >> bit) & 1);
+      if (u256_cmp(r, kL) >= 0) u256_sub_inplace(r, kL);
+    }
+  }
+  return r;
+}
+
+U256 sc_add(const U256& a, const U256& b) {
+  U256 r;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 s = (unsigned __int128)a.w[i] + b.w[i] + (std::uint64_t)carry;
+    r.w[i] = (std::uint64_t)s;
+    carry = s >> 64;
+  }
+  if (u256_cmp(r, kL) >= 0) u256_sub_inplace(r, kL);
+  return r;
+}
+
+U256 sc_mul(const U256& a, const U256& b) {
+  // Schoolbook 256x256 -> 512, then binary reduce.
+  std::uint64_t prod[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const unsigned __int128 cur =
+          (unsigned __int128)a.w[i] * b.w[j] + prod[i + j] + (std::uint64_t)carry;
+      prod[i + j] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    prod[i + 4] = (std::uint64_t)carry;
+  }
+  std::uint8_t bytes[64];
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      bytes[i * 8 + j] = (std::uint8_t)(prod[i] >> (8 * j));
+  return sc_reduce_bytes(bytes, 64);
+}
+
+void sc_to_bytes(std::uint8_t out[32], const U256& a) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 8; ++j)
+      out[i * 8 + j] = (std::uint8_t)(a.w[i] >> (8 * j));
+}
+
+U256 sc_from_bytes(const std::uint8_t in[32]) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 7; j >= 0; --j) v = (v << 8) | in[i * 8 + j];
+    r.w[i] = v;
+  }
+  return r;
+}
+
+bool sc_is_canonical(const std::uint8_t in[32]) {
+  const U256 s = sc_from_bytes(in);
+  return u256_cmp(s, kL) < 0;
+}
+
+// ---------------------------------------------------------------------------
+
+void clamp(std::uint8_t a[32]) {
+  a[0] &= 248;
+  a[31] &= 127;
+  a[31] |= 64;
+}
+
+Digest512 hash3(ByteView a, ByteView b, ByteView c) {
+  Sha512 h;
+  h.update(a);
+  h.update(b);
+  h.update(c);
+  return h.finish();
+}
+
+}  // namespace
+
+PublicKeyBytes derive_public(const Seed& seed) {
+  Digest512 h = Sha512::digest(ByteView{seed.data(), seed.size()});
+  std::uint8_t a[32];
+  std::memcpy(a, h.data(), 32);
+  clamp(a);
+  const Ge A = ge_scalarmult(ge_base(), a);
+  PublicKeyBytes out;
+  ge_compress(out.data(), A);
+  return out;
+}
+
+SignatureBytes sign(const Seed& seed, ByteView msg) {
+  Digest512 h = Sha512::digest(ByteView{seed.data(), seed.size()});
+  std::uint8_t a_bytes[32];
+  std::memcpy(a_bytes, h.data(), 32);
+  clamp(a_bytes);
+  const ByteView prefix{h.data() + 32, 32};
+
+  const PublicKeyBytes pub = derive_public(seed);
+
+  // r = SHA512(prefix || msg) mod L
+  const Digest512 rh = hash3(prefix, msg, {});
+  const U256 r = sc_reduce_bytes(rh.data(), rh.size());
+  std::uint8_t r_bytes[32];
+  sc_to_bytes(r_bytes, r);
+
+  const Ge R = ge_scalarmult(ge_base(), r_bytes);
+  SignatureBytes sig{};
+  ge_compress(sig.data(), R);
+
+  // k = SHA512(R || A || msg) mod L
+  const Digest512 kh =
+      hash3(ByteView{sig.data(), 32}, ByteView{pub.data(), pub.size()}, msg);
+  const U256 k = sc_reduce_bytes(kh.data(), kh.size());
+
+  // S = (r + k * a) mod L
+  const U256 a = sc_reduce_bytes(a_bytes, 32);
+  const U256 s = sc_add(r, sc_mul(k, a));
+  sc_to_bytes(sig.data() + 32, s);
+  return sig;
+}
+
+bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig) {
+  if (!sc_is_canonical(sig.data() + 32)) return false;
+
+  Ge A;
+  if (!ge_decompress(A, pub.data())) return false;
+  Ge R;
+  if (!ge_decompress(R, sig.data())) return false;
+
+  const Digest512 kh = hash3(ByteView{sig.data(), 32}, ByteView{pub.data(), pub.size()}, msg);
+  const U256 k = sc_reduce_bytes(kh.data(), kh.size());
+  std::uint8_t k_bytes[32];
+  sc_to_bytes(k_bytes, k);
+
+  // Check [S]B == R + [k]A  <=>  [S]B + [k](-A) == R.
+  const Ge sB = ge_scalarmult(ge_base(), sig.data() + 32);
+  const Ge kA = ge_scalarmult(ge_neg(A), k_bytes);
+  const Ge lhs = ge_add(sB, kA);
+
+  std::uint8_t lhs_bytes[32];
+  ge_compress(lhs_bytes, lhs);
+  return std::memcmp(lhs_bytes, sig.data(), 32) == 0;
+}
+
+}  // namespace bmg::crypto::ed25519

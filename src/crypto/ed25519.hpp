@@ -1,0 +1,31 @@
+// Ed25519 (RFC 8032) implemented from scratch: curve25519 field and
+// group arithmetic plus scalar arithmetic mod the group order L.
+//
+// Real signatures matter for this reproduction: the paper's costs and
+// latencies hinge on *how many* signatures must be produced/verified
+// and how expensive verification is inside the host runtime's compute
+// budget.  Tested against the RFC 8032 test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace bmg::crypto::ed25519 {
+
+using Seed = std::array<std::uint8_t, 32>;
+using PublicKeyBytes = std::array<std::uint8_t, 32>;
+using SignatureBytes = std::array<std::uint8_t, 64>;
+
+/// Derives the public key for a 32-byte seed (RFC 8032 §5.1.5).
+[[nodiscard]] PublicKeyBytes derive_public(const Seed& seed);
+
+/// Signs `msg` with the given seed (RFC 8032 §5.1.6).
+[[nodiscard]] SignatureBytes sign(const Seed& seed, ByteView msg);
+
+/// Verifies a signature (RFC 8032 §5.1.7, cofactorless, strict S < L).
+[[nodiscard]] bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig);
+
+}  // namespace bmg::crypto::ed25519

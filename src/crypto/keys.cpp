@@ -1,0 +1,30 @@
+#include "crypto/keys.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace bmg::crypto {
+
+PrivateKey PrivateKey::from_label(std::string_view label) {
+  const Hash32 h = Sha256::digest(ByteView{
+      reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+  ed25519::Seed seed;
+  std::copy(h.bytes.begin(), h.bytes.end(), seed.begin());
+  return from_seed(seed);
+}
+
+PrivateKey PrivateKey::from_seed(const ed25519::Seed& seed) {
+  PrivateKey k;
+  k.seed_ = seed;
+  k.pub_ = PublicKey(ed25519::derive_public(seed));
+  return k;
+}
+
+Signature PrivateKey::sign(ByteView msg) const {
+  return Signature(ed25519::sign(seed_, msg));
+}
+
+bool verify(const PublicKey& pub, ByteView msg, const Signature& sig) {
+  return ed25519::verify(pub.raw(), msg, sig.raw());
+}
+
+}  // namespace bmg::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for every commitment in the system: trie node hashes, guest
+// block hashes, IBC packet commitments.  Tested against NIST vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bmg::crypto {
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  [[nodiscard]] Hash32 finish() noexcept;
+
+  /// One-shot convenience.
+  [[nodiscard]] static Hash32 digest(ByteView data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// sha256(a || b) — common pattern for combining two hashes.
+[[nodiscard]] Hash32 sha256_pair(const Hash32& a, const Hash32& b) noexcept;
+
+}  // namespace bmg::crypto

@@ -1,0 +1,32 @@
+// SHA-512 (FIPS 180-4), required by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace bmg::crypto {
+
+using Digest512 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+  [[nodiscard]] Digest512 finish() noexcept;
+
+  [[nodiscard]] static Digest512 digest(ByteView data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, 128> buffer_{};
+  std::uint64_t total_len_ = 0;  // bytes; fine below 2^61 bytes
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace bmg::crypto

@@ -1,0 +1,50 @@
+#include "guest/block.hpp"
+
+#include "common/codec.hpp"
+
+namespace bmg::guest {
+
+std::uint64_t GuestBlock::signed_stake() const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, sig] : signers) {
+    if (const auto stake = signing_set.stake_of(key)) sum += *stake;
+  }
+  return sum;
+}
+
+ibc::SignedQuorumHeader GuestBlock::to_signed_header() const {
+  ibc::SignedQuorumHeader sh;
+  sh.header = header;
+  for (const auto& [key, sig] : signers) sh.signatures.emplace_back(key, sig);
+  sh.next_validators = next_validators;
+  return sh;
+}
+
+GuestBlock GuestBlock::make(const std::string& chain_id, ibc::Height height,
+                            double timestamp, const Hash32& state_root,
+                            const Hash32& prev_hash, std::uint64_t host_height,
+                            const ibc::ValidatorSet& signing_set) {
+  GuestBlock b;
+  b.header.chain_id = chain_id;
+  b.header.height = height;
+  b.header.timestamp = timestamp;
+  b.header.state_root = state_root;
+  b.header.validator_set_hash = signing_set.hash();
+  Encoder extra;
+  extra.hash(prev_hash).u64(host_height);
+  b.header.extra = extra.take();
+  b.prev_hash = prev_hash;
+  b.host_height = host_height;
+  b.signing_set = signing_set;
+  return b;
+}
+
+std::size_t GuestBlock::byte_size() const {
+  std::size_t n = header.encode().size() + 64;  // header + bookkeeping
+  n += signers.size() * 96;
+  if (next_validators) n += next_validators->encode().size();
+  for (const auto& p : packets) n += p.encode().size();
+  return n;
+}
+
+}  // namespace bmg::guest

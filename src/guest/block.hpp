@@ -1,0 +1,56 @@
+// Guest blockchain blocks (paper §III-A).
+//
+// A guest block commits the guest chain's provable state (the
+// sealable trie root), chains to its predecessor, and records which
+// host slot produced it.  Its light-client view is a QuorumHeader —
+// prev-hash and host height travel in the header's `extra` field so
+// they are covered by validator signatures.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ibc/packet.hpp"
+#include "ibc/quorum.hpp"
+
+namespace bmg::guest {
+
+struct GuestBlock {
+  ibc::QuorumHeader header;
+  Hash32 prev_hash{};
+  std::uint64_t host_height = 0;
+
+  /// Full next validator set when this block ends an epoch.
+  std::optional<ibc::ValidatorSet> next_validators;
+
+  /// The set whose quorum finalises this block (the epoch's set).
+  ibc::ValidatorSet signing_set;
+
+  /// Collected validator signatures (Sign procedure of Alg. 1).
+  std::map<crypto::PublicKey, crypto::Signature> signers;
+  bool finalised = false;
+
+  /// Packets sent since the previous block, included here for relayers.
+  std::vector<ibc::Packet> packets;
+
+  [[nodiscard]] Hash32 hash() const { return header.signing_digest(); }
+  [[nodiscard]] bool last_in_epoch() const { return next_validators.has_value(); }
+
+  [[nodiscard]] std::uint64_t signed_stake() const;
+
+  /// Light-client update payload for this (finalised) block.
+  [[nodiscard]] ibc::SignedQuorumHeader to_signed_header() const;
+
+  /// Builds a block; packs prev/host_height into header.extra.
+  [[nodiscard]] static GuestBlock make(const std::string& chain_id, ibc::Height height,
+                                       double timestamp, const Hash32& state_root,
+                                       const Hash32& prev_hash,
+                                       std::uint64_t host_height,
+                                       const ibc::ValidatorSet& signing_set);
+
+  /// Approximate on-chain storage footprint of this block record.
+  [[nodiscard]] std::size_t byte_size() const;
+};
+
+}  // namespace bmg::guest

@@ -1,0 +1,733 @@
+#include "guest/contract.hpp"
+
+#include <algorithm>
+
+namespace bmg::guest {
+
+namespace {
+/// Coarse compute-unit charges for in-contract work (trie updates are
+/// sequences of metered sha256 syscalls on the real deployment).
+constexpr std::uint64_t kCuBlockOps = 30'000;
+constexpr std::uint64_t kCuSignOps = 25'000;
+constexpr std::uint64_t kCuSendPacket = 60'000;
+constexpr std::uint64_t kCuRecvBase = 90'000;
+constexpr std::uint64_t kCuStakeOps = 15'000;
+}  // namespace
+
+GuestContract::GuestContract(GuestConfig cfg,
+                             std::vector<ibc::ValidatorInfo> genesis_validators,
+                             ibc::ValidatorSet counterparty_validators)
+    : cfg_(std::move(cfg)),
+      module_(store_, cfg_.ack_seal_lag),
+      transfer_(module_, bank_, "transfer"),
+      treasury_(crypto::PrivateKey::from_label(cfg_.chain_id + ":treasury").public_key()),
+      vault_(crypto::PrivateKey::from_label(cfg_.chain_id + ":stake-vault").public_key()),
+      burn_(crypto::PrivateKey::from_label(cfg_.chain_id + ":burn").public_key()) {
+  // Light client of the counterparty, embedded in the contract.
+  auto client = std::make_unique<ibc::QuorumLightClient>(cfg_.counterparty_chain_id,
+                                                         std::move(counterparty_validators));
+  counterparty_client_ = client.get();
+  counterparty_client_id_ = module_.add_client(std::move(client));
+  module_.set_self_identity(cfg_.chain_id, [this] { return epoch_.hash(); });
+
+  // Genesis validators are pre-staked candidates.
+  for (const auto& v : genesis_validators) candidates_[v.key] = Candidate{v.stake};
+  epoch_ = select_validators();
+  if (epoch_.validators.empty())
+    throw std::invalid_argument("guest contract: empty genesis validator set");
+
+  // Genesis block: height 0, finalised by construction.
+  GuestBlock genesis = GuestBlock::make(cfg_.chain_id, 0, 0.0, store_.root_hash(),
+                                        Hash32{}, 0, epoch_);
+  genesis.finalised = true;
+  blocks_.push_back(std::move(genesis));
+  snapshots_[0] = store_;
+}
+
+void GuestContract::execute(host::TxContext& ctx, ByteView instruction_data) {
+  if (terminated_) throw host::TxError("guest: chain has self-destructed");
+  Decoder d(instruction_data);
+  const auto op = static_cast<Op>(d.u8());
+  switch (op) {
+    case Op::kGenerateBlock:
+      return op_generate_block(ctx);
+    case Op::kSign:
+      return op_sign(ctx, d);
+    case Op::kSendPacket:
+      return op_send_packet(ctx, d);
+    case Op::kSendTransfer:
+      return op_send_transfer(ctx, d);
+    case Op::kChunkUpload:
+      return op_chunk_upload(ctx, d);
+    case Op::kReceivePacket:
+      return op_receive_packet(ctx, d);
+    case Op::kAcknowledgePacket:
+      return op_acknowledge_packet(ctx, d);
+    case Op::kTimeoutPacket:
+      return op_timeout_packet(ctx, d);
+    case Op::kBeginClientUpdate:
+      return op_begin_client_update(ctx, d);
+    case Op::kVerifyUpdateSignatures:
+      return op_verify_update_signatures(ctx);
+    case Op::kFinishClientUpdate:
+      return op_finish_client_update(ctx);
+    case Op::kStake:
+      return op_stake(ctx, d);
+    case Op::kUnstake:
+      return op_unstake(ctx, d);
+    case Op::kWithdrawStake:
+      return op_withdraw_stake(ctx);
+    case Op::kSubmitEvidence:
+      return op_submit_evidence(ctx, d);
+    case Op::kHandshake:
+      return op_handshake(ctx, d);
+    case Op::kFreezeClient:
+      return op_freeze_client(ctx, d);
+    case Op::kSelfDestruct:
+      return op_self_destruct(ctx);
+  }
+  throw host::TxError("guest: unknown instruction");
+}
+
+// --- block production ---------------------------------------------------------
+
+ibc::ValidatorSet GuestContract::select_validators() const {
+  std::vector<ibc::ValidatorInfo> sorted;
+  for (const auto& [key, cand] : candidates_) {
+    if (cand.stake >= cfg_.min_stake_lamports && banned_.count(key) == 0)
+      sorted.push_back({key, cand.stake});
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.stake != b.stake) return a.stake > b.stake;
+    return a.key < b.key;
+  });
+  if (sorted.size() > cfg_.max_validators) sorted.resize(cfg_.max_validators);
+  ibc::ValidatorSet set;
+  set.validators = std::move(sorted);
+  return set;
+}
+
+void GuestContract::op_generate_block(host::TxContext& ctx) {
+  ctx.consume_cu(kCuBlockOps);
+  GuestBlock& head_block = blocks_.back();
+  if (!head_block.finalised)
+    throw host::TxError("generate_block: head is not finalised");
+
+  const bool root_changed = head_block.header.state_root != store_.root_hash();
+  const bool aged = ctx.time() - head_block.header.timestamp >= cfg_.delta_seconds;
+  const bool epoch_due =
+      ctx.slot() - epoch_start_host_slot_ >= cfg_.epoch_length_host_slots;
+  if (!root_changed && !aged && !epoch_due)
+    throw host::TxError("generate_block: nothing to commit and head is fresh");
+
+  GuestBlock block = GuestBlock::make(cfg_.chain_id, head_block.header.height + 1,
+                                      ctx.time(), store_.root_hash(), head_block.hash(),
+                                      ctx.slot(), epoch_);
+  if (epoch_due) {
+    const ibc::ValidatorSet next = select_validators();
+    if (!next.validators.empty()) block.next_validators = next;
+  }
+  block.packets = std::move(pending_packets_);
+  pending_packets_.clear();
+
+  snapshots_[block.header.height] = store_;
+  while (snapshots_.size() > 256) snapshots_.erase(snapshots_.begin());
+
+  // Prune old block records down to their headers: signer sets and
+  // packet lists of long-finalised blocks are dead weight in the
+  // contract account (§V-D).
+  if (block.header.height > cfg_.block_history_window) {
+    const ibc::Height limit = block.header.height - cfg_.block_history_window;
+    while (pruned_below_ < limit) {
+      GuestBlock& old = blocks_[pruned_below_];
+      old.signers.clear();
+      old.packets.clear();
+      old.packets.shrink_to_fit();
+      ++pruned_below_;
+    }
+  }
+
+  Encoder ev;
+  ev.u64(block.header.height);
+  blocks_.push_back(std::move(block));
+  ctx.emit_event(kEvNewBlock, ev.take());
+}
+
+void GuestContract::finalise_block(host::TxContext& ctx, GuestBlock& block) {
+  block.finalised = true;
+  if (block.next_validators) {
+    epoch_ = *block.next_validators;
+    epoch_start_host_slot_ = block.host_height;
+  }
+
+  // Signing rewards (§V-C incentives): a slice of the treasury's
+  // accumulated send fees goes to this block's signers, pro rata by
+  // stake.  Late signatures (after quorum) earn nothing — rewarding
+  // promptness, which is what block latency depends on.
+  if (cfg_.signer_reward_fraction > 0) {
+    const std::uint64_t pool = static_cast<std::uint64_t>(
+        static_cast<double>(ctx.balance(treasury_)) * cfg_.signer_reward_fraction);
+    const std::uint64_t signed_stake = block.signed_stake();
+    if (pool > 0 && signed_stake > 0) {
+      for (const auto& [key, sig] : block.signers) {
+        const auto stake = block.signing_set.stake_of(key);
+        if (!stake) continue;
+        const std::uint64_t share = pool * *stake / signed_stake;
+        if (share > 0) {
+          ctx.transfer(treasury_, key, share);
+          rewards_paid_ += share;
+        }
+      }
+    }
+  }
+
+  Encoder ev;
+  ev.u64(block.header.height);
+  ctx.emit_event(kEvFinalisedBlock, ev.take());
+}
+
+void GuestContract::op_sign(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(kCuSignOps);
+  const std::uint64_t height = d.u64();
+  const Bytes key_raw = d.raw(32);
+  crypto::ed25519::PublicKeyBytes pk;
+  std::copy(key_raw.begin(), key_raw.end(), pk.begin());
+  const crypto::PublicKey pubkey(pk);
+
+  if (height >= blocks_.size()) throw host::TxError("sign: invalid height");
+  if (height < pruned_below_) throw host::TxError("sign: block record pruned");
+  GuestBlock& block = blocks_[height];
+
+  if (!block.signing_set.contains(pubkey))
+    throw host::TxError("sign: not an active validator");
+  if (banned_.count(pubkey) > 0) throw host::TxError("sign: validator banned");
+  if (block.signers.count(pubkey) > 0) throw host::TxError("sign: already signed");
+
+  // check_signature: the runtime's Ed25519 pre-compile verified the
+  // transaction's signatures; find the one for this block's digest.
+  const Hash32 digest = block.hash();
+  const crypto::Signature* found = nullptr;
+  for (const auto& sv : ctx.verified_signatures()) {
+    if (sv.pubkey == pubkey && sv.message.size() == 32 &&
+        ct_equal(sv.message, digest.view())) {
+      found = &sv.signature;
+      break;
+    }
+  }
+  if (found == nullptr) throw host::TxError("sign: no verified signature for block");
+
+  block.signers.emplace(pubkey, *found);
+  if (!block.finalised && block.signed_stake() >= block.signing_set.quorum_stake())
+    finalise_block(ctx, block);
+}
+
+// --- packet flow ----------------------------------------------------------------
+
+void GuestContract::collect_send_fee(host::TxContext& ctx) {
+  ctx.transfer_from_payer(treasury_, cfg_.send_fee_lamports);
+  fees_collected_ += cfg_.send_fee_lamports;
+}
+
+void GuestContract::record_sent_packet(host::TxContext& ctx, const ibc::Packet& packet) {
+  pending_packets_.push_back(packet);
+  Encoder ev;
+  ev.u64(packet.sequence);
+  ctx.emit_event(kEvPacketSent, ev.take());
+}
+
+void GuestContract::op_send_packet(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(kCuSendPacket);
+  collect_send_fee(ctx);
+  const ibc::PortId port = d.str();
+  const ibc::ChannelId channel = d.str();
+  Bytes data = d.bytes();
+  const ibc::Height timeout_height = d.u64();
+  const auto timeout_ts = static_cast<double>(d.u64()) / 1e6;
+  try {
+    const ibc::Packet packet =
+        module_.send_packet(port, channel, std::move(data), timeout_height, timeout_ts);
+    record_sent_packet(ctx, packet);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  }
+}
+
+void GuestContract::op_send_transfer(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(kCuSendPacket);
+  collect_send_fee(ctx);
+  const ibc::ChannelId channel = d.str();
+  const std::string denom = d.str();
+  const std::uint64_t amount = d.u64();
+  const std::string sender = d.str();
+  const std::string receiver = d.str();
+  const ibc::Height timeout_height = d.u64();
+  const auto timeout_ts = static_cast<double>(d.u64()) / 1e6;
+  try {
+    const ibc::Packet packet = transfer_.send_transfer(channel, denom, amount, sender,
+                                                       receiver, timeout_height, timeout_ts);
+    record_sent_packet(ctx, packet);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  }
+}
+
+Bytes GuestContract::take_buffer(host::TxContext& ctx, std::uint64_t buffer_id) {
+  const auto key = std::make_pair(ctx.payer().hex(), buffer_id);
+  const auto it = buffers_.find(key);
+  if (it == buffers_.end()) throw host::TxError("guest: no such staging buffer");
+  Bytes data = std::move(it->second);
+  buffers_.erase(it);
+  return data;
+}
+
+void GuestContract::op_chunk_upload(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(2'000);
+  const std::uint64_t buffer_id = d.u64();
+  const std::uint32_t offset = d.u32();
+  const Bytes data = d.bytes();
+  // A hostile offset must not balloon the staging buffer past what the
+  // account could ever hold.
+  if (offset + data.size() > host::kMaxAccountSize)
+    throw host::TxError("chunk_upload: buffer exceeds account size");
+  Bytes& buf = buffers_[{ctx.payer().hex(), buffer_id}];
+  if (buf.size() < offset + data.size()) buf.resize(offset + data.size());
+  std::copy(data.begin(), data.end(), buf.begin() + offset);
+}
+
+void GuestContract::op_receive_packet(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  Decoder b(blob);
+  const ibc::Packet packet = ibc::Packet::decode(b.bytes());
+  const ibc::Height proof_height = b.u64();
+  const trie::Proof proof = trie::Proof::deserialize(b.bytes());
+  b.expect_done();
+
+  // Proof verification is a chain of sha256 syscalls on Solana.
+  ctx.consume_cu(kCuRecvBase + 2 * static_cast<std::uint64_t>(proof.byte_size()));
+
+  try {
+    const ibc::Acknowledgement ack = module_.recv_packet(
+        packet, proof_height, proof, head().header.height + 1, ctx.time());
+    ack_log_[{packet.dest_port, packet.dest_channel, packet.sequence}] = ack.encode();
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  } catch (const trie::TrieError& e) {
+    throw host::TxError(e.what());
+  }
+  Encoder ev;
+  ev.u64(packet.sequence);
+  ctx.emit_event(kEvPacketReceived, ev.take());
+}
+
+void GuestContract::op_acknowledge_packet(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  Decoder b(blob);
+  const ibc::Packet packet = ibc::Packet::decode(b.bytes());
+  const ibc::Acknowledgement ack = ibc::Acknowledgement::decode(b.bytes());
+  const ibc::Height proof_height = b.u64();
+  const trie::Proof proof = trie::Proof::deserialize(b.bytes());
+  b.expect_done();
+  ctx.consume_cu(kCuRecvBase + 2 * static_cast<std::uint64_t>(proof.byte_size()));
+  try {
+    module_.acknowledge_packet(packet, ack, proof_height, proof);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  } catch (const trie::TrieError& e) {
+    throw host::TxError(e.what());
+  }
+}
+
+void GuestContract::op_timeout_packet(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  Decoder b(blob);
+  const ibc::Packet packet = ibc::Packet::decode(b.bytes());
+  const ibc::Height proof_height = b.u64();
+  const trie::Proof proof = trie::Proof::deserialize(b.bytes());
+  b.expect_done();
+  ctx.consume_cu(kCuRecvBase + 2 * static_cast<std::uint64_t>(proof.byte_size()));
+  try {
+    module_.timeout_packet(packet, proof_height, proof);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  } catch (const trie::TrieError& e) {
+    throw host::TxError(e.what());
+  }
+}
+
+// --- chunked light client updates -------------------------------------------------
+
+void GuestContract::op_begin_client_update(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  ctx.consume_cu(10'000 + blob.size());
+  Decoder b(blob);
+  PendingUpdate upd;
+  upd.header = ibc::QuorumHeader::decode(b.bytes());
+  if (b.boolean()) upd.next_validators = ibc::ValidatorSet::decode(b.bytes());
+  b.expect_done();
+
+  if (upd.header.chain_id != cfg_.counterparty_chain_id)
+    throw host::TxError("client_update: wrong chain id");
+  if (upd.header.height <= counterparty_client_->latest_height())
+    throw host::TxError("client_update: stale header");
+  if (upd.header.validator_set_hash != counterparty_client_->validators().hash())
+    throw host::TxError("client_update: unknown validator set");
+
+  upd.digest = upd.header.signing_digest();
+  pending_update_ = std::move(upd);
+}
+
+void GuestContract::op_verify_update_signatures(host::TxContext& ctx) {
+  if (!pending_update_) throw host::TxError("client_update: no pending update");
+  ctx.consume_cu(5'000);
+  const ibc::ValidatorSet& set = counterparty_client_->validators();
+  std::size_t matched = 0;
+  for (const auto& sv : ctx.verified_signatures()) {
+    if (sv.message.size() != 32 || !ct_equal(sv.message, pending_update_->digest.view()))
+      continue;
+    const auto stake = set.stake_of(sv.pubkey);
+    if (!stake) continue;
+    if (!pending_update_->seen.insert(sv.pubkey).second) continue;
+    pending_update_->verified_power += *stake;
+    ++matched;
+  }
+  if (matched == 0)
+    throw host::TxError("client_update: no applicable signatures in transaction");
+}
+
+void GuestContract::op_finish_client_update(host::TxContext& ctx) {
+  if (!pending_update_) throw host::TxError("client_update: no pending update");
+  ctx.consume_cu(10'000);
+  // §VI-C: rate limit how fast the light client may advance, bounding
+  // the damage window if the counterparty chain is compromised.
+  if (cfg_.client_update_min_interval_s > 0 &&
+      ctx.time() - last_client_update_time_ < cfg_.client_update_min_interval_s)
+    throw host::TxError("client_update: rate limited");
+  const ibc::ValidatorSet& set = counterparty_client_->validators();
+  if (pending_update_->verified_power < set.quorum_stake())
+    throw host::TxError("client_update: quorum not reached");
+  ibc::SignedQuorumHeader sh;
+  sh.header = pending_update_->header;
+  sh.next_validators = pending_update_->next_validators;
+  try {
+    counterparty_client_->accept_verified(sh);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  }
+  module_.refresh_client_state(counterparty_client_id_);
+  last_client_update_time_ = ctx.time();
+  pending_update_.reset();
+}
+
+// --- staking / slashing -------------------------------------------------------------
+
+void GuestContract::op_stake(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(kCuStakeOps);
+  const std::uint64_t lamports = d.u64();
+  if (lamports == 0) throw host::TxError("stake: zero amount");
+  if (banned_.count(ctx.payer()) > 0) throw host::TxError("stake: validator banned");
+  ctx.transfer_from_payer(vault_, lamports);
+  candidates_[ctx.payer()].stake += lamports;
+}
+
+void GuestContract::op_unstake(host::TxContext& ctx, Decoder& d) {
+  ctx.consume_cu(kCuStakeOps);
+  const std::uint64_t lamports = d.u64();
+  auto it = candidates_.find(ctx.payer());
+  if (it == candidates_.end() || it->second.stake < lamports)
+    throw host::TxError("unstake: insufficient stake");
+  it->second.stake -= lamports;
+  if (it->second.stake == 0) candidates_.erase(it);
+  withdrawals_.push_back(
+      {ctx.payer(), lamports, ctx.time() + cfg_.unstake_hold_seconds});
+}
+
+void GuestContract::op_withdraw_stake(host::TxContext& ctx) {
+  ctx.consume_cu(kCuStakeOps);
+  std::uint64_t total = 0;
+  for (auto it = withdrawals_.begin(); it != withdrawals_.end();) {
+    if (it->who == ctx.payer() && it->available_at <= ctx.time()) {
+      total += it->lamports;
+      it = withdrawals_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (total == 0) throw host::TxError("withdraw: nothing withdrawable yet");
+  ctx.transfer(vault_, ctx.payer(), total);
+}
+
+void GuestContract::slash(host::TxContext& ctx, const crypto::PublicKey& offender) {
+  const auto it = candidates_.find(offender);
+  const std::uint64_t stake = it == candidates_.end() ? 0 : it->second.stake;
+  if (it != candidates_.end()) candidates_.erase(it);
+  banned_.insert(offender);
+  // Genesis validators' stake may not be vault-backed in tests;
+  // transfer what the vault actually holds.
+  const std::uint64_t backed = std::min<std::uint64_t>(stake, ctx.balance(vault_));
+  if (backed > 0) {
+    const auto reward = static_cast<std::uint64_t>(static_cast<double>(backed) *
+                                                   cfg_.slash_reporter_fraction);
+    if (reward > 0) ctx.transfer(vault_, ctx.payer(), reward);
+    if (backed > reward) ctx.transfer(vault_, burn_, backed - reward);
+  }
+  Encoder ev;
+  ev.raw(offender.view());
+  ctx.emit_event(kEvSlashed, ev.take());
+}
+
+void GuestContract::op_submit_evidence(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  ctx.consume_cu(20'000 + blob.size());
+  Decoder b(blob);
+  const Bytes key_raw = b.raw(32);
+  crypto::ed25519::PublicKeyBytes pk;
+  std::copy(key_raw.begin(), key_raw.end(), pk.begin());
+  const crypto::PublicKey offender(pk);
+
+  const std::uint8_t count = b.u8();
+  if (count != 1 && count != 2) throw host::TxError("evidence: need 1 or 2 headers");
+  std::vector<ibc::QuorumHeader> headers;
+  for (std::uint8_t i = 0; i < count; ++i)
+    headers.push_back(ibc::QuorumHeader::decode(b.bytes()));
+  b.expect_done();
+
+  // Each header must carry a pre-compile-verified signature by the
+  // offender over its digest.
+  for (const auto& header : headers) {
+    if (header.chain_id != cfg_.chain_id)
+      throw host::TxError("evidence: header from another chain");
+    const Hash32 digest = header.signing_digest();
+    bool found = false;
+    for (const auto& sv : ctx.verified_signatures()) {
+      if (sv.pubkey == offender && sv.message.size() == 32 &&
+          ct_equal(sv.message, digest.view())) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw host::TxError("evidence: missing verified signature");
+  }
+
+  bool misbehaved = false;
+  if (count == 2) {
+    // Two different blocks signed at the same height (§III-C case 1).
+    misbehaved = headers[0].height == headers[1].height &&
+                 headers[0].signing_digest() != headers[1].signing_digest();
+  } else {
+    const ibc::QuorumHeader& h = headers[0];
+    if (h.height >= blocks_.size()) {
+      // Signed a block beyond the chain head (case 2).
+      misbehaved = true;
+    } else {
+      // Signed a block that differs from the canonical one (case 3).
+      misbehaved = h.signing_digest() != blocks_[h.height].hash();
+    }
+  }
+  if (!misbehaved) throw host::TxError("evidence: no misbehaviour proven");
+  slash(ctx, offender);
+}
+
+// --- handshake ------------------------------------------------------------------------
+
+void GuestContract::op_handshake(host::TxContext& ctx, Decoder& d) {
+  const Bytes blob = take_buffer(ctx, d.u64());
+  ctx.consume_cu(40'000 + blob.size());
+  Decoder b(blob);
+  const auto op = static_cast<HandshakeOp>(b.u8());
+  try {
+    switch (op) {
+      case HandshakeOp::kConnOpenInit: {
+        const ibc::ClientId client = b.str();
+        const ibc::ClientId counterparty_client = b.str();
+        b.expect_done();
+        const ibc::ConnectionId id = module_.conn_open_init(client, counterparty_client);
+        ctx.emit_event("ConnOpenInit", bytes_of(id));
+        return;
+      }
+      case HandshakeOp::kConnOpenTry: {
+        const ibc::ClientId client = b.str();
+        const ibc::ClientId counterparty_client = b.str();
+        const ibc::ConnectionId counterparty_conn = b.str();
+        const auto end = ibc::ConnectionEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        std::optional<ibc::ClientStateCommitment> client_state;
+        trie::Proof client_proof;
+        if (b.boolean()) {
+          client_state = ibc::ClientStateCommitment::decode(b.bytes());
+          client_proof = trie::Proof::deserialize(b.bytes());
+        }
+        b.expect_done();
+        const ibc::ConnectionId id =
+            module_.conn_open_try(client, counterparty_client, counterparty_conn, end,
+                                  h, proof, client_state, client_proof);
+        ctx.emit_event("ConnOpenTry", bytes_of(id));
+        return;
+      }
+      case HandshakeOp::kConnOpenAck: {
+        const ibc::ConnectionId conn = b.str();
+        const ibc::ConnectionId counterparty_conn = b.str();
+        const auto end = ibc::ConnectionEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        std::optional<ibc::ClientStateCommitment> client_state;
+        trie::Proof client_proof;
+        if (b.boolean()) {
+          client_state = ibc::ClientStateCommitment::decode(b.bytes());
+          client_proof = trie::Proof::deserialize(b.bytes());
+        }
+        b.expect_done();
+        module_.conn_open_ack(conn, counterparty_conn, end, h, proof, client_state,
+                              client_proof);
+        return;
+      }
+      case HandshakeOp::kConnOpenConfirm: {
+        const ibc::ConnectionId conn = b.str();
+        const auto end = ibc::ConnectionEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        b.expect_done();
+        module_.conn_open_confirm(conn, end, h, proof);
+        return;
+      }
+      case HandshakeOp::kChanOpenInit: {
+        const ibc::PortId port = b.str();
+        const ibc::ConnectionId conn = b.str();
+        const ibc::PortId cp_port = b.str();
+        const auto order = static_cast<ibc::ChannelOrder>(b.u8());
+        b.expect_done();
+        const ibc::ChannelId id = module_.chan_open_init(port, conn, cp_port, order);
+        ctx.emit_event("ChanOpenInit", bytes_of(id));
+        return;
+      }
+      case HandshakeOp::kChanOpenTry: {
+        const ibc::PortId port = b.str();
+        const ibc::ConnectionId conn = b.str();
+        const ibc::PortId cp_port = b.str();
+        const ibc::ChannelId cp_chan = b.str();
+        const auto end = ibc::ChannelEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        const auto order = static_cast<ibc::ChannelOrder>(b.u8());
+        b.expect_done();
+        const ibc::ChannelId id =
+            module_.chan_open_try(port, conn, cp_port, cp_chan, end, h, proof, order);
+        ctx.emit_event("ChanOpenTry", bytes_of(id));
+        return;
+      }
+      case HandshakeOp::kChanOpenAck: {
+        const ibc::PortId port = b.str();
+        const ibc::ChannelId chan = b.str();
+        const ibc::ChannelId cp_chan = b.str();
+        const auto end = ibc::ChannelEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        b.expect_done();
+        module_.chan_open_ack(port, chan, cp_chan, end, h, proof);
+        return;
+      }
+      case HandshakeOp::kChanOpenConfirm: {
+        const ibc::PortId port = b.str();
+        const ibc::ChannelId chan = b.str();
+        const auto end = ibc::ChannelEnd::decode(b.bytes());
+        const ibc::Height h = b.u64();
+        const auto proof = trie::Proof::deserialize(b.bytes());
+        b.expect_done();
+        module_.chan_open_confirm(port, chan, end, h, proof);
+        return;
+      }
+    }
+    throw host::TxError("handshake: unknown sub-operation");
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  }
+}
+
+void GuestContract::op_freeze_client(host::TxContext& ctx, Decoder& d) {
+  // §VI-C: anyone presenting two quorum-signed counterparty headers at
+  // the same height freezes the light client, halting the bridge until
+  // operators react.
+  const Bytes blob = take_buffer(ctx, d.u64());
+  ctx.consume_cu(50'000 + blob.size());
+  Decoder b(blob);
+  const auto ha = ibc::SignedQuorumHeader::decode(b.bytes());
+  const auto hb = ibc::SignedQuorumHeader::decode(b.bytes());
+  b.expect_done();
+  try {
+    counterparty_client_->submit_misbehaviour(ha, hb);
+  } catch (const ibc::IbcError& e) {
+    throw host::TxError(e.what());
+  }
+  ctx.emit_event("ClientFrozen", {});
+}
+
+void GuestContract::op_self_destruct(host::TxContext& ctx) {
+  // §VI-A: mitigation for the last-validator bank run — once the chain
+  // has demonstrably stalled, all staked assets are released pro rata
+  // so no one is trapped as "the last validator".
+  ctx.consume_cu(30'000);
+  if (cfg_.self_destruct_after_s <= 0)
+    throw host::TxError("self_destruct: not enabled");
+  const double stalled_for = ctx.time() - head().header.timestamp;
+  if (stalled_for < cfg_.self_destruct_after_s)
+    throw host::TxError("self_destruct: chain is not stalled long enough");
+
+  // Release stakes (active candidates + queued withdrawals).
+  std::uint64_t total = 0;
+  for (const auto& [key, cand] : candidates_) total += cand.stake;
+  for (const auto& w : withdrawals_) total += w.lamports;
+  const std::uint64_t vault_funds = ctx.balance(vault_);
+  for (const auto& [key, cand] : candidates_) {
+    const std::uint64_t share = total == 0 ? 0 : vault_funds * cand.stake / total;
+    if (share > 0) ctx.transfer(vault_, key, share);
+  }
+  for (const auto& w : withdrawals_) {
+    const std::uint64_t share = total == 0 ? 0 : vault_funds * w.lamports / total;
+    if (share > 0) ctx.transfer(vault_, w.who, share);
+  }
+  candidates_.clear();
+  withdrawals_.clear();
+  terminated_ = true;
+  ctx.emit_event("SelfDestructed", {});
+}
+
+// --- introspection ----------------------------------------------------------------------
+
+const GuestBlock& GuestContract::block_at(ibc::Height h) const {
+  if (h >= blocks_.size())
+    throw std::out_of_range("guest: no block at height " + std::to_string(h));
+  return blocks_[h];
+}
+
+trie::Proof GuestContract::prove_at(ibc::Height h, ByteView key) const {
+  const auto it = snapshots_.find(h);
+  if (it == snapshots_.end())
+    throw std::out_of_range("guest: no snapshot at height " + std::to_string(h));
+  return it->second.prove(key);
+}
+
+std::optional<ibc::Acknowledgement> GuestContract::ack_log(
+    const ibc::PortId& port, const ibc::ChannelId& channel, std::uint64_t seq) const {
+  const auto it = ack_log_.find({port, channel, seq});
+  if (it == ack_log_.end()) return std::nullopt;
+  return ibc::Acknowledgement::decode(it->second);
+}
+
+std::uint64_t GuestContract::stake_of(const crypto::PublicKey& validator) const {
+  const auto it = candidates_.find(validator);
+  return it == candidates_.end() ? 0 : it->second.stake;
+}
+
+bool GuestContract::is_banned(const crypto::PublicKey& validator) const {
+  return banned_.count(validator) > 0;
+}
+
+std::size_t GuestContract::account_bytes() const {
+  std::size_t n = store_.stats().byte_size;
+  for (const auto& b : blocks_) n += b.byte_size();
+  for (const auto& [key, buf] : buffers_) n += buf.size() + 48;
+  n += candidates_.size() * 48 + withdrawals_.size() * 56;
+  return n;
+}
+
+}  // namespace bmg::guest

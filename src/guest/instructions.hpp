@@ -1,0 +1,101 @@
+// Instruction encoding for the Guest Contract.
+//
+// Everything an off-chain actor (client, validator, relayer,
+// fisherman) does goes through these host-chain instructions.  Large
+// payloads (light client updates, packets with proofs, evidence) do
+// not fit in one 1232-byte host transaction, so they are first
+// uploaded in chunks into a per-payer staging buffer and then
+// consumed by the operation that references the buffer — the
+// mechanism the paper's implementation uses on Solana (§IV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "host/transaction.hpp"
+#include "ibc/types.hpp"
+
+namespace bmg::guest {
+
+/// Program name under which the Guest Contract registers on the host.
+inline constexpr const char* kProgramName = "guest";
+
+enum class Op : std::uint8_t {
+  kGenerateBlock = 1,
+  kSign = 2,
+  kSendPacket = 3,
+  kChunkUpload = 4,
+  kReceivePacket = 5,
+  kBeginClientUpdate = 6,
+  kVerifyUpdateSignatures = 7,
+  kFinishClientUpdate = 8,
+  kStake = 9,
+  kUnstake = 10,
+  kWithdrawStake = 11,
+  kSubmitEvidence = 12,
+  kHandshake = 13,
+  kSendTransfer = 14,
+  kAcknowledgePacket = 15,
+  kTimeoutPacket = 16,
+  /// §VI-C: freeze the counterparty light client with fork evidence.
+  kFreezeClient = 17,
+  /// §VI-A: wind the guest chain down after prolonged stall.
+  kSelfDestruct = 18,
+};
+
+enum class HandshakeOp : std::uint8_t {
+  kConnOpenInit = 1,
+  kConnOpenTry = 2,
+  kConnOpenAck = 3,
+  kConnOpenConfirm = 4,
+  kChanOpenInit = 5,
+  kChanOpenTry = 6,
+  kChanOpenAck = 7,
+  kChanOpenConfirm = 8,
+};
+
+namespace ix {
+
+[[nodiscard]] host::Instruction generate_block();
+[[nodiscard]] host::Instruction sign_block(ibc::Height height,
+                                           const crypto::PublicKey& validator);
+[[nodiscard]] host::Instruction send_packet(const ibc::PortId& port,
+                                            const ibc::ChannelId& channel, ByteView data,
+                                            ibc::Height timeout_height,
+                                            ibc::Timestamp timeout_timestamp);
+[[nodiscard]] host::Instruction send_transfer(const ibc::ChannelId& channel,
+                                              const std::string& denom,
+                                              std::uint64_t amount,
+                                              const std::string& sender,
+                                              const std::string& receiver,
+                                              ibc::Height timeout_height,
+                                              ibc::Timestamp timeout_timestamp);
+[[nodiscard]] host::Instruction chunk_upload(std::uint64_t buffer_id, std::uint32_t offset,
+                                             ByteView data);
+[[nodiscard]] host::Instruction receive_packet(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction acknowledge_packet(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction timeout_packet(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction begin_client_update(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction verify_update_signatures();
+[[nodiscard]] host::Instruction finish_client_update();
+[[nodiscard]] host::Instruction stake(std::uint64_t lamports);
+[[nodiscard]] host::Instruction unstake(std::uint64_t lamports);
+[[nodiscard]] host::Instruction withdraw_stake();
+[[nodiscard]] host::Instruction submit_evidence(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction handshake(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction freeze_client(std::uint64_t buffer_id);
+[[nodiscard]] host::Instruction self_destruct();
+
+/// Splits `blob` into chunks that fit a host transaction alongside the
+/// ChunkUpload framing.  `max_tx_size` defaults to Solana's limit.
+[[nodiscard]] std::vector<Bytes> chunk_payload(
+    ByteView blob, std::size_t max_tx_size = host::kMaxTransactionSize);
+
+/// Bytes of buffer payload that fit in one chunk-upload transaction.
+[[nodiscard]] std::size_t max_chunk_bytes(
+    std::size_t max_tx_size = host::kMaxTransactionSize);
+
+}  // namespace ix
+}  // namespace bmg::guest

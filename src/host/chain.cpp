@@ -1,0 +1,269 @@
+#include "host/chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/sha256.hpp"
+
+namespace bmg::host {
+
+Hash32 TxContext::sha256(ByteView data) {
+  consume_cu(kCuSha256Base + kCuSha256PerByte * data.size());
+  return crypto::Sha256::digest(data);
+}
+
+void TxContext::emit_event(std::string name, Bytes data) {
+  chain_.tx_event_buffer_.push_back(
+      Event{slot_, time_, /*program=*/"", std::move(name), std::move(data)});
+}
+
+std::uint64_t TxContext::balance(const crypto::PublicKey& who) const {
+  return chain_.balance(who);
+}
+
+void TxContext::transfer(const crypto::PublicKey& from, const crypto::PublicKey& to,
+                         std::uint64_t lamports) {
+  std::uint64_t already_spent = 0;
+  for (const auto& t : chain_.tx_transfer_buffer_)
+    if (std::get<0>(t) == from) already_spent += std::get<2>(t);
+  if (chain_.balance(from) < already_spent + lamports)
+    throw TxError("transfer: insufficient funds");
+  chain_.tx_transfer_buffer_.emplace_back(from, to, lamports);
+}
+
+void TxContext::transfer_from_payer(const crypto::PublicKey& to, std::uint64_t lamports) {
+  transfer(tx_.payer, to, lamports);
+}
+
+Chain::Chain(sim::Simulation& sim, Rng rng, ChainConfig cfg)
+    : sim_(sim), rng_(rng), cfg_(cfg) {}
+
+void Chain::register_program(const std::string& name, std::unique_ptr<Program> program) {
+  programs_[name] = std::move(program);
+}
+
+Program& Chain::program(const std::string& name) {
+  const auto it = programs_.find(name);
+  if (it == programs_.end()) throw std::out_of_range("no such program: " + name);
+  return *it->second;
+}
+
+void Chain::airdrop(const crypto::PublicKey& who, std::uint64_t lamports) {
+  balances_[who] += lamports;
+}
+
+std::uint64_t Chain::balance(const crypto::PublicKey& who) const {
+  const auto it = balances_.find(who);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+void Chain::charge_rent(const crypto::PublicKey& payer, std::size_t bytes) {
+  const std::uint64_t deposit = kRentLamportsPerByte * bytes;
+  auto& bal = balances_[payer];
+  if (bal < deposit) throw std::runtime_error("charge_rent: insufficient funds");
+  bal -= deposit;
+  rent_deposits_[payer] += deposit;
+}
+
+std::uint64_t Chain::rent_deposits(const crypto::PublicKey& payer) const {
+  const auto it = rent_deposits_.find(payer);
+  return it == rent_deposits_.end() ? 0 : it->second;
+}
+
+double Chain::time() const noexcept { return sim_.now(); }
+
+void Chain::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
+}
+
+double Chain::inclusion_probability(const FeePolicy& fee) const {
+  switch (fee.kind) {
+    case FeePolicy::Kind::kPriority:
+      return cfg_.p_include_priority;
+    case FeePolicy::Kind::kBundle:
+      return cfg_.p_include_bundle;
+    case FeePolicy::Kind::kBase:
+    default:
+      return cfg_.p_include_base;
+  }
+}
+
+void Chain::submit(Transaction tx, ResultHandler on_result) {
+  if (tx.wire_size() > cfg_.max_tx_size) {
+    TxResult res;
+    res.executed = false;
+    res.success = false;
+    res.error = "transaction too large (" + std::to_string(tx.wire_size()) + " > " +
+                std::to_string(cfg_.max_tx_size) + " bytes)";
+    res.label = tx.label;
+    if (on_result)
+      sim_.after(0, [on_result = std::move(on_result), res] { on_result(res); });
+    return;
+  }
+
+  // First slot at which the transaction is visible to block producers.
+  const double visible_at = sim_.now() + cfg_.mempool_latency_s;
+  const auto first_slot =
+      static_cast<std::uint64_t>(std::ceil(visible_at / cfg_.slot_seconds));
+
+  // Geometric inclusion delay driven by the fee policy.
+  const double p = inclusion_probability(tx.fee);
+  std::uint64_t extra = 0;
+  while (!rng_.chance(p) && extra <= kTxExpirySlots) ++extra;
+
+  if (extra > kTxExpirySlots) {
+    ++dropped_;
+    TxResult res;
+    res.executed = false;
+    res.success = false;
+    res.error = "transaction expired (blockhash too old)";
+    res.label = tx.label;
+    const double expiry_time =
+        static_cast<double>(first_slot + kTxExpirySlots) * cfg_.slot_seconds;
+    if (on_result)
+      sim_.at(expiry_time, [on_result = std::move(on_result), res] { on_result(res); });
+    return;
+  }
+
+  const std::uint64_t target = std::max(first_slot + extra, slot_ + 1);
+  pending_[target].push_back(PendingTx{std::move(tx), std::move(on_result)});
+}
+
+void Chain::on_slot() {
+  ++slot_;
+
+  const auto it = pending_.find(slot_);
+  if (it != pending_.end()) {
+    std::vector<PendingTx> batch = std::move(it->second);
+    pending_.erase(it);
+
+    // Block producer ordering: bundles first, then priority fee by
+    // price, then base-fee FIFO.
+    std::stable_sort(batch.begin(), batch.end(), [](const PendingTx& a, const PendingTx& b) {
+      auto rank = [](const FeePolicy& f) {
+        switch (f.kind) {
+          case FeePolicy::Kind::kBundle:
+            return 0;
+          case FeePolicy::Kind::kPriority:
+            return 1;
+          default:
+            return 2;
+        }
+      };
+      const int ra = rank(a.tx.fee), rb = rank(b.tx.fee);
+      if (ra != rb) return ra < rb;
+      return a.tx.fee.cu_price_microlamports > b.tx.fee.cu_price_microlamports;
+    });
+
+    std::uint64_t block_cu = 0;
+    for (auto& ptx : batch) {
+      if (block_cu >= cfg_.block_compute_units) {
+        // Block full: spill to the next slot.
+        pending_[slot_ + 1].push_back(std::move(ptx));
+        continue;
+      }
+      execute_tx(ptx);
+      block_cu += cfg_.max_compute_units;  // conservative per-tx reservation
+    }
+  }
+
+  sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
+}
+
+FeeBreakdown compute_fee(const Transaction& tx, std::uint64_t cu_used) {
+  FeeBreakdown fee;
+  fee.base_lamports =
+      kLamportsPerSignature * (1 + static_cast<std::uint64_t>(tx.sig_verifies.size()));
+  if (tx.fee.kind == FeePolicy::Kind::kPriority)
+    fee.priority_lamports = tx.fee.cu_price_microlamports * cu_used / 1'000'000;
+  if (tx.fee.kind == FeePolicy::Kind::kBundle) fee.tip_lamports = tx.fee.tip_lamports;
+  return fee;
+}
+
+void Chain::execute_tx(PendingTx& ptx) {
+  const Transaction& tx = ptx.tx;
+  TxResult res;
+  res.executed = true;
+  res.slot = slot_;
+  res.time = sim_.now();
+  res.label = tx.label;
+
+  tx_event_buffer_.clear();
+  tx_transfer_buffer_.clear();
+
+  TxContext ctx(*this, tx, slot_, sim_.now(), cfg_.max_compute_units);
+  std::string touched_program;
+  try {
+    // Ed25519 pre-compile runs before the programs.
+    ctx.consume_cu(kCuEd25519PerSig * tx.sig_verifies.size());
+    for (const auto& sv : tx.sig_verifies) {
+      if (!crypto::verify(sv.pubkey, sv.message, sv.signature))
+        throw TxError("ed25519 pre-compile: invalid signature");
+    }
+    for (const auto& ins : tx.instructions) {
+      ctx.consume_cu(kCuInstructionBase);
+      Program& prog = program(ins.program);
+      touched_program = ins.program;
+      prog.execute(ctx, ins.data);
+      if (prog.account_bytes() > cfg_.max_account_size) throw AccountSizeExceeded();
+    }
+    res.success = true;
+  } catch (const TxError& e) {
+    res.success = false;
+    res.error = e.what();
+  } catch (const std::exception& e) {
+    res.success = false;
+    res.error = std::string("program panic: ") + e.what();
+  }
+
+  res.cu_used = ctx.cu_used();
+  res.fee = compute_fee(tx, ctx.cu_used());
+
+  // Charge fees (saturating — a payer going broke is an operator
+  // problem, not a simulator crash).
+  auto& bal = balances_[tx.payer];
+  bal -= std::min(bal, res.fee.total());
+  auto& stats = payer_stats_[tx.payer];
+  stats.fees_lamports += res.fee.total();
+  stats.tx_count += 1;
+  stats.sig_count += 1 + tx.sig_verifies.size();
+
+  if (res.success) {
+    ++executed_;
+    // Apply buffered transfers, then flush events to subscribers.
+    for (const auto& [from, to, amount] : tx_transfer_buffer_) {
+      auto& src = balances_[from];
+      const std::uint64_t moved = std::min(src, amount);
+      src -= moved;
+      balances_[to] += moved;
+    }
+    std::vector<Event> events = std::move(tx_event_buffer_);
+    tx_event_buffer_.clear();
+    for (Event& ev : events) {
+      ev.program = touched_program;
+      const auto sub = subscribers_.find(ev.program);
+      if (sub != subscribers_.end())
+        for (const auto& handler : sub->second) handler(ev);
+    }
+  } else {
+    ++failed_;
+    tx_event_buffer_.clear();
+    tx_transfer_buffer_.clear();
+  }
+
+  if (ptx.on_result) ptx.on_result(res);
+}
+
+void Chain::subscribe(const std::string& program, EventHandler handler) {
+  subscribers_[program].push_back(std::move(handler));
+}
+
+const Chain::PayerStats& Chain::payer_stats(const crypto::PublicKey& who) const {
+  static const PayerStats kEmpty{};
+  const auto it = payer_stats_.find(who);
+  return it == payer_stats_.end() ? kEmpty : it->second;
+}
+
+}  // namespace bmg::host

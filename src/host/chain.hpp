@@ -1,0 +1,136 @@
+// The host blockchain runtime: slots, mempool, fee market, programs,
+// accounts and events.  A deliberately Solana-shaped simulator — it
+// enforces the transaction-size, compute-budget and account-size
+// limits that the paper's implementation had to engineer around, and
+// implements the three fee policies the evaluation compares.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+#include "host/program.hpp"
+#include "host/transaction.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bmg::host {
+
+/// On-chain event emitted by a program.
+struct Event {
+  std::uint64_t slot = 0;
+  double time = 0;
+  std::string program;
+  std::string name;
+  Bytes data;
+};
+
+/// Tunables of the inclusion model: probability a pending transaction
+/// is picked up in any given slot, per fee policy.  These express how
+/// congested the host chain is.
+struct ChainConfig {
+  double p_include_base = 0.55;
+  double p_include_priority = 0.92;
+  double p_include_bundle = 0.97;
+  /// Network propagation delay from submit to mempool visibility.
+  double mempool_latency_s = 0.15;
+
+  // Host-chain parameters (defaults are Solana's — §IV).  The paper's
+  // §VI-D argues the guest design ports to other hosts (TRON, NEAR);
+  // these knobs let the same contract run under different constraints.
+  std::size_t max_tx_size = kMaxTransactionSize;
+  std::uint64_t max_compute_units = kMaxComputeUnits;
+  std::uint64_t block_compute_units = kBlockComputeUnits;
+  double slot_seconds = kSlotSeconds;
+  std::size_t max_account_size = kMaxAccountSize;
+};
+
+class Chain {
+ public:
+  using EventHandler = std::function<void(const Event&)>;
+  using ResultHandler = std::function<void(const TxResult&)>;
+
+  Chain(sim::Simulation& sim, Rng rng, ChainConfig cfg = {});
+
+  // -- setup ----------------------------------------------------------
+  void register_program(const std::string& name, std::unique_ptr<Program> program);
+  [[nodiscard]] Program& program(const std::string& name);
+  template <typename T>
+  [[nodiscard]] T& program_as(const std::string& name) {
+    return dynamic_cast<T&>(program(name));
+  }
+
+  void airdrop(const crypto::PublicKey& who, std::uint64_t lamports);
+  [[nodiscard]] std::uint64_t balance(const crypto::PublicKey& who) const;
+
+  /// Charges the rent-exempt deposit for `bytes` of account data from
+  /// `payer` and records it as recoverable (§V-D).
+  void charge_rent(const crypto::PublicKey& payer, std::size_t bytes);
+  [[nodiscard]] std::uint64_t rent_deposits(const crypto::PublicKey& payer) const;
+
+  /// Begins slot production (call once after setup).
+  void start();
+
+  // -- usage ----------------------------------------------------------
+  /// Submits a transaction.  The result handler fires when the tx is
+  /// executed or dropped.  Oversized transactions fail immediately.
+  void submit(Transaction tx, ResultHandler on_result = {});
+
+  void subscribe(const std::string& program, EventHandler handler);
+
+  [[nodiscard]] std::uint64_t slot() const noexcept { return slot_; }
+  [[nodiscard]] double time() const noexcept;
+
+  // -- accounting -----------------------------------------------------
+  struct PayerStats {
+    std::uint64_t fees_lamports = 0;
+    std::uint64_t tx_count = 0;
+    std::uint64_t sig_count = 0;  ///< tx signature + pre-compile sigs
+  };
+  [[nodiscard]] const PayerStats& payer_stats(const crypto::PublicKey& who) const;
+  [[nodiscard]] std::uint64_t executed_count() const noexcept { return executed_; }
+  [[nodiscard]] std::uint64_t failed_count() const noexcept { return failed_; }
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept { return dropped_; }
+
+ private:
+  struct PendingTx {
+    Transaction tx;
+    ResultHandler on_result;
+  };
+
+  void on_slot();
+  void execute_tx(PendingTx& ptx);
+  [[nodiscard]] double inclusion_probability(const FeePolicy& fee) const;
+
+  sim::Simulation& sim_;
+  Rng rng_;
+  ChainConfig cfg_;
+
+  std::unordered_map<std::string, std::unique_ptr<Program>> programs_;
+  std::unordered_map<std::string, std::vector<EventHandler>> subscribers_;
+  std::map<crypto::PublicKey, std::uint64_t> balances_;
+  std::map<crypto::PublicKey, std::uint64_t> rent_deposits_;
+  std::map<crypto::PublicKey, PayerStats> payer_stats_;
+
+  /// Transactions keyed by the slot chosen for their inclusion.
+  std::map<std::uint64_t, std::vector<PendingTx>> pending_;
+
+  std::uint64_t slot_ = 0;
+  bool started_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  friend class TxContext;
+  /// Event/transfer buffers for the transaction being executed.
+  std::vector<Event> tx_event_buffer_;
+  std::vector<std::tuple<crypto::PublicKey, crypto::PublicKey, std::uint64_t>>
+      tx_transfer_buffer_;
+};
+
+}  // namespace bmg::host

@@ -1,0 +1,96 @@
+// Host-chain transactions and fee policies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/keys.hpp"
+#include "host/constants.hpp"
+
+namespace bmg::host {
+
+/// How the submitter pays for inclusion (paper §V-A / §VI-B): the
+/// default base fee, a compute-unit priority fee, or a Jito-style
+/// block-bundle tip.
+struct FeePolicy {
+  enum class Kind { kBase, kPriority, kBundle };
+  Kind kind = Kind::kBase;
+  /// kPriority: price per compute unit, in micro-lamports.
+  std::uint64_t cu_price_microlamports = 0;
+  /// kBundle: flat tip to the block producer, in lamports.
+  std::uint64_t tip_lamports = 0;
+
+  [[nodiscard]] static FeePolicy base() { return {}; }
+  [[nodiscard]] static FeePolicy priority(std::uint64_t microlamports_per_cu) {
+    return {Kind::kPriority, microlamports_per_cu, 0};
+  }
+  [[nodiscard]] static FeePolicy bundle(std::uint64_t tip) {
+    return {Kind::kBundle, 0, tip};
+  }
+};
+
+/// One Ed25519 pre-compile verification request carried by a
+/// transaction.  Solana contracts cannot verify signatures in-contract
+/// (compute budget, §IV); instead the runtime's native Ed25519 program
+/// verifies these and the contract introspects the results.
+struct SigVerify {
+  crypto::PublicKey pubkey;
+  Bytes message;
+  crypto::Signature signature;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return kSigVerifyBytesOverhead + message.size();
+  }
+};
+
+struct Instruction {
+  std::string program;  ///< registered program name
+  Bytes data;           ///< opaque instruction payload
+};
+
+struct Transaction {
+  crypto::PublicKey payer;
+  std::vector<Instruction> instructions;
+  std::vector<SigVerify> sig_verifies;
+  FeePolicy fee;
+  /// Optional human-readable tag for tracing/metrics.
+  std::string label;
+
+  /// Serialized size; must not exceed kMaxTransactionSize.
+  [[nodiscard]] std::size_t wire_size() const {
+    std::size_t n = kTxEnvelopeBytes;
+    for (const auto& ins : instructions) n += 8 + ins.data.size();
+    for (const auto& sv : sig_verifies) n += sv.wire_size();
+    return n;
+  }
+};
+
+/// Fee actually charged for an executed transaction.
+struct FeeBreakdown {
+  std::uint64_t base_lamports = 0;      ///< per-signature base fee
+  std::uint64_t priority_lamports = 0;  ///< compute-unit priority fee
+  std::uint64_t tip_lamports = 0;       ///< bundle tip
+
+  [[nodiscard]] std::uint64_t total() const {
+    return base_lamports + priority_lamports + tip_lamports;
+  }
+  [[nodiscard]] double usd() const { return lamports_to_usd(total()); }
+};
+
+[[nodiscard]] FeeBreakdown compute_fee(const Transaction& tx, std::uint64_t cu_used);
+
+/// Outcome of a transaction delivered back to the submitter.
+struct TxResult {
+  bool executed = false;  ///< false => dropped (expired in mempool)
+  bool success = false;
+  std::string error;
+  std::uint64_t slot = 0;
+  double time = 0;  ///< simulation time of execution
+  std::uint64_t cu_used = 0;
+  FeeBreakdown fee;
+  std::string label;
+};
+
+}  // namespace bmg::host

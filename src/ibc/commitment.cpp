@@ -1,0 +1,44 @@
+#include "ibc/commitment.hpp"
+
+#include "common/codec.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bmg::ibc {
+
+namespace {
+Bytes make_key(ByteView domain, KeyKind kind, std::uint64_t sequence) {
+  const Hash32 tag = crypto::Sha256::digest(domain);
+  Encoder e;
+  e.raw(ByteView{tag.bytes.data(), 8});
+  e.u8(static_cast<std::uint8_t>(kind));
+  e.u64(sequence);
+  return e.take();
+}
+}  // namespace
+
+Bytes packet_key(KeyKind kind, const PortId& port, const ChannelId& channel,
+                 std::uint64_t sequence) {
+  Encoder domain;
+  domain.str(port).str(channel);
+  return make_key(domain.out(), kind, sequence);
+}
+
+Bytes channel_key(const PortId& port, const ChannelId& channel) {
+  Encoder domain;
+  domain.str(port).str(channel);
+  return make_key(domain.out(), KeyKind::kChannel, 0);
+}
+
+Bytes connection_key(const ConnectionId& connection) {
+  Encoder domain;
+  domain.str(connection);
+  return make_key(domain.out(), KeyKind::kConnection, 0);
+}
+
+Bytes client_key(const ClientId& client) {
+  Encoder domain;
+  domain.str(client);
+  return make_key(domain.out(), KeyKind::kClientState, 0);
+}
+
+}  // namespace bmg::ibc

@@ -1,0 +1,43 @@
+// Commitment keys and values stored in a chain's provable store.
+//
+// Keys are fixed-width and *monotonic in the sequence number* within
+// each (port, channel, kind) subspace:
+//
+//   [8-byte subspace tag = sha256(domain)[0..8]] [1-byte kind] [8-byte seq]
+//
+// Fixed width makes the key set prefix-free (a trie requirement), and
+// monotonicity makes sealing safe: as long as the newest entry of a
+// subspace stays unsealed, inserting the next sequence number can
+// never route into a sealed subtree (interval property — see
+// DESIGN.md and trie tests).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "ibc/types.hpp"
+
+namespace bmg::ibc {
+
+enum class KeyKind : std::uint8_t {
+  kPacketCommitment = 0x01,  ///< sender side: packet sent
+  kPacketReceipt = 0x02,     ///< receiver side: packet delivered
+  kPacketAck = 0x03,         ///< receiver side: acknowledgement written
+  kNextSequenceRecv = 0x04,  ///< ordered channels: next expected sequence (seq = 0)
+  kChannel = 0x10,           ///< channel end commitment (seq = 0)
+  kConnection = 0x11,        ///< connection end commitment (seq = 0)
+  kClientState = 0x12,       ///< light client state commitment (seq = 0)
+};
+
+/// Key for per-packet entries.
+[[nodiscard]] Bytes packet_key(KeyKind kind, const PortId& port, const ChannelId& channel,
+                               std::uint64_t sequence);
+
+/// Key for a channel end commitment.
+[[nodiscard]] Bytes channel_key(const PortId& port, const ChannelId& channel);
+
+/// Key for a connection end commitment.
+[[nodiscard]] Bytes connection_key(const ConnectionId& connection);
+
+/// Key for a light client's state commitment.
+[[nodiscard]] Bytes client_key(const ClientId& client);
+
+}  // namespace bmg::ibc

@@ -1,0 +1,87 @@
+#include "ibc/packet.hpp"
+
+#include "common/codec.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bmg::ibc {
+
+Bytes Packet::encode() const {
+  Encoder e;
+  e.u64(sequence)
+      .str(source_port)
+      .str(source_channel)
+      .str(dest_port)
+      .str(dest_channel)
+      .bytes(data)
+      .u64(timeout_height)
+      .u64(static_cast<std::uint64_t>(timeout_timestamp * 1e6 + 0.5));
+  return e.take();
+}
+
+Packet Packet::decode(ByteView wire) {
+  Decoder d(wire);
+  Packet p;
+  p.sequence = d.u64();
+  p.source_port = d.str();
+  p.source_channel = d.str();
+  p.dest_port = d.str();
+  p.dest_channel = d.str();
+  p.data = d.bytes();
+  p.timeout_height = d.u64();
+  p.timeout_timestamp = static_cast<double>(d.u64()) / 1e6;
+  d.expect_done();
+  return p;
+}
+
+Hash32 Packet::commitment() const {
+  const Hash32 data_hash = crypto::Sha256::digest(data);
+  Encoder e;
+  e.u64(timeout_height)
+      .u64(static_cast<std::uint64_t>(timeout_timestamp * 1e6 + 0.5))
+      .hash(data_hash);
+  return crypto::Sha256::digest(e.out());
+}
+
+Bytes Acknowledgement::encode() const {
+  Encoder e;
+  e.boolean(success);
+  if (success) {
+    e.bytes(result);
+  } else {
+    e.str(error);
+  }
+  return e.take();
+}
+
+Acknowledgement Acknowledgement::decode(ByteView wire) {
+  Decoder d(wire);
+  Acknowledgement a;
+  a.success = d.boolean();
+  if (a.success) {
+    a.result = d.bytes();
+  } else {
+    a.error = d.str();
+  }
+  d.expect_done();
+  return a;
+}
+
+Hash32 Acknowledgement::commitment() const {
+  return crypto::Sha256::digest(encode());
+}
+
+Acknowledgement Acknowledgement::ok(Bytes result) {
+  Acknowledgement a;
+  a.success = true;
+  a.result = std::move(result);
+  return a;
+}
+
+Acknowledgement Acknowledgement::fail(std::string reason) {
+  Acknowledgement a;
+  a.success = false;
+  a.error = std::move(reason);
+  return a;
+}
+
+}  // namespace bmg::ibc

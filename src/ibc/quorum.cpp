@@ -1,0 +1,201 @@
+#include "ibc/quorum.hpp"
+
+#include <algorithm>
+
+#include "common/codec.hpp"
+#include "crypto/sha256.hpp"
+
+namespace bmg::ibc {
+
+std::uint64_t ValidatorSet::total_stake() const {
+  std::uint64_t sum = 0;
+  for (const auto& v : validators) sum += v.stake;
+  return sum;
+}
+
+std::uint64_t ValidatorSet::quorum_stake() const { return total_stake() * 2 / 3 + 1; }
+
+std::optional<std::uint64_t> ValidatorSet::stake_of(const crypto::PublicKey& key) const {
+  for (const auto& v : validators)
+    if (v.key == key) return v.stake;
+  return std::nullopt;
+}
+
+bool ValidatorSet::contains(const crypto::PublicKey& key) const {
+  return stake_of(key).has_value();
+}
+
+Bytes ValidatorSet::encode() const {
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(validators.size()));
+  for (const auto& v : validators) {
+    e.raw(v.key.view());
+    e.u64(v.stake);
+  }
+  return e.take();
+}
+
+ValidatorSet ValidatorSet::decode(ByteView wire) {
+  Decoder d(wire);
+  ValidatorSet set;
+  const std::uint32_t n = d.u32();
+  // Bound the allocation by the bytes actually present (40 per entry)
+  // — a hostile length prefix must not trigger a huge reserve.
+  if (n > d.remaining() / 40) throw CodecError("validator set: implausible count");
+  set.validators.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ValidatorInfo v;
+    const Bytes raw = d.raw(32);
+    crypto::ed25519::PublicKeyBytes pk;
+    std::copy(raw.begin(), raw.end(), pk.begin());
+    v.key = crypto::PublicKey(pk);
+    v.stake = d.u64();
+    set.validators.push_back(v);
+  }
+  d.expect_done();
+  return set;
+}
+
+Hash32 ValidatorSet::hash() const { return crypto::Sha256::digest(encode()); }
+
+Bytes QuorumHeader::encode() const {
+  Encoder e;
+  e.str(chain_id)
+      .u64(height)
+      .u64(static_cast<std::uint64_t>(timestamp * 1e6 + 0.5))
+      .hash(state_root)
+      .hash(validator_set_hash)
+      .bytes(extra);
+  return e.take();
+}
+
+QuorumHeader QuorumHeader::decode(ByteView wire) {
+  Decoder d(wire);
+  QuorumHeader h;
+  h.chain_id = d.str();
+  h.height = d.u64();
+  h.timestamp = static_cast<double>(d.u64()) / 1e6;
+  h.state_root = d.hash();
+  h.validator_set_hash = d.hash();
+  h.extra = d.bytes();
+  d.expect_done();
+  return h;
+}
+
+Hash32 QuorumHeader::signing_digest() const { return crypto::Sha256::digest(encode()); }
+
+Bytes SignedQuorumHeader::encode() const {
+  Encoder e;
+  e.bytes(header.encode());
+  e.u32(static_cast<std::uint32_t>(signatures.size()));
+  for (const auto& [key, sig] : signatures) {
+    e.raw(key.view());
+    e.raw(sig.view());
+  }
+  e.boolean(next_validators.has_value());
+  if (next_validators) e.bytes(next_validators->encode());
+  return e.take();
+}
+
+SignedQuorumHeader SignedQuorumHeader::decode(ByteView wire) {
+  Decoder d(wire);
+  SignedQuorumHeader sh;
+  sh.header = QuorumHeader::decode(d.bytes());
+  const std::uint32_t n = d.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes key_raw = d.raw(32);
+    crypto::ed25519::PublicKeyBytes pk;
+    std::copy(key_raw.begin(), key_raw.end(), pk.begin());
+    const Bytes sig_raw = d.raw(64);
+    crypto::ed25519::SignatureBytes sig;
+    std::copy(sig_raw.begin(), sig_raw.end(), sig.begin());
+    sh.signatures.emplace_back(crypto::PublicKey(pk), crypto::Signature(sig));
+  }
+  if (d.boolean()) sh.next_validators = ValidatorSet::decode(d.bytes());
+  d.expect_done();
+  return sh;
+}
+
+std::size_t SignedQuorumHeader::byte_size() const { return encode().size(); }
+
+QuorumLightClient::QuorumLightClient(std::string chain_id, ValidatorSet genesis_validators)
+    : chain_id_(std::move(chain_id)), validators_(std::move(genesis_validators)) {}
+
+std::uint64_t QuorumLightClient::verify_signatures(const SignedQuorumHeader& sh,
+                                                   const ValidatorSet& validators) {
+  const Hash32 digest = sh.header.signing_digest();
+  std::uint64_t power = 0;
+  std::vector<crypto::PublicKey> seen;
+  for (const auto& [key, sig] : sh.signatures) {
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      throw IbcError("quorum client: duplicate signer");
+    seen.push_back(key);
+    const auto stake = validators.stake_of(key);
+    if (!stake) throw IbcError("quorum client: signer not in validator set");
+    if (!crypto::verify(key, digest.view(), sig))
+      throw IbcError("quorum client: invalid signature");
+    power += *stake;
+  }
+  return power;
+}
+
+void QuorumLightClient::apply(const SignedQuorumHeader& sh) {
+  states_[sh.header.height] =
+      ConsensusState{sh.header.state_root, sh.header.timestamp};
+  latest_ = std::max(latest_, sh.header.height);
+  if (sh.next_validators) validators_ = *sh.next_validators;
+}
+
+void QuorumLightClient::update(ByteView header) {
+  if (frozen_) throw IbcError("quorum client: frozen on misbehaviour");
+  const SignedQuorumHeader sh = SignedQuorumHeader::decode(header);
+  if (sh.header.chain_id != chain_id_)
+    throw IbcError("quorum client: wrong chain id");
+  if (sh.header.height <= latest_)
+    throw IbcError("quorum client: non-monotonic header height");
+  if (sh.header.validator_set_hash != validators_.hash())
+    throw IbcError("quorum client: header names an unknown validator set");
+  if (sh.next_validators &&
+      sh.next_validators->validators.empty())
+    throw IbcError("quorum client: empty next validator set");
+  const std::uint64_t power = verify_signatures(sh, validators_);
+  if (power < validators_.quorum_stake())
+    throw IbcError("quorum client: insufficient signing stake");
+  apply(sh);
+}
+
+void QuorumLightClient::accept_verified(const SignedQuorumHeader& sh) {
+  if (frozen_) throw IbcError("quorum client: frozen on misbehaviour");
+  if (sh.header.chain_id != chain_id_)
+    throw IbcError("quorum client: wrong chain id");
+  if (sh.header.height <= latest_)
+    throw IbcError("quorum client: non-monotonic header height");
+  apply(sh);
+}
+
+std::optional<ConsensusState> QuorumLightClient::consensus_at(Height h) const {
+  if (frozen_) return std::nullopt;  // frozen clients verify nothing
+  const auto it = states_.find(h);
+  if (it == states_.end()) return std::nullopt;
+  return it->second;
+}
+
+void QuorumLightClient::submit_misbehaviour(const SignedQuorumHeader& a,
+                                            const SignedQuorumHeader& b) {
+  if (a.header.chain_id != chain_id_ || b.header.chain_id != chain_id_)
+    throw IbcError("misbehaviour: wrong chain id");
+  if (a.header.height != b.header.height)
+    throw IbcError("misbehaviour: headers at different heights");
+  if (a.header.signing_digest() == b.header.signing_digest())
+    throw IbcError("misbehaviour: headers are identical");
+  // Both must be properly finalised by the tracked validator set —
+  // otherwise anyone could freeze the client with garbage.
+  if (verify_signatures(a, validators_) < validators_.quorum_stake() ||
+      verify_signatures(b, validators_) < validators_.quorum_stake())
+    throw IbcError("misbehaviour: headers lack quorum signatures");
+  frozen_ = true;
+}
+
+Height QuorumLightClient::latest_height() const { return latest_; }
+
+}  // namespace bmg::ibc

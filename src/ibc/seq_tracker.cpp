@@ -1,0 +1,35 @@
+#include "ibc/seq_tracker.hpp"
+
+namespace bmg::ibc {
+
+bool SeqTracker::mark(std::uint64_t seq) {
+  if (seq == 0) return false;
+  if (seq <= watermark_ || pending_.count(seq) > 0) return false;
+  if (seq == watermark_ + 1) {
+    ++watermark_;
+    // Absorb any pending sequences that are now contiguous.
+    auto it = pending_.begin();
+    while (it != pending_.end() && *it == watermark_ + 1) {
+      ++watermark_;
+      it = pending_.erase(it);
+    }
+  } else {
+    pending_.insert(seq);
+  }
+  return true;
+}
+
+bool SeqTracker::is_marked(std::uint64_t seq) const {
+  return seq != 0 && (seq <= watermark_ || pending_.count(seq) > 0);
+}
+
+std::vector<std::uint64_t> SeqTracker::drain_sealable() {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t margin = 1 + lag_;
+  if (watermark_ <= margin) return out;
+  const std::uint64_t limit = watermark_ - margin;
+  while (sealed_upto_ < limit) out.push_back(++sealed_upto_);
+  return out;
+}
+
+}  // namespace bmg::ibc

@@ -1,0 +1,53 @@
+// Sequence bookkeeping that makes sealing safe under out-of-order
+// delivery.
+//
+// Sealing a trie entry is only safe when no *future* insert can route
+// into the sealed subtree.  For keys that are monotonic in a sequence
+// number this holds iff the sealed set is a contiguous prefix
+// [1, k] of the present set and key k+1 is present (interval
+// property; proof sketched in DESIGN.md, exercised in trie tests).
+//
+// SeqTracker maintains that invariant: sequences are mark()ed present
+// in any order; drain_sealable() hands out the sequences that may now
+// be sealed — everything strictly below the contiguous watermark,
+// optionally lagged by `lag` to keep recently-written entries provable
+// (used for acknowledgements that relayers still need to prove).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace bmg::ibc {
+
+class SeqTracker {
+ public:
+  explicit SeqTracker(std::uint64_t lag = 0) : lag_(lag) {}
+
+  /// Marks `seq` present.  Returns false if it was already marked.
+  bool mark(std::uint64_t seq);
+
+  [[nodiscard]] bool is_marked(std::uint64_t seq) const;
+
+  /// Largest w such that 1..w are all marked.
+  [[nodiscard]] std::uint64_t watermark() const noexcept { return watermark_; }
+
+  /// Sequences that became sealable since the last call: the range
+  /// (sealed_upto, watermark - 1 - lag].  Each is returned exactly once.
+  [[nodiscard]] std::vector<std::uint64_t> drain_sealable();
+
+  [[nodiscard]] std::uint64_t sealed_upto() const noexcept { return sealed_upto_; }
+
+  /// Number of marked-but-unsealed sequences (the in-flight window).
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return static_cast<std::size_t>(watermark_ - sealed_upto_) + pending_.size();
+  }
+
+ private:
+  std::uint64_t lag_;
+  std::uint64_t watermark_ = 0;    ///< 1..watermark all present
+  std::uint64_t sealed_upto_ = 0;  ///< 1..sealed_upto handed out for sealing
+  std::set<std::uint64_t> pending_;  ///< present sequences > watermark
+};
+
+}  // namespace bmg::ibc

@@ -1,0 +1,104 @@
+#include "ibc/transfer.hpp"
+
+#include "common/codec.hpp"
+
+namespace bmg::ibc {
+
+namespace {
+/// "port/channel/" voucher prefix.
+std::string prefix_of(const PortId& port, const ChannelId& channel) {
+  return port + "/" + channel + "/";
+}
+
+bool has_prefix(const std::string& denom, const std::string& prefix) {
+  return denom.size() > prefix.size() && denom.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+Bytes TokenPacketData::encode() const {
+  Encoder e;
+  e.str(denom).u64(amount).str(sender).str(receiver);
+  return e.take();
+}
+
+TokenPacketData TokenPacketData::decode(ByteView wire) {
+  Decoder d(wire);
+  TokenPacketData t;
+  t.denom = d.str();
+  t.amount = d.u64();
+  t.sender = d.str();
+  t.receiver = d.str();
+  d.expect_done();
+  return t;
+}
+
+TokenTransferApp::TokenTransferApp(IbcModule& module, Bank& bank, PortId port)
+    : module_(module), bank_(bank), port_(std::move(port)) {
+  module_.bind_port(port_, this);
+}
+
+Bank::Account TokenTransferApp::escrow_account(const ChannelId& channel) {
+  return "escrow:" + channel;
+}
+
+Packet TokenTransferApp::send_transfer(const ChannelId& channel,
+                                       const std::string& denom, std::uint64_t amount,
+                                       const std::string& sender,
+                                       const std::string& receiver,
+                                       Height timeout_height,
+                                       Timestamp timeout_timestamp) {
+  if (amount == 0) throw IbcError("send_transfer: zero amount");
+
+  if (has_prefix(denom, prefix_of(port_, channel))) {
+    // Returning a voucher to its source chain: burn here, the source
+    // releases its escrow on delivery.
+    bank_.burn(sender, denom, amount);
+  } else {
+    // Native token leaving this chain: lock it in the channel escrow.
+    bank_.transfer(sender, escrow_account(channel), denom, amount);
+  }
+
+  TokenPacketData data{denom, amount, sender, receiver};
+  return module_.send_packet(port_, channel, data.encode(), timeout_height,
+                             timeout_timestamp);
+}
+
+Acknowledgement TokenTransferApp::on_recv_packet(const Packet& packet) {
+  const TokenPacketData data = TokenPacketData::decode(packet.data);
+  if (data.amount == 0) return Acknowledgement::fail("zero amount");
+
+  const std::string source_prefix =
+      prefix_of(packet.source_port, packet.source_channel);
+  if (has_prefix(data.denom, source_prefix)) {
+    // Token coming home: strip the voucher prefix and release escrow.
+    const std::string base_denom = data.denom.substr(source_prefix.size());
+    bank_.transfer(escrow_account(packet.dest_channel), data.receiver, base_denom,
+                   data.amount);
+  } else {
+    // Foreign token: mint a voucher carrying our hop in the trace.
+    const std::string voucher =
+        prefix_of(packet.dest_port, packet.dest_channel) + data.denom;
+    bank_.mint(data.receiver, voucher, data.amount);
+  }
+  return Acknowledgement::ok();
+}
+
+void TokenTransferApp::refund(const Packet& packet) {
+  const TokenPacketData data = TokenPacketData::decode(packet.data);
+  if (has_prefix(data.denom, prefix_of(port_, packet.source_channel))) {
+    // We burned a voucher on send; mint it back.
+    bank_.mint(data.sender, data.denom, data.amount);
+  } else {
+    // We escrowed a native token; release it back.
+    bank_.transfer(escrow_account(packet.source_channel), data.sender, data.denom,
+                   data.amount);
+  }
+}
+
+void TokenTransferApp::on_acknowledge(const Packet& packet, const Acknowledgement& ack) {
+  if (!ack.success) refund(packet);
+}
+
+void TokenTransferApp::on_timeout(const Packet& packet) { refund(packet); }
+
+}  // namespace bmg::ibc

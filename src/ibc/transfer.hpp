@@ -1,0 +1,58 @@
+// ICS-20 fungible token transfer application.
+//
+// Escrows native tokens on the source chain and mints prefixed
+// vouchers on the destination; returning vouchers are burned at the
+// source and released from escrow at home.  Failed or timed-out
+// transfers refund the sender.
+#pragma once
+
+#include <string>
+
+#include "ibc/bank.hpp"
+#include "ibc/module.hpp"
+
+namespace bmg::ibc {
+
+/// Packet payload of an ICS-20 transfer.
+struct TokenPacketData {
+  std::string denom;
+  std::uint64_t amount = 0;
+  std::string sender;
+  std::string receiver;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static TokenPacketData decode(ByteView wire);
+
+  friend bool operator==(const TokenPacketData&, const TokenPacketData&) = default;
+};
+
+class TokenTransferApp final : public IbcApp {
+ public:
+  TokenTransferApp(IbcModule& module, Bank& bank, PortId port);
+
+  /// Initiates a cross-chain transfer; returns the committed packet
+  /// (hand it to a relayer).
+  Packet send_transfer(const ChannelId& channel, const std::string& denom,
+                       std::uint64_t amount, const std::string& sender,
+                       const std::string& receiver, Height timeout_height,
+                       Timestamp timeout_timestamp);
+
+  // IbcApp:
+  Acknowledgement on_recv_packet(const Packet& packet) override;
+  void on_acknowledge(const Packet& packet, const Acknowledgement& ack) override;
+  void on_timeout(const Packet& packet) override;
+
+  /// Escrow account holding locked native tokens for `channel`.
+  [[nodiscard]] static Bank::Account escrow_account(const ChannelId& channel);
+
+  [[nodiscard]] const PortId& port() const noexcept { return port_; }
+
+ private:
+  void refund(const Packet& packet);
+
+  IbcModule& module_;
+  Bank& bank_;
+  PortId port_;
+};
+
+}  // namespace bmg::ibc

@@ -1,0 +1,28 @@
+// Core IBC identifier and height types (ICS-24 style).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bmg::ibc {
+
+using ClientId = std::string;      ///< e.g. "07-guest-0"
+using ConnectionId = std::string;  ///< e.g. "connection-0"
+using ChannelId = std::string;     ///< e.g. "channel-3"
+using PortId = std::string;        ///< e.g. "transfer"
+
+/// Block height on a chain (single-revision simplification of ICS-2).
+using Height = std::uint64_t;
+
+/// Wall-clock timestamp in simulation seconds.
+using Timestamp = double;
+
+class IbcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace bmg::ibc

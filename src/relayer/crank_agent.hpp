@@ -1,0 +1,72 @@
+// Block-production crank.
+//
+// GenerateBlock "can be invoked by anyone (e.g. whenever a host block
+// is produced)" (paper §III-A).  This agent polls the contract state
+// each host slot and submits a GenerateBlock transaction whenever the
+// contract would accept one: the head is finalised and there are
+// pending state changes, the head aged past Δ, or an epoch rotation
+// is due.
+#pragma once
+
+#include "guest/contract.hpp"
+#include "host/chain.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bmg::relayer {
+
+class CrankAgent {
+ public:
+  CrankAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
+             crypto::PublicKey payer)
+      : sim_(sim), host_(host), contract_(contract), payer_(std::move(payer)) {}
+
+  void start() { schedule_poll(); }
+
+  [[nodiscard]] std::uint64_t blocks_triggered() const { return triggered_; }
+
+ private:
+  void schedule_poll() {
+    sim_.after(host::kSlotSeconds, [this] {
+      poll();
+      schedule_poll();
+    });
+  }
+
+  void poll() {
+    if (in_flight_) return;
+    const auto& head = contract_.head();
+    if (!head.finalised) return;
+    const bool root_changed =
+        head.header.state_root != contract_.store().root_hash();
+    const bool aged =
+        sim_.now() - head.header.timestamp >= contract_delta_seconds();
+    if (!root_changed && !aged) return;
+
+    in_flight_ = true;
+    host::Transaction tx;
+    tx.payer = payer_;
+    tx.label = "generate-block";
+    tx.instructions.push_back(guest::ix::generate_block());
+    host_.submit(std::move(tx), [this](const host::TxResult& res) {
+      in_flight_ = false;
+      if (res.executed && res.success) ++triggered_;
+    });
+  }
+
+  [[nodiscard]] double contract_delta_seconds() const { return delta_override_; }
+
+ public:
+  /// Mirror of the contract's Δ (the crank cannot read private config).
+  void set_delta(double seconds) { delta_override_ = seconds; }
+
+ private:
+  sim::Simulation& sim_;
+  host::Chain& host_;
+  guest::GuestContract& contract_;
+  crypto::PublicKey payer_;
+  bool in_flight_ = false;
+  std::uint64_t triggered_ = 0;
+  double delta_override_ = 3600.0;
+};
+
+}  // namespace bmg::relayer

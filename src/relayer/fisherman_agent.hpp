@@ -1,0 +1,205 @@
+// Fishermen (paper §III-C) and the off-chain gossip they listen to.
+//
+// Validators gossip their block signatures off-chain (in reality:
+// mempool observation, p2p gossip, or the host chain itself).  A
+// fisherman records every (validator, height, header, signature)
+// observation; the moment it sees conflicting headers signed by the
+// same validator at one height — or a signature for a block that
+// contradicts the canonical chain — it submits evidence to the Guest
+// Contract and collects the slashing reward.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "guest/contract.hpp"
+#include "host/chain.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bmg::relayer {
+
+/// One gossiped signature observation.
+struct SignatureGossip {
+  crypto::PublicKey validator;
+  ibc::QuorumHeader header;
+  crypto::Signature signature;
+};
+
+/// Trivial pub/sub bus for off-chain gossip between agents.
+class GossipBus {
+ public:
+  using Handler = std::function<void(const SignatureGossip&)>;
+
+  void subscribe(Handler handler) { handlers_.push_back(std::move(handler)); }
+
+  void publish(const SignatureGossip& gossip) {
+    for (const auto& h : handlers_) h(gossip);
+  }
+
+ private:
+  std::vector<Handler> handlers_;
+};
+
+class FishermanAgent {
+ public:
+  FishermanAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
+                 GossipBus& bus, crypto::PublicKey payer)
+      : sim_(sim), host_(host), contract_(contract), bus_(bus), payer_(std::move(payer)) {}
+
+  void start() {
+    bus_.subscribe([this](const SignatureGossip& g) { on_gossip(g); });
+  }
+
+  [[nodiscard]] std::uint64_t evidence_submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t evidence_accepted() const { return accepted_; }
+
+ private:
+  void on_gossip(const SignatureGossip& gossip) {
+    const auto key = std::make_pair(gossip.validator, gossip.header.height);
+    auto& seen = observations_[key];
+
+    // Case 1 (§III-C): two different blocks signed at the same height.
+    for (const auto& prior : seen) {
+      if (prior.header.signing_digest() != gossip.header.signing_digest()) {
+        submit_double_sign(prior, gossip);
+        seen.push_back(gossip);
+        return;
+      }
+    }
+
+    // Cases 2/3: height beyond the head, or conflicting with the
+    // canonical block at that height.
+    bool bogus = false;
+    if (gossip.header.height >= contract_.block_count()) {
+      bogus = true;
+    } else if (gossip.header.signing_digest() !=
+               contract_.block_at(gossip.header.height).hash()) {
+      bogus = true;
+    }
+    if (bogus && prosecuted_.insert(gossip.validator).second) {
+      submit_single_header(gossip);
+    }
+    seen.push_back(gossip);
+  }
+
+  void submit_double_sign(const SignatureGossip& a, const SignatureGossip& b) {
+    if (!prosecuted_.insert(a.validator).second) return;
+    Encoder ev;
+    ev.raw(a.validator.view());
+    ev.u8(2);
+    ev.bytes(a.header.encode());
+    ev.bytes(b.header.encode());
+    std::vector<host::SigVerify> sigs;
+    const Hash32 da = a.header.signing_digest();
+    const Hash32 db = b.header.signing_digest();
+    sigs.push_back(host::SigVerify{a.validator,
+                                   Bytes(da.bytes.begin(), da.bytes.end()), a.signature});
+    sigs.push_back(host::SigVerify{b.validator,
+                                   Bytes(db.bytes.begin(), db.bytes.end()), b.signature});
+    submit_evidence(ev.take(), std::move(sigs));
+  }
+
+  void submit_single_header(const SignatureGossip& g) {
+    Encoder ev;
+    ev.raw(g.validator.view());
+    ev.u8(1);
+    ev.bytes(g.header.encode());
+    const Hash32 digest = g.header.signing_digest();
+    std::vector<host::SigVerify> sigs{host::SigVerify{
+        g.validator, Bytes(digest.bytes.begin(), digest.bytes.end()), g.signature}};
+    submit_evidence(ev.take(), std::move(sigs));
+  }
+
+  void submit_evidence(Bytes blob, std::vector<host::SigVerify> sigs) {
+    const std::uint64_t buffer_id = next_buffer_++;
+    std::uint32_t offset = 0;
+    std::vector<host::Transaction> txs;
+    for (const Bytes& chunk : guest::ix::chunk_payload(blob)) {
+      host::Transaction tx;
+      tx.payer = payer_;
+      tx.label = "fisherman:chunk";
+      tx.instructions.push_back(guest::ix::chunk_upload(buffer_id, offset, chunk));
+      offset += static_cast<std::uint32_t>(chunk.size());
+      txs.push_back(std::move(tx));
+    }
+    host::Transaction fin;
+    fin.payer = payer_;
+    fin.label = "fisherman:evidence";
+    fin.instructions.push_back(guest::ix::submit_evidence(buffer_id));
+    fin.sig_verifies = std::move(sigs);
+    txs.push_back(std::move(fin));
+
+    ++submitted_;
+    // Submit sequentially.
+    submit_chain(std::make_shared<std::vector<host::Transaction>>(std::move(txs)), 0);
+  }
+
+  void submit_chain(std::shared_ptr<std::vector<host::Transaction>> txs,
+                    std::size_t index) {
+    if (index >= txs->size()) {
+      ++accepted_;
+      return;
+    }
+    host_.submit(std::move((*txs)[index]), [this, txs, index](const host::TxResult& r) {
+      if (!r.executed || !r.success) return;  // lost the race or invalid
+      submit_chain(txs, index + 1);
+    });
+  }
+
+  sim::Simulation& sim_;
+  host::Chain& host_;
+  guest::GuestContract& contract_;
+  GossipBus& bus_;
+  crypto::PublicKey payer_;
+
+  std::map<std::pair<crypto::PublicKey, ibc::Height>, std::vector<SignatureGossip>>
+      observations_;
+  std::set<crypto::PublicKey> prosecuted_;
+  std::uint64_t next_buffer_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+/// A validator that behaves normally but, alongside each honest
+/// signature, also signs a forged fork of the block and gossips both —
+/// the misbehaviour class 1 of §III-C.
+class ByzantineValidatorAgent {
+ public:
+  ByzantineValidatorAgent(sim::Simulation& sim, host::Chain& host,
+                          guest::GuestContract& contract, crypto::PrivateKey key,
+                          GossipBus& bus)
+      : sim_(sim), host_(host), contract_(contract), key_(std::move(key)), bus_(bus) {}
+
+  void start() {
+    host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
+      if (ev.name != guest::GuestContract::kEvNewBlock) return;
+      Decoder d(ev.data);
+      const ibc::Height height = d.u64();
+      sim_.after(1.0, [this, height] { equivocate(height); });
+    });
+  }
+
+ private:
+  void equivocate(ibc::Height height) {
+    if (height >= contract_.block_count()) return;
+    const guest::GuestBlock& canonical = contract_.block_at(height);
+
+    // Honest signature gossiped (and submittable on-chain)...
+    bus_.publish(SignatureGossip{key_.public_key(), canonical.header,
+                                 key_.sign(canonical.hash().view())});
+    // ...and a signature over a forged variant of the same height.
+    ibc::QuorumHeader forged = canonical.header;
+    forged.state_root.bytes[31] ^= 0xFF;
+    bus_.publish(SignatureGossip{key_.public_key(), forged,
+                                 key_.sign(forged.signing_digest().view())});
+  }
+
+  sim::Simulation& sim_;
+  host::Chain& host_;
+  guest::GuestContract& contract_;
+  crypto::PrivateKey key_;
+  GossipBus& bus_;
+};
+
+}  // namespace bmg::relayer

@@ -1,0 +1,363 @@
+#include "relayer/relayer_agent.hpp"
+
+#include <memory>
+
+namespace bmg::relayer {
+
+RelayerAgent::RelayerAgent(sim::Simulation& sim, host::Chain& host,
+                           guest::GuestContract& contract,
+                           counterparty::CounterpartyChain& cp,
+                           ibc::ClientId guest_client_on_cp, crypto::PublicKey payer,
+                           RelayerConfig cfg)
+    : sim_(sim),
+      host_(host),
+      contract_(contract),
+      cp_(cp),
+      guest_client_on_cp_(std::move(guest_client_on_cp)),
+      payer_(std::move(payer)),
+      cfg_(cfg) {}
+
+void RelayerAgent::start() {
+  host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
+    if (ev.name != guest::GuestContract::kEvFinalisedBlock) return;
+    Decoder d(ev.data);
+    const ibc::Height height = d.u64();
+    sim_.after(cfg_.poll_latency_s, [this, height] { on_guest_block_finalised(height); });
+  });
+  // Counterparty-sent packets enter the relay queue at the next cp
+  // block (when they become provable).
+  cp_.ibc().set_packet_listener([this](const ibc::Packet& packet) {
+    cp_outgoing_.emplace_back(packet, cp_.height() + 1);
+  });
+  cp_.on_new_block([this](ibc::Height height) {
+    sim_.after(cfg_.poll_latency_s, [this, height] { on_cp_block(height); });
+  });
+}
+
+// --- transaction sequencing ---------------------------------------------------
+
+void RelayerAgent::submit_sequence(std::vector<host::Transaction> txs, SequenceDone done) {
+  struct SeqState {
+    std::vector<host::Transaction> txs;
+    std::size_t next = 0;
+    SequenceOutcome outcome;
+  };
+  auto state = std::make_shared<SeqState>();
+  state->txs = std::move(txs);
+  state->outcome.txs = static_cast<int>(state->txs.size());
+
+  // `step` holds itself alive through the async chain; `finish` breaks
+  // the reference cycle once the sequence ends (deferred so we never
+  // destroy the closure while it is executing).
+  auto step = std::make_shared<std::function<void()>>();
+  auto finish = [this, step](auto&& cb, const SequenceOutcome& outcome) {
+    if (cb) cb(outcome);
+    sim_.after(0, [step] { *step = nullptr; });
+  };
+  *step = [this, state, step, finish, done = std::move(done)]() mutable {
+    if (state->next >= state->txs.size()) {
+      state->outcome.ok = true;
+      finish(done, state->outcome);
+      return;
+    }
+    host::Transaction tx = std::move(state->txs[state->next]);
+    ++state->next;
+    host_.submit(std::move(tx),
+                 [this, state, step, finish, done](const host::TxResult& res) {
+      if (!res.executed || !res.success) {
+        ++failed_sequences_;
+        state->outcome.ok = false;
+        state->outcome.finished_at = sim_.now();
+        finish(done, state->outcome);
+        return;
+      }
+      if (state->outcome.started_at == 0) state->outcome.started_at = res.time;
+      state->outcome.finished_at = res.time;
+      state->outcome.cost_usd += res.fee.usd();
+      (*step)();
+    });
+  };
+  (*step)();
+}
+
+std::vector<host::Transaction> RelayerAgent::chunked_call(ByteView payload,
+                                                          host::Instruction final_ix,
+                                                          std::uint64_t* buffer_id_out,
+                                                          const std::string& label) {
+  const std::uint64_t buffer_id = next_buffer_id_++;
+  if (buffer_id_out != nullptr) *buffer_id_out = buffer_id;
+  std::vector<host::Transaction> txs;
+  std::uint32_t offset = 0;
+  for (const Bytes& chunk : guest::ix::chunk_payload(payload, cfg_.host_max_tx_size)) {
+    host::Transaction tx;
+    tx.payer = payer_;
+    tx.fee = cfg_.fee;
+    tx.label = label + ":chunk";
+    tx.instructions.push_back(guest::ix::chunk_upload(buffer_id, offset, chunk));
+    offset += static_cast<std::uint32_t>(chunk.size());
+    txs.push_back(std::move(tx));
+  }
+  host::Transaction fin;
+  fin.payer = payer_;
+  fin.fee = cfg_.fee;
+  fin.label = label;
+  fin.instructions.push_back(std::move(final_ix));
+  txs.push_back(std::move(fin));
+  return txs;
+}
+
+std::vector<host::Transaction> RelayerAgent::build_update_sequence(
+    const ibc::SignedQuorumHeader& sh) {
+  // Buffer payload: header bytes + optional next validator set.
+  Encoder payload;
+  payload.bytes(sh.header.encode());
+  payload.boolean(sh.next_validators.has_value());
+  if (sh.next_validators) payload.bytes(sh.next_validators->encode());
+
+  std::uint64_t buffer_id = 0;
+  std::vector<host::Transaction> txs =
+      chunked_call(payload.out(), guest::ix::begin_client_update(0), &buffer_id,
+                   "lc-update");
+  // chunked_call assigned the real buffer id after we passed 0; rebuild
+  // the final instruction with the correct id.
+  txs.back().instructions[0] = guest::ix::begin_client_update(buffer_id);
+
+  const Hash32 digest = sh.header.signing_digest();
+  const Bytes digest_bytes(digest.bytes.begin(), digest.bytes.end());
+  for (std::size_t i = 0; i < sh.signatures.size();
+       i += static_cast<std::size_t>(cfg_.sigs_per_update_tx)) {
+    host::Transaction tx;
+    tx.payer = payer_;
+    tx.fee = cfg_.fee;
+    tx.label = "lc-update:sigs";
+    tx.instructions.push_back(guest::ix::verify_update_signatures());
+    for (std::size_t j = i;
+         j < sh.signatures.size() && j < i + static_cast<std::size_t>(cfg_.sigs_per_update_tx);
+         ++j) {
+      tx.sig_verifies.push_back(
+          host::SigVerify{sh.signatures[j].first, digest_bytes, sh.signatures[j].second});
+    }
+    txs.push_back(std::move(tx));
+  }
+
+  host::Transaction fin;
+  fin.payer = payer_;
+  fin.fee = cfg_.fee;
+  fin.label = "lc-update:finish";
+  fin.instructions.push_back(guest::ix::finish_client_update());
+  txs.push_back(std::move(fin));
+  return txs;
+}
+
+// --- guest -> counterparty ------------------------------------------------------
+
+void RelayerAgent::push_guest_header_to_cp(ibc::Height guest_height,
+                                           std::function<void()> done) {
+  sim_.after(cfg_.counterparty_latency_s, [this, guest_height, done = std::move(done)] {
+    try {
+      const guest::GuestBlock& block = contract_.block_at(guest_height);
+      cp_.ibc().update_client(guest_client_on_cp_, block.to_signed_header().encode());
+    } catch (const ibc::IbcError& e) {
+      // Another relayer (or an explicit handshake push) already
+      // submitted this height; duplicates are harmless.
+      last_relay_error_ += "[push " + std::to_string(guest_height) + ": " + e.what() + "] ";
+    }
+    if (done) done();
+  });
+}
+
+void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
+  const guest::GuestBlock& block = contract_.block_at(height);
+  const bool must_relay = !block.packets.empty() || block.last_in_epoch();
+
+  // Relay acks written on the guest for packets the counterparty sent
+  // (they are provable once committed in a finalised guest block).
+  std::vector<ibc::Packet> still_pending;
+  std::vector<ibc::Packet> ready;
+  for (const ibc::Packet& p : guest_acks_pending_) {
+    const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                      p.dest_channel, p.sequence);
+    bool provable = false;
+    try {
+      const trie::Proof proof = contract_.prove_at(height, key);
+      provable = trie::verify_proof(block.header.state_root, key, proof).kind ==
+                 trie::VerifyOutcome::Kind::kFound;
+    } catch (const trie::TrieError&) {
+      provable = false;
+    }
+    (provable ? ready : still_pending).push_back(p);
+  }
+  guest_acks_pending_ = std::move(still_pending);
+
+  if (!must_relay && ready.empty()) return;
+
+  push_guest_header_to_cp(height, [this, height, ready = std::move(ready)] {
+    const guest::GuestBlock& blk = contract_.block_at(height);
+    // Deliver the block's packets to the counterparty (Alg. 2, 7-10).
+    for (const ibc::Packet& packet : blk.packets) {
+      const Bytes key =
+          ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
+                          packet.source_channel, packet.sequence);
+      try {
+        const trie::Proof proof = contract_.prove_at(height, key);
+        const ibc::Acknowledgement ack = cp_.ibc().recv_packet(
+            packet, height, proof, cp_.height(), cp_.now());
+        ++to_cp_packets_;
+        // The ack becomes provable at the next cp block.
+        cp_acks_.emplace_back(packet, ack, cp_.height() + 1);
+      } catch (const std::exception& e) {
+        // Already delivered by another relayer or invalid; skip.
+        last_relay_error_ += std::string("[recv seq ") + std::to_string(packet.sequence) + ": " + e.what() + "] ";
+      }
+    }
+    // Relay guest-side acks back to the counterparty.
+    for (const ibc::Packet& p : ready) {
+      const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                        p.dest_channel, p.sequence);
+      try {
+        const auto ack = contract_.ack_log(p.dest_port, p.dest_channel, p.sequence);
+        if (!ack) continue;
+        const trie::Proof proof = contract_.prove_at(height, key);
+        cp_.ibc().acknowledge_packet(p, *ack, height, proof);
+      } catch (const std::exception&) {
+      }
+    }
+  });
+}
+
+// --- counterparty -> guest ---------------------------------------------------------
+
+void RelayerAgent::on_cp_block(ibc::Height) { pump_cp_to_guest(); }
+
+void RelayerAgent::update_guest_client(ibc::Height cp_height, std::function<void()> done) {
+  if (contract_.counterparty_client().latest_height() >= cp_height) {
+    if (done) done();
+    return;
+  }
+  if (guest_update_in_flight_) {
+    // The contract holds a single pending-update slot; serialize.
+    queued_updates_.emplace_back(cp_height, std::move(done));
+    return;
+  }
+  const ibc::SignedQuorumHeader& sh = cp_.header_at(cp_height);
+  guest_update_in_flight_ = true;
+  submit_sequence(
+      build_update_sequence(sh),
+      [this, cp_height, done = std::move(done), retried = false](
+          const SequenceOutcome& out) mutable {
+        guest_update_in_flight_ = false;
+        if (out.ok) {
+          update_txs_.add(out.txs);
+          update_durations_.add(out.finished_at - out.started_at);
+          update_costs_.add(out.cost_usd);
+          if (done) done();
+        } else if (!retried &&
+                   contract_.counterparty_client().latest_height() < cp_height) {
+          // One retry for transient failures (dropped transactions).
+          retried = true;
+          update_guest_client(cp_height, std::move(done));
+          return;
+        }
+        if (!queued_updates_.empty()) {
+          auto [h, cb] = std::move(queued_updates_.front());
+          queued_updates_.pop_front();
+          update_guest_client(h, std::move(cb));
+        } else {
+          pump_cp_to_guest();
+        }
+      });
+}
+
+void RelayerAgent::deliver_packet_to_guest(const ibc::Packet& packet,
+                                           ibc::Height proof_height, SequenceDone done) {
+  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
+                                    packet.source_channel, packet.sequence);
+  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  Encoder payload;
+  payload.bytes(packet.encode()).u64(proof_height).bytes(proof.serialize());
+  std::uint64_t buffer_id = 0;
+  auto txs = chunked_call(payload.out(), guest::ix::receive_packet(0), &buffer_id,
+                          "recv-packet");
+  txs.back().instructions[0] = guest::ix::receive_packet(buffer_id);
+  submit_sequence(std::move(txs),
+                  [this, packet, done = std::move(done)](const SequenceOutcome& out) {
+                    if (out.ok) {
+                      ++to_guest_packets_;
+                      recv_txs_.add(out.txs);
+                      recv_costs_.add(out.cost_usd);
+                      guest_acks_pending_.push_back(packet);
+                    }
+                    if (done) done(out);
+                  });
+}
+
+void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
+                                        const ibc::Acknowledgement& ack,
+                                        ibc::Height proof_height, SequenceDone done) {
+  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, packet.dest_port,
+                                    packet.dest_channel, packet.sequence);
+  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  Encoder payload;
+  payload.bytes(packet.encode()).bytes(ack.encode()).u64(proof_height).bytes(
+      proof.serialize());
+  std::uint64_t buffer_id = 0;
+  auto txs = chunked_call(payload.out(), guest::ix::acknowledge_packet(0), &buffer_id,
+                          "ack-packet");
+  txs.back().instructions[0] = guest::ix::acknowledge_packet(buffer_id);
+  submit_sequence(std::move(txs), std::move(done));
+}
+
+void RelayerAgent::deliver_timeout_to_guest(const ibc::Packet& packet,
+                                            ibc::Height proof_height, SequenceDone done) {
+  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, packet.dest_port,
+                                    packet.dest_channel, packet.sequence);
+  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  Encoder payload;
+  payload.bytes(packet.encode()).u64(proof_height).bytes(proof.serialize());
+  std::uint64_t buffer_id = 0;
+  auto txs = chunked_call(payload.out(), guest::ix::timeout_packet(0), &buffer_id,
+                          "timeout-packet");
+  txs.back().instructions[0] = guest::ix::timeout_packet(buffer_id);
+  submit_sequence(std::move(txs), std::move(done));
+}
+
+void RelayerAgent::pump_cp_to_guest() {
+  if (guest_update_in_flight_) return;
+  if (cp_outgoing_.empty() && cp_acks_.empty()) return;
+
+  // Everything queued becomes provable at (or before) the latest cp
+  // block; one light client update serves the whole batch.
+  const ibc::Height target = cp_.height();
+  bool anything_ready = false;
+  for (const auto& [p, h] : cp_outgoing_) anything_ready |= (h <= target);
+  for (const auto& [p, a, h] : cp_acks_) anything_ready |= (h <= target);
+  if (!anything_ready) return;
+
+  update_guest_client(target, [this, target] {
+    std::deque<std::pair<ibc::Packet, ibc::Height>> later_packets;
+    while (!cp_outgoing_.empty()) {
+      auto [packet, ready_at] = cp_outgoing_.front();
+      cp_outgoing_.pop_front();
+      if (ready_at > target) {
+        later_packets.emplace_back(packet, ready_at);
+        continue;
+      }
+      deliver_packet_to_guest(packet, target);
+    }
+    cp_outgoing_ = std::move(later_packets);
+
+    std::deque<std::tuple<ibc::Packet, ibc::Acknowledgement, ibc::Height>> later_acks;
+    while (!cp_acks_.empty()) {
+      auto [packet, ack, ready_at] = cp_acks_.front();
+      cp_acks_.pop_front();
+      if (ready_at > target) {
+        later_acks.emplace_back(packet, ack, ready_at);
+        continue;
+      }
+      deliver_ack_to_guest(packet, ack, target);
+    }
+    cp_acks_ = std::move(later_acks);
+  });
+}
+
+}  // namespace bmg::relayer

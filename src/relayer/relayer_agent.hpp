@@ -1,0 +1,150 @@
+// The relayer (paper §III-C, Alg. 2 lower half).
+//
+// Watches both chains and forwards packets, acknowledgements and light
+// client updates.  The guest→counterparty direction is cheap (the
+// counterparty is a normal IBC chain); the counterparty→guest
+// direction is where the host's limits bite: every light client update
+// must be chunk-uploaded and signature-verified across ~36 host
+// transactions (paper §V-A), and every packet delivery takes 4-5 more.
+// This agent records exactly the statistics behind Figs. 4 and 5.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "counterparty/chain.hpp"
+#include "guest/contract.hpp"
+#include "host/chain.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bmg::relayer {
+
+struct RelayerConfig {
+  /// Fee policy for host transactions (paper §V-B: default fee model).
+  host::FeePolicy fee = host::FeePolicy::base();
+  /// Ed25519 pre-compile verifications per host transaction.  Real
+  /// Tendermint commits sign per-validator vote payloads (~200 bytes
+  /// each), which caps this near 4 within the 1232-byte limit.
+  int sigs_per_update_tx = 4;
+  /// Event-polling latency before the relayer reacts.
+  double poll_latency_s = 0.3;
+  /// Host transaction size limit used for chunking (Solana default).
+  std::size_t host_max_tx_size = host::kMaxTransactionSize;
+  /// Network latency for calls into the counterparty chain.
+  double counterparty_latency_s = 0.5;
+};
+
+class RelayerAgent {
+ public:
+  RelayerAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
+               counterparty::CounterpartyChain& cp, ibc::ClientId guest_client_on_cp,
+               crypto::PublicKey payer, RelayerConfig cfg = {});
+
+  /// Subscribes to both chains' events and starts steady-state
+  /// relaying.  The IBC handshake (Deployment::open_ibc) must finish
+  /// before packets flow, but start() can be called first.
+  void start();
+
+  // --- metrics -----------------------------------------------------------
+  /// Per light-client update pushed into the guest (Figs. 4 and 5).
+  [[nodiscard]] const Series& update_tx_counts() const { return update_txs_; }
+  [[nodiscard]] const Series& update_durations() const { return update_durations_; }
+  [[nodiscard]] const Series& update_costs_usd() const { return update_costs_; }
+  /// Per ReceivePacket delivery into the guest (§V-A, §V-B).
+  [[nodiscard]] const Series& recv_tx_counts() const { return recv_txs_; }
+  [[nodiscard]] const Series& recv_costs_usd() const { return recv_costs_; }
+  [[nodiscard]] std::uint64_t failed_sequences() const { return failed_sequences_; }
+  [[nodiscard]] std::uint64_t packets_relayed_to_cp() const { return to_cp_packets_; }
+  [[nodiscard]] std::uint64_t packets_relayed_to_guest() const { return to_guest_packets_; }
+
+  [[nodiscard]] const crypto::PublicKey& payer() const { return payer_; }
+
+  // --- building blocks (also used by Deployment for the handshake) --------
+  struct SequenceOutcome {
+    bool ok = false;
+    int txs = 0;
+    double started_at = 0;  ///< execution time of the first transaction
+    double finished_at = 0;
+    double cost_usd = 0;
+  };
+  using SequenceDone = std::function<void(const SequenceOutcome&)>;
+
+  /// Submits transactions strictly one after another (each waits for
+  /// the previous result), reporting aggregate cost and timing.
+  void submit_sequence(std::vector<host::Transaction> txs, SequenceDone done);
+
+  /// Chunk-uploads `payload` into a fresh staging buffer and appends
+  /// `final_ix` consuming it.  Returns the transaction list.
+  [[nodiscard]] std::vector<host::Transaction> chunked_call(ByteView payload,
+                                                            host::Instruction final_ix,
+                                                            std::uint64_t* buffer_id_out,
+                                                            const std::string& label);
+
+  /// Builds the full light-client-update transaction sequence for a
+  /// counterparty header (chunks + begin + N sig-verify txs + finish).
+  [[nodiscard]] std::vector<host::Transaction> build_update_sequence(
+      const ibc::SignedQuorumHeader& sh);
+
+  /// Pushes a finalised guest header into the counterparty's guest
+  /// light client (direct chain call after network latency).
+  void push_guest_header_to_cp(ibc::Height guest_height,
+                               std::function<void()> done = {});
+
+  /// Brings the guest's counterparty client to `cp_height`, then calls
+  /// `done`.  Deduplicates: if an update is already in flight, the
+  /// request queues behind it.
+  void update_guest_client(ibc::Height cp_height, std::function<void()> done);
+
+  /// Delivers a counterparty-sent packet into the guest (assumes the
+  /// guest's client already knows `proof_height`).
+  void deliver_packet_to_guest(const ibc::Packet& packet, ibc::Height proof_height,
+                               SequenceDone done = {});
+  void deliver_ack_to_guest(const ibc::Packet& packet, const ibc::Acknowledgement& ack,
+                            ibc::Height proof_height, SequenceDone done = {});
+  void deliver_timeout_to_guest(const ibc::Packet& packet, ibc::Height proof_height,
+                                SequenceDone done = {});
+
+ private:
+  void on_guest_block_finalised(ibc::Height height);
+  void on_cp_block(ibc::Height height);
+  void pump_cp_to_guest();
+
+  sim::Simulation& sim_;
+  host::Chain& host_;
+  guest::GuestContract& contract_;
+  counterparty::CounterpartyChain& cp_;
+  ibc::ClientId guest_client_on_cp_;
+  crypto::PublicKey payer_;
+  RelayerConfig cfg_;
+
+  std::uint64_t next_buffer_id_ = 1;
+
+  // Counterparty-side packets waiting to be relayed into the guest:
+  // (packet, first cp height whose snapshot has the commitment).
+  std::deque<std::pair<ibc::Packet, ibc::Height>> cp_outgoing_;
+  // Acks produced on the counterparty for guest-sent packets.
+  std::deque<std::tuple<ibc::Packet, ibc::Acknowledgement, ibc::Height>> cp_acks_;
+  // Packets we delivered into the counterparty; remembered so we can
+  // prove their acks... (guest-sent packets acked on cp are in cp_acks_).
+  // Packets delivered into the guest whose acks must flow back to cp.
+  std::vector<ibc::Packet> guest_acks_pending_;
+
+  bool guest_update_in_flight_ = false;
+  std::deque<std::pair<ibc::Height, std::function<void()>>> queued_updates_;
+
+  Series update_txs_, update_durations_, update_costs_;
+  Series recv_txs_, recv_costs_;
+  std::uint64_t failed_sequences_ = 0;
+
+ public:
+  std::string last_relay_error_;
+
+ private:
+  std::uint64_t to_cp_packets_ = 0;
+  std::uint64_t to_guest_packets_ = 0;
+};
+
+}  // namespace bmg::relayer

@@ -1,0 +1,48 @@
+#include "relayer/validator_agent.hpp"
+
+namespace bmg::relayer {
+
+ValidatorAgent::ValidatorAgent(sim::Simulation& sim, host::Chain& host,
+                               guest::GuestContract& contract, crypto::PrivateKey key,
+                               ValidatorProfile profile, Rng rng)
+    : sim_(sim),
+      host_(host),
+      contract_(contract),
+      key_(std::move(key)),
+      profile_(std::move(profile)),
+      rng_(rng) {}
+
+void ValidatorAgent::start() {
+  host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
+    if (ev.name != guest::GuestContract::kEvNewBlock) return;
+    Decoder d(ev.data);
+    const ibc::Height height = d.u64();
+    on_new_block(height, ev.time);
+  });
+}
+
+void ValidatorAgent::on_new_block(ibc::Height height, double announced_at) {
+  if (!profile_.active) return;
+  if (!contract_.epoch_validators().contains(pubkey())) return;
+
+  const double delay = profile_.latency.sample(rng_);
+  sim_.after(delay, [this, height, announced_at] {
+    // Read the block digest from the contract account and sign it.
+    const Hash32 digest = contract_.block_at(height).hash();
+    host::Transaction tx;
+    tx.payer = pubkey();
+    tx.label = "sign:" + profile_.name;
+    tx.fee = profile_.fee;
+    tx.instructions.push_back(guest::ix::sign_block(height, pubkey()));
+    tx.sig_verifies.push_back(host::SigVerify{
+        pubkey(), Bytes(digest.bytes.begin(), digest.bytes.end()),
+        key_.sign(digest.view())});
+    host_.submit(std::move(tx), [this, announced_at](const host::TxResult& res) {
+      if (!res.executed || !res.success) return;
+      ++sigs_;
+      latency_.add(res.time - announced_at);
+    });
+  });
+}
+
+}  // namespace bmg::relayer

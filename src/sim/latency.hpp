@@ -1,0 +1,53 @@
+// Latency models for simulated agents.
+//
+// The paper's Table I gives per-validator block-signing latency
+// quantiles (median ≈ 3-6 s, an occasional heavy tail up to hours for
+// validator #1).  We model a base log-normal fitted to the reported
+// median/Q3 plus an optional heavy-tail "outage" mixture.
+#pragma once
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bmg::sim {
+
+struct LatencyProfile {
+  /// Log-normal parameters of the base latency (seconds).
+  double mu = 0.0;
+  double sigma = 0.5;
+  /// Constant floor added to every sample (network / slot alignment).
+  double floor = 0.0;
+  /// Probability that a sample suffers a heavy-tail outage delay.
+  double outage_prob = 0.0;
+  /// Mean of the exponential outage delay added on top.
+  double outage_mean = 0.0;
+
+  /// Fits mu/sigma from a target median and 75th percentile.
+  /// For a log-normal, median = e^mu and Q3 = e^(mu + 0.6745 sigma).
+  [[nodiscard]] static LatencyProfile from_quantiles(double median, double q3,
+                                                     double floor = 0.0) {
+    LatencyProfile p;
+    p.floor = floor;
+    const double m = median - floor;
+    const double q = q3 - floor;
+    p.mu = std::log(m);
+    p.sigma = std::log(q / m) / 0.6745;
+    return p;
+  }
+
+  [[nodiscard]] LatencyProfile with_outages(double prob, double mean) const {
+    LatencyProfile p = *this;
+    p.outage_prob = prob;
+    p.outage_mean = mean;
+    return p;
+  }
+
+  [[nodiscard]] double sample(Rng& rng) const {
+    double v = floor + rng.lognormal(mu, sigma);
+    if (outage_prob > 0 && rng.chance(outage_prob)) v += rng.exponential(outage_mean);
+    return v;
+  }
+};
+
+}  // namespace bmg::sim

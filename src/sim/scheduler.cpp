@@ -1,0 +1,37 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace bmg::sim {
+
+void Simulation::at(SimTime t, std::function<void()> fn) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulation::after(SimTime delay, std::function<void()> fn) {
+  at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is UB —
+  // copy the function instead (events are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, t);
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace bmg::sim

@@ -1,0 +1,64 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Everything time-dependent in the reproduction — host slots,
+// counterparty blocks, validator signing delays, relayer polling —
+// runs as events on this scheduler.  Events at equal timestamps fire
+// in scheduling order (FIFO), which makes runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bmg::sim {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now()).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (clamped to >= 0).
+  void after(SimTime delay, std::function<void()> fn);
+
+  /// Runs the next event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with timestamp <= `t`; afterwards now() == t.
+  void run_until(SimTime t);
+
+  /// Runs until the event queue is fully drained.
+  void run();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace bmg::sim

@@ -1,0 +1,49 @@
+#include "trie/nibbles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bmg::trie {
+
+Nibbles to_nibbles(ByteView key) {
+  Nibbles out;
+  out.reserve(key.size() * 2);
+  for (std::uint8_t b : key) {
+    out.push_back(b >> 4);
+    out.push_back(b & 0xF);
+  }
+  return out;
+}
+
+std::size_t common_prefix(const Nibbles& a, std::size_t a_off, const Nibbles& b,
+                          std::size_t b_off) {
+  const std::size_t limit = std::min(a.size() - a_off, b.size() - b_off);
+  std::size_t i = 0;
+  while (i < limit && a[a_off + i] == b[b_off + i]) ++i;
+  return i;
+}
+
+Nibbles slice(const Nibbles& n, std::size_t off, std::size_t len) {
+  if (off + len > n.size()) throw std::out_of_range("nibble slice out of range");
+  return Nibbles(n.begin() + static_cast<std::ptrdiff_t>(off),
+                 n.begin() + static_cast<std::ptrdiff_t>(off + len));
+}
+
+void encode_nibbles(Encoder& e, const Nibbles& n) {
+  e.u16(static_cast<std::uint16_t>(n.size()));
+  for (std::uint8_t nib : n) e.u8(nib);
+}
+
+Nibbles decode_nibbles(Decoder& d) {
+  const std::uint16_t count = d.u16();
+  Nibbles out;
+  out.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint8_t nib = d.u8();
+    if (nib > 15) throw CodecError("nibble out of range");
+    out.push_back(nib);
+  }
+  return out;
+}
+
+}  // namespace bmg::trie

@@ -1,0 +1,33 @@
+// Nibble (4-bit) path utilities for the Merkle-Patricia trie.
+//
+// Keys are byte strings; the trie branches on 4-bit nibbles, so a key
+// of n bytes is a path of 2n nibbles (high nibble first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/codec.hpp"
+
+namespace bmg::trie {
+
+/// A sequence of nibbles, one per byte (values 0..15).
+using Nibbles = std::vector<std::uint8_t>;
+
+/// Expands a byte string into its nibble path.
+[[nodiscard]] Nibbles to_nibbles(ByteView key);
+
+/// Length of the longest common prefix of two nibble sequences.
+[[nodiscard]] std::size_t common_prefix(const Nibbles& a, std::size_t a_off,
+                                        const Nibbles& b, std::size_t b_off);
+
+/// Sub-range copy [off, off+len).
+[[nodiscard]] Nibbles slice(const Nibbles& n, std::size_t off, std::size_t len);
+
+/// Canonical encoding used inside node hash preimages and proofs:
+/// u16 count followed by one byte per nibble.
+void encode_nibbles(Encoder& e, const Nibbles& n);
+[[nodiscard]] Nibbles decode_nibbles(Decoder& d);
+
+}  // namespace bmg::trie

@@ -1,0 +1,194 @@
+#include "trie/node.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace bmg::trie {
+
+namespace {
+constexpr std::uint8_t kTagLeaf = 0x00;
+constexpr std::uint8_t kTagBranch = 0x01;
+constexpr std::uint8_t kTagExtension = 0x02;
+
+Encoder encode_leaf(const Nibbles& suffix, const Hash32& value) {
+  Encoder e;
+  e.u8(kTagLeaf);
+  encode_nibbles(e, suffix);
+  e.hash(value);
+  return e;
+}
+
+Encoder encode_branch(const std::array<std::optional<Hash32>, 16>& children) {
+  Encoder e;
+  e.u8(kTagBranch);
+  std::uint16_t bitmap = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    if (children[i]) bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
+  e.u16(bitmap);
+  for (std::size_t i = 0; i < 16; ++i)
+    if (children[i]) e.hash(*children[i]);
+  return e;
+}
+
+Encoder encode_extension(const Nibbles& path, const Hash32& child) {
+  Encoder e;
+  e.u8(kTagExtension);
+  encode_nibbles(e, path);
+  e.hash(child);
+  return e;
+}
+}  // namespace
+
+Hash32 hash_leaf(const Nibbles& suffix, const Hash32& value) {
+  return crypto::Sha256::digest(encode_leaf(suffix, value).out());
+}
+
+Hash32 hash_branch(const std::array<std::optional<Hash32>, 16>& children) {
+  return crypto::Sha256::digest(encode_branch(children).out());
+}
+
+Hash32 hash_extension(const Nibbles& path, const Hash32& child) {
+  return crypto::Sha256::digest(encode_extension(path, child).out());
+}
+
+Hash32 hash_proof_node(const ProofNode& node) {
+  return std::visit(
+      [](const auto& n) -> Hash32 {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, ProofLeaf>) {
+          return hash_leaf(n.suffix, n.value);
+        } else if constexpr (std::is_same_v<T, ProofBranch>) {
+          return hash_branch(n.children);
+        } else {
+          return hash_extension(n.path, n.child);
+        }
+      },
+      node);
+}
+
+Bytes Proof::serialize() const {
+  Encoder e;
+  e.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (const auto& node : nodes) {
+    std::visit(
+        [&e](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, ProofLeaf>) {
+            e.u8(kTagLeaf);
+            encode_nibbles(e, n.suffix);
+            e.hash(n.value);
+          } else if constexpr (std::is_same_v<T, ProofBranch>) {
+            e.u8(kTagBranch);
+            std::uint16_t bitmap = 0;
+            for (std::size_t i = 0; i < 16; ++i)
+              if (n.children[i]) bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
+            e.u16(bitmap);
+            for (std::size_t i = 0; i < 16; ++i)
+              if (n.children[i]) e.hash(*n.children[i]);
+          } else {
+            e.u8(kTagExtension);
+            encode_nibbles(e, n.path);
+            e.hash(n.child);
+          }
+        },
+        node);
+  }
+  return e.take();
+}
+
+Proof Proof::deserialize(ByteView data) {
+  Decoder d(data);
+  Proof p;
+  const std::uint32_t count = d.u32();
+  if (count > 4096) throw CodecError("proof: implausible node count");
+  p.nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t tag = d.u8();
+    switch (tag) {
+      case kTagLeaf: {
+        ProofLeaf n;
+        n.suffix = decode_nibbles(d);
+        n.value = d.hash();
+        p.nodes.emplace_back(std::move(n));
+        break;
+      }
+      case kTagBranch: {
+        ProofBranch n;
+        const std::uint16_t bitmap = d.u16();
+        for (std::size_t j = 0; j < 16; ++j)
+          if (bitmap & (1u << j)) n.children[j] = d.hash();
+        p.nodes.emplace_back(std::move(n));
+        break;
+      }
+      case kTagExtension: {
+        ProofExtension n;
+        n.path = decode_nibbles(d);
+        n.child = d.hash();
+        p.nodes.emplace_back(std::move(n));
+        break;
+      }
+      default:
+        throw CodecError("proof: unknown node tag");
+    }
+  }
+  d.expect_done();
+  return p;
+}
+
+std::size_t Proof::byte_size() const { return serialize().size(); }
+
+VerifyOutcome verify_proof(const Hash32& root, ByteView key, const Proof& proof) {
+  const Nibbles nibs = to_nibbles(key);
+  std::size_t pos = 0;
+
+  if (proof.nodes.empty()) {
+    // Only the empty trie (zero root) proves absence with no nodes.
+    if (root.is_zero()) return {VerifyOutcome::Kind::kAbsent, {}};
+    return {VerifyOutcome::Kind::kInvalid, {}};
+  }
+
+  Hash32 expected = root;
+  for (std::size_t i = 0; i < proof.nodes.size(); ++i) {
+    const ProofNode& node = proof.nodes[i];
+    if (hash_proof_node(node) != expected) return {VerifyOutcome::Kind::kInvalid, {}};
+    const bool last = (i + 1 == proof.nodes.size());
+
+    if (const auto* leaf = std::get_if<ProofLeaf>(&node)) {
+      if (!last) return {VerifyOutcome::Kind::kInvalid, {}};
+      const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
+      if (leaf->suffix == rest) return {VerifyOutcome::Kind::kFound, leaf->value};
+      // A leaf with a different suffix at this position proves the key
+      // is absent from the (prefix-free) trie.
+      return {VerifyOutcome::Kind::kAbsent, {}};
+    }
+
+    if (const auto* branch = std::get_if<ProofBranch>(&node)) {
+      if (pos >= nibs.size()) return {VerifyOutcome::Kind::kInvalid, {}};
+      const std::uint8_t nib = nibs[pos];
+      ++pos;
+      const auto& child = branch->children[nib];
+      if (!child) {
+        // Missing child proves absence — but only if the proof stops here.
+        if (!last) return {VerifyOutcome::Kind::kInvalid, {}};
+        return {VerifyOutcome::Kind::kAbsent, {}};
+      }
+      if (last) return {VerifyOutcome::Kind::kInvalid, {}};
+      expected = *child;
+      continue;
+    }
+
+    const auto& ext = std::get<ProofExtension>(node);
+    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+    if (cp == ext.path.size()) {
+      if (last) return {VerifyOutcome::Kind::kInvalid, {}};
+      pos += cp;
+      expected = ext.child;
+      continue;
+    }
+    // Divergence inside the extension path proves absence.
+    if (!last) return {VerifyOutcome::Kind::kInvalid, {}};
+    return {VerifyOutcome::Kind::kAbsent, {}};
+  }
+  return {VerifyOutcome::Kind::kInvalid, {}};
+}
+
+}  // namespace bmg::trie

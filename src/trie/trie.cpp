@@ -1,0 +1,353 @@
+#include "trie/trie.hpp"
+
+#include <utility>
+
+namespace bmg::trie {
+
+namespace {
+/// Serialized size contribution of a node (mirrors the hash preimage
+/// encodings plus a small per-node arena header).
+constexpr std::size_t kNodeHeader = 4;
+}  // namespace
+
+std::uint32_t SealableTrie::alloc(Node node) {
+  if (!free_list_.empty()) {
+    const std::uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    arena_[idx] = std::move(node);
+    return idx;
+  }
+  arena_.push_back(std::move(node));
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void SealableTrie::free_node(std::uint32_t idx) {
+  arena_[idx] = std::monostate{};
+  free_list_.push_back(idx);
+}
+
+std::optional<Hash32> SealableTrie::ref_hash(const Ref& ref) {
+  if (ref.is_empty()) return std::nullopt;
+  return ref.hash;
+}
+
+Hash32 SealableTrie::node_hash(std::uint32_t idx) const {
+  const Node& node = arena_[idx];
+  if (const auto* leaf = std::get_if<LeafNode>(&node))
+    return hash_leaf(leaf->suffix, leaf->value);
+  if (const auto* branch = std::get_if<BranchNode>(&node)) {
+    std::array<std::optional<Hash32>, 16> kids;
+    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch->children[i]);
+    return hash_branch(kids);
+  }
+  const auto& ext = std::get<ExtensionNode>(node);
+  return hash_extension(ext.path, ext.child.hash);
+}
+
+Hash32 SealableTrie::root_hash() const noexcept {
+  if (root_.is_empty()) return Hash32{};
+  return root_.hash;
+}
+
+bool SealableTrie::empty() const noexcept { return root_.is_empty(); }
+
+void SealableTrie::set(ByteView key, const Hash32& value) {
+  const Nibbles nibs = to_nibbles(key);
+  root_ = set_rec(root_, nibs, 0, value);
+}
+
+SealableTrie::Ref SealableTrie::set_rec(Ref ref, const Nibbles& nibs, std::size_t pos,
+                                        const Hash32& value) {
+  if (ref.sealed) throw SealedError("set: key path crosses a sealed region");
+
+  if (ref.is_empty()) {
+    LeafNode leaf{slice(nibs, pos, nibs.size() - pos), value};
+    const Hash32 h = hash_leaf(leaf.suffix, leaf.value);
+    return Ref{h, alloc(Node{std::move(leaf)}), false};
+  }
+
+  Node& node = arena_[ref.node];
+
+  if (auto* leaf = std::get_if<LeafNode>(&node)) {
+    const std::size_t rest = nibs.size() - pos;
+    const std::size_t cp = common_prefix(leaf->suffix, 0, nibs, pos);
+    if (cp == leaf->suffix.size() && cp == rest) {
+      // Same key: update in place.
+      leaf->value = value;
+      ref.hash = hash_leaf(leaf->suffix, leaf->value);
+      return ref;
+    }
+    if (cp == leaf->suffix.size() || cp == rest)
+      throw PrefixError("set: key is a prefix of an existing key (or vice versa)");
+
+    // Split: branch at the divergence nibble, possibly under an extension.
+    const std::uint8_t old_nib = leaf->suffix[cp];
+    const std::uint8_t new_nib = nibs[pos + cp];
+    const Nibbles shared = slice(leaf->suffix, 0, cp);
+
+    // Shorten the existing leaf (reuse its arena slot).
+    leaf->suffix = slice(leaf->suffix, cp + 1, leaf->suffix.size() - cp - 1);
+    const Hash32 old_leaf_hash = hash_leaf(leaf->suffix, leaf->value);
+    const Ref old_ref{old_leaf_hash, ref.node, false};
+
+    LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
+    const Hash32 new_leaf_hash = hash_leaf(new_leaf.suffix, new_leaf.value);
+    const Ref new_ref{new_leaf_hash, alloc(Node{std::move(new_leaf)}), false};
+
+    BranchNode branch;
+    branch.children[old_nib] = old_ref;
+    branch.children[new_nib] = new_ref;
+    std::array<std::optional<Hash32>, 16> kids;
+    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch.children[i]);
+    const Hash32 branch_hash = hash_branch(kids);
+    const Ref branch_ref{branch_hash, alloc(Node{std::move(branch)}), false};
+
+    if (shared.empty()) return branch_ref;
+    const Hash32 ext_hash = hash_extension(shared, branch_ref.hash);
+    ExtensionNode ext{shared, branch_ref};
+    return Ref{ext_hash, alloc(Node{std::move(ext)}), false};
+  }
+
+  if (auto* branch = std::get_if<BranchNode>(&node)) {
+    if (pos == nibs.size())
+      throw PrefixError("set: key terminates at an interior branch");
+    const std::uint8_t nib = nibs[pos];
+    // Recursion may reallocate the arena; re-resolve after the call.
+    const std::uint32_t node_idx = ref.node;
+    const Ref updated =
+        set_rec(branch->children[nib], nibs, pos + 1, value);
+    auto& fresh_branch = std::get<BranchNode>(arena_[node_idx]);
+    fresh_branch.children[nib] = updated;
+    std::array<std::optional<Hash32>, 16> kids;
+    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(fresh_branch.children[i]);
+    ref.hash = hash_branch(kids);
+    return ref;
+  }
+
+  auto& ext = std::get<ExtensionNode>(node);
+  const std::size_t rest = nibs.size() - pos;
+  const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+  if (cp == ext.path.size()) {
+    const std::uint32_t node_idx = ref.node;
+    const Ref updated = set_rec(ext.child, nibs, pos + cp, value);
+    auto& fresh_ext = std::get<ExtensionNode>(arena_[node_idx]);
+    fresh_ext.child = updated;
+    ref.hash = hash_extension(fresh_ext.path, fresh_ext.child.hash);
+    return ref;
+  }
+  if (cp == rest)
+    throw PrefixError("set: key terminates inside an extension path");
+
+  // Split this extension at nibble cp.
+  const Nibbles shared = slice(ext.path, 0, cp);
+  const std::uint8_t old_nib = ext.path[cp];
+  const std::uint8_t new_nib = nibs[pos + cp];
+  const Nibbles old_tail = slice(ext.path, cp + 1, ext.path.size() - cp - 1);
+  const Ref old_child = ext.child;
+
+  Ref old_side;
+  if (old_tail.empty()) {
+    // The branch points directly at the old extension's child; reuse
+    // this node's slot for nothing — free it below.
+    old_side = old_child;
+    free_node(ref.node);
+  } else {
+    // Reuse this arena slot as the shortened extension.
+    ext.path = old_tail;
+    const Hash32 h = hash_extension(ext.path, ext.child.hash);
+    old_side = Ref{h, ref.node, false};
+  }
+
+  LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
+  const Hash32 new_leaf_hash = hash_leaf(new_leaf.suffix, new_leaf.value);
+  const Ref new_ref{new_leaf_hash, alloc(Node{std::move(new_leaf)}), false};
+
+  BranchNode branch;
+  branch.children[old_nib] = old_side;
+  branch.children[new_nib] = new_ref;
+  std::array<std::optional<Hash32>, 16> kids;
+  for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch.children[i]);
+  const Ref branch_ref{hash_branch(kids), alloc(Node{std::move(branch)}), false};
+
+  if (shared.empty()) return branch_ref;
+  ExtensionNode top{shared, branch_ref};
+  const Hash32 top_hash = hash_extension(top.path, top.child.hash);
+  return Ref{top_hash, alloc(Node{std::move(top)}), false};
+}
+
+SealableTrie::Lookup SealableTrie::get(ByteView key, Hash32* value_out) const {
+  const Nibbles nibs = to_nibbles(key);
+  std::size_t pos = 0;
+  const Ref* ref = &root_;
+  while (true) {
+    if (ref->sealed) return Lookup::kSealed;
+    if (ref->is_empty()) return Lookup::kAbsent;
+    const Node& node = arena_[ref->node];
+    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
+      const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
+      if (leaf->suffix == rest) {
+        if (value_out != nullptr) *value_out = leaf->value;
+        return Lookup::kFound;
+      }
+      return Lookup::kAbsent;
+    }
+    if (const auto* branch = std::get_if<BranchNode>(&node)) {
+      if (pos >= nibs.size()) return Lookup::kAbsent;
+      ref = &branch->children[nibs[pos]];
+      ++pos;
+      continue;
+    }
+    const auto& ext = std::get<ExtensionNode>(node);
+    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+    if (cp != ext.path.size()) return Lookup::kAbsent;
+    pos += cp;
+    ref = &ext.child;
+  }
+}
+
+void SealableTrie::seal(ByteView key) {
+  const Nibbles nibs = to_nibbles(key);
+  std::size_t pos = 0;
+
+  // Walk down, recording the chain of (node index, child slot) so we
+  // can propagate sealing upward.  Slot -1 means "extension child".
+  struct Step {
+    std::uint32_t node;
+    int slot;  // 0..15 for branch children, -1 for extension child
+  };
+  std::vector<Step> path;
+
+  Ref* ref = &root_;
+  while (true) {
+    if (ref->sealed) throw SealedError("seal: key already inside a sealed region");
+    if (ref->is_empty()) throw NotFoundError("seal: key not present");
+    Node& node = arena_[ref->node];
+    if (auto* leaf = std::get_if<LeafNode>(&node)) {
+      const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
+      if (leaf->suffix != rest) throw NotFoundError("seal: key not present");
+      break;  // `ref` points at the leaf to seal
+    }
+    if (auto* branch = std::get_if<BranchNode>(&node)) {
+      if (pos >= nibs.size()) throw NotFoundError("seal: key not present");
+      path.push_back({ref->node, nibs[pos]});
+      ref = &branch->children[nibs[pos]];
+      ++pos;
+      continue;
+    }
+    auto& ext = std::get<ExtensionNode>(node);
+    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+    if (cp != ext.path.size()) throw NotFoundError("seal: key not present");
+    path.push_back({ref->node, -1});
+    pos += cp;
+    ref = &ext.child;
+  }
+
+  // Seal the leaf: drop its storage, keep the hash in the parent ref.
+  free_node(ref->node);
+  ref->node = kNil;
+  ref->sealed = true;
+
+  // Propagate: an extension whose child is sealed seals too; a branch
+  // whose present children are all sealed seals too (paper §III-A).
+  while (!path.empty()) {
+    const Step step = path.back();
+    path.pop_back();
+    Node& node = arena_[step.node];
+
+    bool seal_this = false;
+    if (auto* branch = std::get_if<BranchNode>(&node)) {
+      seal_this = true;
+      for (const Ref& child : branch->children) {
+        if (child.is_empty()) continue;
+        if (!child.sealed) {
+          seal_this = false;
+          break;
+        }
+      }
+    } else {
+      seal_this = std::get<ExtensionNode>(node).child.sealed;
+    }
+    if (!seal_this) break;
+
+    // Find the Ref in the parent (or root) that points at this node.
+    Ref* owner = nullptr;
+    if (path.empty()) {
+      owner = &root_;
+    } else {
+      const Step parent = path.back();
+      Node& parent_node = arena_[parent.node];
+      if (parent.slot >= 0) {
+        owner = &std::get<BranchNode>(parent_node)
+                     .children[static_cast<std::size_t>(parent.slot)];
+      } else {
+        owner = &std::get<ExtensionNode>(parent_node).child;
+      }
+    }
+    free_node(step.node);
+    owner->node = kNil;
+    owner->sealed = true;
+  }
+}
+
+Proof SealableTrie::prove(ByteView key) const {
+  const Nibbles nibs = to_nibbles(key);
+  std::size_t pos = 0;
+  Proof proof;
+
+  const Ref* ref = &root_;
+  while (true) {
+    if (ref->sealed)
+      throw SealedError("prove: key path enters a sealed region");
+    if (ref->is_empty()) return proof;  // absence; possibly empty proof for empty trie
+    const Node& node = arena_[ref->node];
+    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
+      proof.nodes.emplace_back(ProofLeaf{leaf->suffix, leaf->value});
+      return proof;
+    }
+    if (const auto* branch = std::get_if<BranchNode>(&node)) {
+      ProofBranch pb;
+      for (std::size_t i = 0; i < 16; ++i) pb.children[i] = ref_hash(branch->children[i]);
+      proof.nodes.emplace_back(std::move(pb));
+      if (pos >= nibs.size()) return proof;  // absence (interior end)
+      const Ref& child = branch->children[nibs[pos]];
+      ++pos;
+      if (child.is_empty()) return proof;  // absence proven by missing child
+      ref = &child;
+      continue;
+    }
+    const auto& ext = std::get<ExtensionNode>(node);
+    proof.nodes.emplace_back(ProofExtension{ext.path, ext.child.hash});
+    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+    if (cp != ext.path.size()) return proof;  // absence at divergence
+    pos += cp;
+    ref = &ext.child;
+  }
+}
+
+TrieStats SealableTrie::stats() const {
+  TrieStats s;
+  auto count_ref = [&s](const Ref& r) {
+    if (r.sealed) ++s.sealed_refs;
+  };
+  count_ref(root_);
+  for (const Node& node : arena_) {
+    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
+      ++s.leaf_count;
+      s.byte_size += kNodeHeader + 3 + leaf->suffix.size() / 2 + 1 + 32;
+    } else if (const auto* branch = std::get_if<BranchNode>(&node)) {
+      ++s.branch_count;
+      s.byte_size += kNodeHeader + 3;
+      for (const Ref& child : branch->children) {
+        count_ref(child);
+        if (!child.is_empty()) s.byte_size += 33;
+      }
+    } else if (const auto* ext = std::get_if<ExtensionNode>(&node)) {
+      ++s.extension_count;
+      s.byte_size += kNodeHeader + 3 + ext->path.size() / 2 + 1 + 33;
+      count_ref(ext->child);
+    }
+  }
+  return s;
+}
+
+}  // namespace bmg::trie

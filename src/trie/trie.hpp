@@ -1,0 +1,138 @@
+// The sealable Merkle-Patricia trie — the paper's core data structure
+// (§III-A).
+//
+// A normal Merkle trie only ever grows: the Guest Contract must
+// remember every processed packet forever to prevent double delivery.
+// The sealable trie lets the contract *seal* entries that will never
+// be read again: the node's storage is reclaimed while its hash stays
+// embedded in the parent, so the root commitment — and every proof
+// against it — remains valid.  Sealed keys become permanently
+// inaccessible: `get` reports kSealed, and inserting or proving
+// through a sealed region fails.  That inaccessibility is exactly the
+// double-delivery guard: `assert ph ∉ trie` fails for a sealed ph.
+//
+// Keys must be prefix-free (no key may be a prefix of another); the
+// IBC layer guarantees this by hashing commitment paths.  Violations
+// throw PrefixError.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "trie/node.hpp"
+
+namespace bmg::trie {
+
+class TrieError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+/// Operation would read or modify a sealed region.
+class SealedError : public TrieError {
+ public:
+  using TrieError::TrieError;
+};
+/// Key is a prefix of an existing key or vice versa.
+class PrefixError : public TrieError {
+ public:
+  using TrieError::TrieError;
+};
+/// seal() of a key that is not present.
+class NotFoundError : public TrieError {
+ public:
+  using TrieError::TrieError;
+};
+
+/// Storage accounting (drives the §V-D storage-cost experiment).
+struct TrieStats {
+  std::size_t leaf_count = 0;
+  std::size_t branch_count = 0;
+  std::size_t extension_count = 0;
+  /// Child references whose subtree has been sealed away.
+  std::size_t sealed_refs = 0;
+  /// Approximate serialized size of all live nodes, i.e. what the
+  /// host-chain account actually has to store.
+  std::size_t byte_size = 0;
+  [[nodiscard]] std::size_t node_count() const {
+    return leaf_count + branch_count + extension_count;
+  }
+};
+
+class SealableTrie {
+ public:
+  enum class Lookup {
+    kFound,   ///< key present, value returned
+    kAbsent,  ///< key not in the trie
+    kSealed,  ///< key's path enters a sealed region: inaccessible
+  };
+
+  SealableTrie() = default;
+
+  /// Inserts or updates `key`.  Throws SealedError if the path crosses
+  /// a sealed region, PrefixError on prefix-freedom violations.
+  void set(ByteView key, const Hash32& value);
+
+  /// Looks up `key`; on kFound stores the value into `*value_out`
+  /// (if non-null).
+  [[nodiscard]] Lookup get(ByteView key, Hash32* value_out = nullptr) const;
+
+  /// Seals the entry for `key`: reclaims its storage while keeping the
+  /// root commitment unchanged.  Throws NotFoundError if absent,
+  /// SealedError if already sealed.
+  void seal(ByteView key);
+
+  /// Root commitment.  All-zero for the empty trie.
+  [[nodiscard]] Hash32 root_hash() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Builds a membership or non-membership proof for `key`.
+  /// Throws SealedError if the path enters a sealed region.
+  [[nodiscard]] Proof prove(ByteView key) const;
+
+  [[nodiscard]] TrieStats stats() const;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFF;
+
+  /// Child reference: empty, live (points at an arena node) or sealed
+  /// (hash retained, node storage reclaimed).
+  struct Ref {
+    Hash32 hash{};
+    std::uint32_t node = kNil;
+    bool sealed = false;
+
+    [[nodiscard]] bool is_empty() const noexcept { return node == kNil && !sealed; }
+    [[nodiscard]] bool is_live() const noexcept { return node != kNil; }
+  };
+
+  struct LeafNode {
+    Nibbles suffix;
+    Hash32 value;
+  };
+  struct BranchNode {
+    std::array<Ref, 16> children;
+  };
+  struct ExtensionNode {
+    Nibbles path;
+    Ref child;
+  };
+  using Node = std::variant<std::monostate, LeafNode, BranchNode, ExtensionNode>;
+
+  [[nodiscard]] std::uint32_t alloc(Node node);
+  void free_node(std::uint32_t idx);
+  [[nodiscard]] Hash32 node_hash(std::uint32_t idx) const;
+  [[nodiscard]] static std::optional<Hash32> ref_hash(const Ref& ref);
+
+  Ref set_rec(Ref ref, const Nibbles& nibs, std::size_t pos, const Hash32& value);
+
+  std::vector<Node> arena_;
+  std::vector<std::uint32_t> free_list_;
+  Ref root_;
+};
+
+}  // namespace bmg::trie

@@ -1,0 +1,51 @@
+#include "common/base58.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+
+namespace bmg {
+namespace {
+
+TEST(Base58, KnownVectors) {
+  EXPECT_EQ(base58_encode(bytes_of("hello world")), "StV1DL6CwTryKyV");
+  EXPECT_EQ(base58_encode(Bytes{}), "");
+  EXPECT_EQ(base58_encode(Bytes{0x00}), "1");
+  EXPECT_EQ(base58_encode(Bytes{0x00, 0x00, 0x01}), "112");
+  EXPECT_EQ(base58_encode(from_hex("00010966776006953d5567439e5e39f86a0d273bee")),
+            "1qb3y62fmEEVTPySXPQ77WXok6H");
+}
+
+TEST(Base58, DecodeKnownVectors) {
+  EXPECT_EQ(base58_decode("StV1DL6CwTryKyV"), bytes_of("hello world"));
+  EXPECT_TRUE(base58_decode("").empty());
+  EXPECT_EQ(base58_decode("1"), Bytes{0x00});
+}
+
+TEST(Base58, RejectsInvalidCharacters) {
+  EXPECT_THROW((void)base58_decode("0OIl"), std::invalid_argument);
+  EXPECT_THROW((void)base58_decode("abc!"), std::invalid_argument);
+}
+
+TEST(Base58, RandomRoundTrips) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Bytes data(rng.uniform_int(64));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(base58_decode(base58_encode(data)), data);
+  }
+}
+
+TEST(Base58, SolanaStyleAddressLength) {
+  // 32-byte Ed25519 keys encode to 32-44 base58 characters, like
+  // Solana addresses.
+  const auto key = crypto::PrivateKey::from_label("addr").public_key();
+  const std::string addr = base58_encode(key.view());
+  EXPECT_GE(addr.size(), 32u);
+  EXPECT_LE(addr.size(), 44u);
+  EXPECT_EQ(base58_decode(addr), Bytes(key.view().begin(), key.view().end()));
+}
+
+}  // namespace
+}  // namespace bmg

@@ -1,0 +1,114 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bmg {
+namespace {
+
+Series make_series(std::initializer_list<double> vals) {
+  Series s;
+  for (double v : vals) s.add(v);
+  return s;
+}
+
+TEST(Series, BasicOrderStats) {
+  const Series s = make_series({5, 1, 3, 2, 4});
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3);
+}
+
+TEST(Series, QuantileInterpolation) {
+  const Series s = make_series({0, 10});
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 7.5);
+}
+
+TEST(Series, QuantileClamps) {
+  const Series s = make_series({1, 2, 3});
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 3);
+}
+
+TEST(Series, Stddev) {
+  const Series s = make_series({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Series, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(make_series({7}).stddev(), 0.0);
+}
+
+TEST(Series, CdfAt) {
+  const Series s = make_series({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10), 1.0);
+}
+
+TEST(Series, EmptyThrows) {
+  const Series s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+}
+
+TEST(Series, AddAfterQueryStaysConsistent) {
+  Series s;
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.max(), 1);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.max(), 10);  // sorted cache must refresh
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesThrow) {
+  EXPECT_THROW((void)pearson({1, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)pearson({1}, {1}), std::invalid_argument);
+}
+
+TEST(Render, CdfHasRequestedRows) {
+  Series s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  const std::string out = render_cdf(s, 10, "latency");
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  // 1 header + 10 data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 11);
+}
+
+TEST(Render, HistogramMentionsSampleCount) {
+  Series s;
+  for (int i = 0; i < 50; ++i) s.add(i % 7);
+  const std::string out = render_histogram(s, 5, "cost");
+  EXPECT_NE(out.find("50 samples"), std::string::npos);
+}
+
+TEST(Render, QuantileRowParses) {
+  Series s;
+  for (int i = 1; i <= 9; ++i) s.add(i);
+  const std::string row = render_quantile_row(s);
+  EXPECT_NE(row.find("1.0"), std::string::npos);
+  EXPECT_NE(row.find("9.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bmg

@@ -1,0 +1,90 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace bmg::crypto {
+namespace {
+
+std::string digest_hex(std::string_view msg) {
+  return Sha256::digest(bytes_of(msg)).hex();
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongerNistVector) {
+  EXPECT_EQ(digest_hex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                       "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(bytes_of(chunk));
+  EXPECT_EQ(h.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = bytes_of("the quick brown fox jumps over the lazy dog etc etc");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(ByteView{msg.data(), split});
+    h.update(ByteView{msg.data() + split, msg.size() - split});
+    EXPECT_EQ(h.finish(), Sha256::digest(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Exercise message lengths around the 55/56/64-byte padding edges.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 a;
+    a.update(bytes_of(msg));
+    // Byte-at-a-time must agree.
+    Sha256 b;
+    for (char ch : msg) {
+      const auto byte = static_cast<std::uint8_t>(ch);
+      b.update(ByteView{&byte, 1});
+    }
+    EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha256, PairHelper) {
+  const Hash32 a = Sha256::digest(bytes_of("a"));
+  const Hash32 b = Sha256::digest(bytes_of("b"));
+  const Bytes combined = concat({a.view(), b.view()});
+  EXPECT_EQ(sha256_pair(a, b), Sha256::digest(combined));
+  EXPECT_NE(sha256_pair(a, b), sha256_pair(b, a));
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update(bytes_of("abc"));
+  (void)h.finish();
+  h.reset();
+  h.update(bytes_of("abc"));
+  EXPECT_EQ(h.finish().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace bmg::crypto

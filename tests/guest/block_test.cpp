@@ -1,0 +1,86 @@
+#include "guest/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+
+namespace bmg::guest {
+namespace {
+
+ibc::ValidatorSet make_set(int n) {
+  ibc::ValidatorSet set;
+  for (int i = 0; i < n; ++i)
+    set.validators.push_back(
+        {crypto::PrivateKey::from_label("bv-" + std::to_string(i)).public_key(), 50});
+  return set;
+}
+
+TEST(GuestBlock, MakeFillsHeaderAndExtra) {
+  const ibc::ValidatorSet set = make_set(3);
+  Hash32 root, prev;
+  root.bytes[0] = 1;
+  prev.bytes[0] = 2;
+  const GuestBlock b = GuestBlock::make("guest-1", 5, 123.5, root, prev, 999, set);
+  EXPECT_EQ(b.header.chain_id, "guest-1");
+  EXPECT_EQ(b.header.height, 5u);
+  EXPECT_EQ(b.header.state_root, root);
+  EXPECT_EQ(b.header.validator_set_hash, set.hash());
+  EXPECT_EQ(b.prev_hash, prev);
+  EXPECT_EQ(b.host_height, 999u);
+
+  // Extra binds prev hash and host height into the signing digest.
+  Decoder d(b.header.extra);
+  EXPECT_EQ(d.hash(), prev);
+  EXPECT_EQ(d.u64(), 999u);
+  d.expect_done();
+}
+
+TEST(GuestBlock, HashBindsAllFields) {
+  const ibc::ValidatorSet set = make_set(3);
+  const GuestBlock base = GuestBlock::make("guest-1", 5, 1.0, Hash32{}, Hash32{}, 9, set);
+  GuestBlock other = GuestBlock::make("guest-1", 5, 1.0, Hash32{}, Hash32{}, 10, set);
+  EXPECT_NE(base.hash(), other.hash());  // host height differs
+  Hash32 prev;
+  prev.bytes[3] = 7;
+  other = GuestBlock::make("guest-1", 5, 1.0, Hash32{}, prev, 9, set);
+  EXPECT_NE(base.hash(), other.hash());  // prev hash differs
+}
+
+TEST(GuestBlock, SignedStakeCountsOnlySetMembers) {
+  const ibc::ValidatorSet set = make_set(3);
+  GuestBlock b = GuestBlock::make("guest-1", 1, 1.0, Hash32{}, Hash32{}, 1, set);
+  const auto outsider = crypto::PrivateKey::from_label("outsider");
+  b.signers[set.validators[0].key] = crypto::Signature{};
+  b.signers[outsider.public_key()] = crypto::Signature{};
+  EXPECT_EQ(b.signed_stake(), 50u);  // outsider contributes nothing
+}
+
+TEST(GuestBlock, ToSignedHeaderCarriesSignaturesAndRotation) {
+  const ibc::ValidatorSet set = make_set(3);
+  GuestBlock b = GuestBlock::make("guest-1", 1, 1.0, Hash32{}, Hash32{}, 1, set);
+  const auto k = crypto::PrivateKey::from_label("bv-0");
+  b.signers[k.public_key()] = k.sign(b.hash().view());
+  b.next_validators = make_set(4);
+  EXPECT_TRUE(b.last_in_epoch());
+
+  const ibc::SignedQuorumHeader sh = b.to_signed_header();
+  EXPECT_EQ(sh.signatures.size(), 1u);
+  ASSERT_TRUE(sh.next_validators.has_value());
+  EXPECT_EQ(sh.next_validators->validators.size(), 4u);
+  // Round-trips on the wire.
+  const auto back = ibc::SignedQuorumHeader::decode(sh.encode());
+  EXPECT_EQ(back.header, sh.header);
+}
+
+TEST(GuestBlock, ByteSizeGrowsWithContent) {
+  const ibc::ValidatorSet set = make_set(3);
+  GuestBlock b = GuestBlock::make("guest-1", 1, 1.0, Hash32{}, Hash32{}, 1, set);
+  const std::size_t empty = b.byte_size();
+  ibc::Packet p;
+  p.data = Bytes(100, 0xAA);
+  b.packets.push_back(p);
+  EXPECT_GT(b.byte_size(), empty + 100);
+}
+
+}  // namespace
+}  // namespace bmg::guest

@@ -1,0 +1,195 @@
+// Ordered channels and channel closing (ICS-4 extensions beyond the
+// paper's deployed unordered transfer channel).
+#include <gtest/gtest.h>
+
+#include "ibc/module.hpp"
+
+namespace bmg::ibc {
+namespace {
+
+class RecordingApp final : public IbcApp {
+ public:
+  Acknowledgement on_recv_packet(const Packet& packet) override {
+    received.push_back(packet.sequence);
+    return Acknowledgement::ok();
+  }
+  void on_acknowledge(const Packet&, const Acknowledgement&) override { ++acks; }
+  void on_timeout(const Packet& packet) override { timed_out.push_back(packet.sequence); }
+
+  std::vector<std::uint64_t> received;
+  std::vector<std::uint64_t> timed_out;
+  int acks = 0;
+};
+
+class OrderedChannelPair : public ::testing::Test {
+ protected:
+  OrderedChannelPair() : module_a(store_a), module_b(store_b) {
+    auto ca = std::make_unique<TrustingLightClient>();
+    auto cb = std::make_unique<TrustingLightClient>();
+    client_of_b = ca.get();
+    client_of_a = cb.get();
+    client_ab = module_a.add_client(std::move(ca));
+    client_ba = module_b.add_client(std::move(cb));
+    module_a.bind_port("oapp", &app_a);
+    module_b.bind_port("oapp", &app_b);
+    sync();
+    open(ChannelOrder::kOrdered);
+  }
+
+  Height sync(Timestamp ts = 0.0) {
+    const Height h = next_height_++;
+    if (ts == 0.0) ts = static_cast<Timestamp>(h);
+    client_of_b->seed(h, ConsensusState{store_b.root_hash(), ts});
+    client_of_a->seed(h, ConsensusState{store_a.root_hash(), ts});
+    return h;
+  }
+
+  void open(ChannelOrder order) {
+    conn_a = module_a.conn_open_init(client_ab, client_ba);
+    Height h = sync();
+    conn_b = module_b.conn_open_try(client_ba, client_ab, conn_a,
+                                    module_a.connection(conn_a), h,
+                                    store_a.prove(connection_key(conn_a)));
+    h = sync();
+    module_a.conn_open_ack(conn_a, conn_b, module_b.connection(conn_b), h,
+                           store_b.prove(connection_key(conn_b)));
+    h = sync();
+    module_b.conn_open_confirm(conn_b, module_a.connection(conn_a), h,
+                               store_a.prove(connection_key(conn_a)));
+
+    chan_a = module_a.chan_open_init("oapp", conn_a, "oapp", order);
+    h = sync();
+    chan_b = module_b.chan_open_try("oapp", conn_b, "oapp", chan_a,
+                                    module_a.channel("oapp", chan_a), h,
+                                    store_a.prove(channel_key("oapp", chan_a)), order);
+    h = sync();
+    module_a.chan_open_ack("oapp", chan_a, chan_b, module_b.channel("oapp", chan_b), h,
+                           store_b.prove(channel_key("oapp", chan_b)));
+    h = sync();
+    module_b.chan_open_confirm("oapp", chan_b, module_a.channel("oapp", chan_a), h,
+                               store_a.prove(channel_key("oapp", chan_a)));
+    sync();
+  }
+
+  Acknowledgement deliver(const Packet& p) {
+    const Height h = sync();
+    return module_b.recv_packet(
+        p, h,
+        store_a.prove(packet_key(KeyKind::kPacketCommitment, p.source_port,
+                                 p.source_channel, p.sequence)),
+        1, 1.0);
+  }
+
+  trie::SealableTrie store_a, store_b;
+  IbcModule module_a, module_b;
+  TrustingLightClient *client_of_b = nullptr, *client_of_a = nullptr;
+  ClientId client_ab, client_ba;
+  ConnectionId conn_a, conn_b;
+  ChannelId chan_a, chan_b;
+  RecordingApp app_a, app_b;
+  Height next_height_ = 1;
+};
+
+TEST_F(OrderedChannelPair, HandshakeNegotiatesOrdering) {
+  EXPECT_EQ(module_a.channel("oapp", chan_a).order, ChannelOrder::kOrdered);
+  EXPECT_EQ(module_b.channel("oapp", chan_b).order, ChannelOrder::kOrdered);
+}
+
+TEST_F(OrderedChannelPair, OrderingMismatchRejectedAtTry) {
+  const ChannelId init =
+      module_a.chan_open_init("oapp", conn_a, "oapp", ChannelOrder::kOrdered);
+  const Height h = sync();
+  EXPECT_THROW((void)module_b.chan_open_try(
+                   "oapp", conn_b, "oapp", init, module_a.channel("oapp", init), h,
+                   store_a.prove(channel_key("oapp", init)), ChannelOrder::kUnordered),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, InOrderDeliveryWorks) {
+  for (int i = 0; i < 3; ++i) {
+    const Packet p = module_a.send_packet("oapp", chan_a, bytes_of("m"), 1000, 0);
+    EXPECT_TRUE(deliver(p).success);
+  }
+  EXPECT_EQ(app_b.received, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(module_b.next_recv_sequence("oapp", chan_b), 4u);
+}
+
+TEST_F(OrderedChannelPair, OutOfOrderDeliveryRejected) {
+  (void)module_a.send_packet("oapp", chan_a, bytes_of("1"), 1000, 0);
+  const Packet p2 = module_a.send_packet("oapp", chan_a, bytes_of("2"), 1000, 0);
+  EXPECT_THROW((void)deliver(p2), IbcError);
+  EXPECT_TRUE(app_b.received.empty());
+}
+
+TEST_F(OrderedChannelPair, ReplayRejectedBySequence) {
+  const Packet p = module_a.send_packet("oapp", chan_a, bytes_of("1"), 1000, 0);
+  EXPECT_TRUE(deliver(p).success);
+  EXPECT_THROW((void)deliver(p), IbcError);
+  EXPECT_EQ(app_b.received.size(), 1u);
+}
+
+TEST_F(OrderedChannelPair, OrderedTimeoutClosesChannel) {
+  const Packet p = module_a.send_packet("oapp", chan_a, bytes_of("late"), 0, 25.0);
+  // Never delivered; B committed next_recv = 1 when its end opened.
+  const Height h = sync(/*ts=*/30.0);
+  module_a.timeout_packet_ordered(
+      p, 1, h,
+      store_b.prove(packet_key(KeyKind::kNextSequenceRecv, "oapp", chan_b, 0)));
+  EXPECT_EQ(app_a.timed_out, (std::vector<std::uint64_t>{1}));
+  // ICS-4: the ordered channel is now closed.
+  EXPECT_EQ(module_a.channel("oapp", chan_a).state, ChannelState::kClosed);
+  EXPECT_THROW((void)module_a.send_packet("oapp", chan_a, bytes_of("x"), 1000, 0),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, OrderedTimeoutRejectsDeliveredPacket) {
+  const Packet p = module_a.send_packet("oapp", chan_a, bytes_of("x"), 0, 25.0);
+  (void)deliver(p);  // delivered; next_recv now 2
+  const Height h = sync(/*ts=*/30.0);
+  EXPECT_THROW(module_a.timeout_packet_ordered(
+                   p, 2, h,
+                   store_b.prove(packet_key(KeyKind::kNextSequenceRecv, "oapp",
+                                            chan_b, 0))),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, UnorderedTimeoutApiRejectedOnOrderedChannel) {
+  const Packet p = module_a.send_packet("oapp", chan_a, bytes_of("x"), 0, 25.0);
+  const Height h = sync(/*ts=*/30.0);
+  EXPECT_THROW(module_a.timeout_packet(
+                   p, h,
+                   store_b.prove(packet_key(KeyKind::kPacketReceipt, p.dest_port,
+                                            p.dest_channel, p.sequence))),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, CloseHandshake) {
+  module_a.chan_close_init("oapp", chan_a);
+  EXPECT_EQ(module_a.channel("oapp", chan_a).state, ChannelState::kClosed);
+  const Height h = sync();
+  module_b.chan_close_confirm("oapp", chan_b, module_a.channel("oapp", chan_a), h,
+                              store_a.prove(channel_key("oapp", chan_a)));
+  EXPECT_EQ(module_b.channel("oapp", chan_b).state, ChannelState::kClosed);
+  // Neither side can send any more.
+  EXPECT_THROW((void)module_a.send_packet("oapp", chan_a, bytes_of("x"), 1000, 0),
+               IbcError);
+  EXPECT_THROW((void)module_b.send_packet("oapp", chan_b, bytes_of("x"), 1000, 0),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, CloseConfirmNeedsClosedCounterparty) {
+  // B tries to confirm-close while A is still open.
+  const Height h = sync();
+  EXPECT_THROW(module_b.chan_close_confirm("oapp", chan_b,
+                                           module_a.channel("oapp", chan_a), h,
+                                           store_a.prove(channel_key("oapp", chan_a))),
+               IbcError);
+}
+
+TEST_F(OrderedChannelPair, CloseInitRequiresOpenChannel) {
+  module_a.chan_close_init("oapp", chan_a);
+  EXPECT_THROW(module_a.chan_close_init("oapp", chan_a), IbcError);
+}
+
+}  // namespace
+}  // namespace bmg::ibc

@@ -1,0 +1,99 @@
+#include "ibc/seq_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bmg::ibc {
+namespace {
+
+TEST(SeqTracker, InOrderMarksAdvanceWatermark) {
+  SeqTracker t;
+  for (std::uint64_t s = 1; s <= 5; ++s) EXPECT_TRUE(t.mark(s));
+  EXPECT_EQ(t.watermark(), 5u);
+}
+
+TEST(SeqTracker, OutOfOrderMarksBuffered) {
+  SeqTracker t;
+  EXPECT_TRUE(t.mark(3));
+  EXPECT_EQ(t.watermark(), 0u);
+  EXPECT_TRUE(t.mark(1));
+  EXPECT_EQ(t.watermark(), 1u);
+  EXPECT_TRUE(t.mark(2));
+  EXPECT_EQ(t.watermark(), 3u);  // absorbs the pending 3
+}
+
+TEST(SeqTracker, DuplicatesRejected) {
+  SeqTracker t;
+  EXPECT_TRUE(t.mark(1));
+  EXPECT_FALSE(t.mark(1));
+  EXPECT_TRUE(t.mark(5));
+  EXPECT_FALSE(t.mark(5));
+}
+
+TEST(SeqTracker, ZeroRejected) {
+  SeqTracker t;
+  EXPECT_FALSE(t.mark(0));
+  EXPECT_FALSE(t.is_marked(0));
+}
+
+TEST(SeqTracker, IsMarkedCoversBothRegions) {
+  SeqTracker t;
+  (void)t.mark(1);
+  (void)t.mark(2);
+  (void)t.mark(7);
+  EXPECT_TRUE(t.is_marked(1));
+  EXPECT_TRUE(t.is_marked(2));
+  EXPECT_TRUE(t.is_marked(7));
+  EXPECT_FALSE(t.is_marked(3));
+  EXPECT_FALSE(t.is_marked(8));
+}
+
+TEST(SeqTracker, SealableStaysBehindWatermark) {
+  // Invariant: only sequences < watermark may be sealed (s+1 must be
+  // present), so the newest contiguous entry is never handed out.
+  SeqTracker t;
+  (void)t.mark(1);
+  EXPECT_TRUE(t.drain_sealable().empty());  // 1 == watermark, keep it
+  (void)t.mark(2);
+  EXPECT_EQ(t.drain_sealable(), (std::vector<std::uint64_t>{1}));
+  (void)t.mark(3);
+  EXPECT_EQ(t.drain_sealable(), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(SeqTracker, DrainReturnsEachSequenceOnce) {
+  SeqTracker t;
+  for (std::uint64_t s = 1; s <= 10; ++s) (void)t.mark(s);
+  const auto first = t.drain_sealable();
+  EXPECT_EQ(first.size(), 9u);
+  EXPECT_TRUE(t.drain_sealable().empty());
+}
+
+TEST(SeqTracker, GapsBlockSealing) {
+  SeqTracker t;
+  (void)t.mark(1);
+  (void)t.mark(3);  // 2 missing
+  (void)t.mark(4);
+  EXPECT_TRUE(t.drain_sealable().empty());  // watermark stuck at 1
+  (void)t.mark(2);
+  EXPECT_EQ(t.watermark(), 4u);
+  EXPECT_EQ(t.drain_sealable(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(SeqTracker, LagHoldsBackRecentSequences) {
+  SeqTracker t(/*lag=*/3);
+  for (std::uint64_t s = 1; s <= 10; ++s) (void)t.mark(s);
+  // watermark 10, margin 1+3 => sealable up to 6.
+  EXPECT_EQ(t.drain_sealable(), (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SeqTracker, LiveCountTracksWindow) {
+  SeqTracker t;
+  for (std::uint64_t s = 1; s <= 100; ++s) {
+    (void)t.mark(s);
+    (void)t.drain_sealable();
+  }
+  // Everything except the newest has been sealed.
+  EXPECT_EQ(t.live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bmg::ibc

@@ -1,0 +1,107 @@
+// End-to-end epoch machinery: validator-set rotation on the guest
+// chain propagating through relayed headers into the counterparty's
+// light client, including a mid-run validator join via staking.
+#include <gtest/gtest.h>
+
+#include "relayer/deployment.hpp"
+
+namespace bmg::relayer {
+namespace {
+
+DeploymentConfig epoch_config(std::uint64_t seed) {
+  DeploymentConfig cfg;
+  cfg.seed = seed;
+  cfg.guest.delta_seconds = 30.0;
+  // Epochs every ~2 simulated minutes (300 host slots of 0.4 s).
+  cfg.guest.epoch_length_host_slots = 300;
+  cfg.guest.max_validators = 8;
+  for (int i = 0; i < 4; ++i) {
+    ValidatorProfile p;
+    p.name = "ep-val-" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(1.5, 2.5, 0.3);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 10;
+  return cfg;
+}
+
+TEST(EpochRotation, RotationBlocksFlowThroughLightClient) {
+  Deployment d(epoch_config(21));
+  d.open_ibc();
+
+  // Run through several epochs.
+  const auto start_blocks = d.guest().block_count();
+  d.run_for(600.0);
+  int rotations = 0;
+  for (ibc::Height h = 1; h < d.guest().block_count(); ++h)
+    if (d.guest().block_at(h).last_in_epoch()) ++rotations;
+  EXPECT_GE(rotations, 2) << "blocks " << start_blocks << " -> "
+                          << d.guest().block_count();
+
+  // The counterparty's guest client kept up across rotations: a fresh
+  // transfer must still complete end to end.
+  (void)d.send_transfer_from_guest(111, host::FeePolicy::priority(5'000'000));
+  const std::string voucher = "transfer/" + d.cp_channel() + "/SOL";
+  EXPECT_TRUE(d.run_until(
+      [&] { return d.cp().bank().balance("bob", voucher) == 111; }, 600.0));
+}
+
+TEST(EpochRotation, MidRunValidatorJoinEntersSetAndSigns) {
+  Deployment d(epoch_config(22));
+  d.start();
+  d.run_for(5.0);
+
+  // A new validator stakes more than anyone else.
+  const crypto::PrivateKey whale = crypto::PrivateKey::from_label("ep-whale");
+  d.host().airdrop(whale.public_key(), 100 * host::kLamportsPerSol);
+  host::Transaction tx;
+  tx.payer = whale.public_key();
+  tx.instructions.push_back(guest::ix::stake(5'000));
+  bool staked = false;
+  d.host().submit(std::move(tx), [&](const host::TxResult& r) { staked = r.success; });
+  ASSERT_TRUE(d.run_until([&] { return staked; }, 60.0));
+
+  // After the next epoch boundary the whale is in the validator set.
+  ASSERT_TRUE(d.run_until(
+      [&] { return d.guest().epoch_validators().contains(whale.public_key()); },
+      900.0));
+  // Quorum now includes the whale's dominant stake, so blocks need its
+  // signature; run a whale agent to keep the chain alive.
+  ValidatorProfile profile;
+  profile.name = "whale";
+  profile.stake = 5'000;
+  profile.latency = sim::LatencyProfile::from_quantiles(1.0, 2.0, 0.3);
+  profile.fee = host::FeePolicy::priority(1'000'000);
+  ValidatorAgent agent(d.sim(), d.host(), d.guest(), whale, profile, Rng(5));
+  agent.start();
+
+  const auto height_before = d.guest().head().header.height;
+  d.run_for(300.0);
+  EXPECT_GT(d.guest().head().header.height, height_before);
+  EXPECT_GT(agent.signatures_submitted(), 0u);
+}
+
+TEST(EpochRotation, StakeExitShrinksNextEpoch) {
+  Deployment d(epoch_config(23));
+  d.start();
+  d.run_for(5.0);
+  ASSERT_EQ(d.guest().epoch_validators().validators.size(), 4u);
+
+  // Validator 3 unstakes fully; after rotation the set has 3 members.
+  const crypto::PrivateKey& leaver = d.validators()[3]->key();
+  host::Transaction tx;
+  tx.payer = leaver.public_key();
+  tx.instructions.push_back(guest::ix::unstake(100));
+  bool done = false;
+  d.host().submit(std::move(tx), [&](const host::TxResult& r) { done = r.success; });
+  ASSERT_TRUE(d.run_until([&] { return done; }, 60.0));
+
+  ASSERT_TRUE(d.run_until(
+      [&] { return d.guest().epoch_validators().validators.size() == 3; }, 900.0));
+  EXPECT_FALSE(d.guest().epoch_validators().contains(leaver.public_key()));
+}
+
+}  // namespace
+}  // namespace bmg::relayer

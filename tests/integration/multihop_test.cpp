@@ -1,0 +1,190 @@
+// Three chains: guest <-> counterparty A <-> counterparty B.
+//
+// The paper's motivation is connecting the host to the *whole* IBC
+// ecosystem, not just one peer: once the guest speaks IBC, its tokens
+// can hop onward through ordinary IBC links.  Here a guest-native
+// token crosses to chain A (one voucher prefix), hops on to chain B
+// (two stacked prefixes), and unwinds one hop back — with real light
+// clients and proofs on every link.
+#include <gtest/gtest.h>
+
+#include "relayer/deployment.hpp"
+
+namespace bmg::relayer {
+namespace {
+
+DeploymentConfig hop_config(std::uint64_t seed) {
+  DeploymentConfig cfg;
+  cfg.seed = seed;
+  cfg.guest.delta_seconds = 60.0;
+  for (int i = 0; i < 4; ++i) {
+    ValidatorProfile p;
+    p.name = "mh-val-" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(1.5, 2.5, 0.3);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 10;
+  return cfg;
+}
+
+/// Minimal relayer for a direct IBC link between two ordinary chains.
+class DirectLink {
+ public:
+  DirectLink(Deployment& d, counterparty::CounterpartyChain& a,
+             counterparty::CounterpartyChain& b)
+      : d_(d), a_(a), b_(b) {
+    client_on_a_ = a_.ibc().add_client(
+        std::make_unique<ibc::QuorumLightClient>(b_.chain_id(), b_.validators()));
+    client_on_b_ = b_.ibc().add_client(
+        std::make_unique<ibc::QuorumLightClient>(a_.chain_id(), a_.validators()));
+  }
+
+  /// Runs the full connection + channel handshake.
+  void open() {
+    conn_a_ = a_.ibc().conn_open_init(client_on_a_, client_on_b_);
+    ibc::Height ha = sync_a_to_b();
+    const auto& a_client = a_.ibc().client(client_on_a_);
+    conn_b_ = b_.ibc().conn_open_try(
+        client_on_b_, client_on_a_, conn_a_, a_.ibc().connection(conn_a_), ha,
+        a_.prove_at(ha, ibc::connection_key(conn_a_)),
+        ibc::ClientStateCommitment{a_client.tracked_chain_id(),
+                                   a_client.tracked_validator_set_hash()},
+        a_.prove_at(ha, ibc::client_key(client_on_a_)));
+    ibc::Height hb = sync_b_to_a();
+    const auto& b_client = b_.ibc().client(client_on_b_);
+    a_.ibc().conn_open_ack(
+        conn_a_, conn_b_, b_.ibc().connection(conn_b_), hb,
+        b_.prove_at(hb, ibc::connection_key(conn_b_)),
+        ibc::ClientStateCommitment{b_client.tracked_chain_id(),
+                                   b_client.tracked_validator_set_hash()},
+        b_.prove_at(hb, ibc::client_key(client_on_b_)));
+    ha = sync_a_to_b();
+    b_.ibc().conn_open_confirm(conn_b_, a_.ibc().connection(conn_a_), ha,
+                               a_.prove_at(ha, ibc::connection_key(conn_a_)));
+
+    chan_a_ = a_.ibc().chan_open_init("transfer", conn_a_, "transfer");
+    ha = sync_a_to_b();
+    chan_b_ = b_.ibc().chan_open_try("transfer", conn_b_, "transfer", chan_a_,
+                                     a_.ibc().channel("transfer", chan_a_), ha,
+                                     a_.prove_at(ha, ibc::channel_key("transfer", chan_a_)));
+    hb = sync_b_to_a();
+    a_.ibc().chan_open_ack("transfer", chan_a_, chan_b_,
+                           b_.ibc().channel("transfer", chan_b_), hb,
+                           b_.prove_at(hb, ibc::channel_key("transfer", chan_b_)));
+    ha = sync_a_to_b();
+    b_.ibc().chan_open_confirm("transfer", chan_b_, a_.ibc().channel("transfer", chan_a_),
+                               ha, a_.prove_at(ha, ibc::channel_key("transfer", chan_a_)));
+  }
+
+  /// Relays a packet from A to B (commitment proof + recv + ack back).
+  void relay_a_to_b(const ibc::Packet& p) {
+    const ibc::Height ha = sync_a_to_b();
+    const auto ack = b_.ibc().recv_packet(
+        p, ha,
+        a_.prove_at(ha, ibc::packet_key(ibc::KeyKind::kPacketCommitment, p.source_port,
+                                        p.source_channel, p.sequence)),
+        b_.height(), b_.now());
+    const ibc::Height hb = sync_b_to_a();
+    a_.ibc().acknowledge_packet(
+        p, ack, hb,
+        b_.prove_at(hb, ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                        p.dest_channel, p.sequence)));
+  }
+
+  void relay_b_to_a(const ibc::Packet& p) {
+    const ibc::Height hb = sync_b_to_a();
+    const auto ack = a_.ibc().recv_packet(
+        p, hb,
+        b_.prove_at(hb, ibc::packet_key(ibc::KeyKind::kPacketCommitment, p.source_port,
+                                        p.source_channel, p.sequence)),
+        a_.height(), a_.now());
+    const ibc::Height ha = sync_a_to_b();
+    b_.ibc().acknowledge_packet(
+        p, ack, ha,
+        a_.prove_at(ha, ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                        p.dest_channel, p.sequence)));
+  }
+
+  [[nodiscard]] const ibc::ChannelId& chan_a() const { return chan_a_; }
+  [[nodiscard]] const ibc::ChannelId& chan_b() const { return chan_b_; }
+
+ private:
+  /// Waits for the next A block and updates B's client of A.
+  ibc::Height sync_a_to_b() {
+    const ibc::Height target = a_.height() + 1;
+    (void)d_.run_until([&] { return a_.height() >= target; }, 60.0);
+    for (ibc::Height h = b_last_ + 1; h <= a_.height(); ++h)
+      b_.ibc().update_client(client_on_b_, a_.header_at(h).encode());
+    b_last_ = a_.height();
+    return b_last_;
+  }
+
+  ibc::Height sync_b_to_a() {
+    const ibc::Height target = b_.height() + 1;
+    (void)d_.run_until([&] { return b_.height() >= target; }, 60.0);
+    for (ibc::Height h = a_last_ + 1; h <= b_.height(); ++h)
+      a_.ibc().update_client(client_on_a_, b_.header_at(h).encode());
+    a_last_ = b_.height();
+    return a_last_;
+  }
+
+  Deployment& d_;
+  counterparty::CounterpartyChain& a_;
+  counterparty::CounterpartyChain& b_;
+  ibc::ClientId client_on_a_, client_on_b_;
+  ibc::ConnectionId conn_a_, conn_b_;
+  ibc::ChannelId chan_a_, chan_b_;
+  ibc::Height a_last_ = 0, b_last_ = 0;
+};
+
+TEST(MultiHop, GuestTokenReachesThirdChainAndUnwinds) {
+  Deployment d(hop_config(61));
+  d.open_ibc();  // guest <-> chain A
+
+  // A third chain joins the simulation.
+  counterparty::Config cfg_b;
+  cfg_b.chain_id = "osmosis-1";
+  cfg_b.num_validators = 10;
+  counterparty::CounterpartyChain chain_b(d.sim(), Rng(999), cfg_b);
+  chain_b.start();
+
+  DirectLink link(d, d.cp(), chain_b);
+  link.open();
+
+  // Hop 1: alice (guest) -> bob (chain A).
+  (void)d.send_transfer_from_guest(1000, host::FeePolicy::priority(5'000'000));
+  const std::string v1 = "transfer/" + d.cp_channel() + "/SOL";
+  ASSERT_TRUE(d.run_until([&] { return d.cp().bank().balance("bob", v1) == 1000; },
+                          600.0));
+
+  // Hop 2: bob (chain A) -> carol (chain B); the trace stacks.
+  const ibc::Packet hop2 = d.cp().transfer().send_transfer(
+      link.chan_a(), v1, 600, "bob", "carol", 0, d.sim().now() + 3600.0);
+  link.relay_a_to_b(hop2);
+  const std::string v2 = "transfer/" + link.chan_b() + "/" + v1;
+  EXPECT_EQ(chain_b.bank().balance("carol", v2), 600u);
+  // Chain A escrows the hop-1 voucher backing chain B's supply.
+  EXPECT_EQ(d.cp().bank().balance(ibc::TokenTransferApp::escrow_account(link.chan_a()),
+                                  v1),
+            600u);
+  EXPECT_EQ(d.cp().bank().balance("bob", v1), 400u);
+
+  // Unwind hop 2: carol sends 600 back to bob; B burns, A unescrows.
+  const ibc::Packet back = chain_b.transfer().send_transfer(
+      link.chan_b(), v2, 600, "carol", "bob", 0, d.sim().now() + 3600.0);
+  link.relay_b_to_a(back);
+  EXPECT_EQ(chain_b.bank().balance("carol", v2), 0u);
+  EXPECT_EQ(chain_b.bank().total_supply(v2), 0u);
+  EXPECT_EQ(d.cp().bank().balance("bob", v1), 1000u);
+
+  // Supply conservation across all three chains: guest escrow backs
+  // exactly the outstanding hop-1 vouchers.
+  EXPECT_EQ(d.guest().bank().balance(
+                ibc::TokenTransferApp::escrow_account(d.guest_channel()), "SOL"),
+            d.cp().bank().total_supply(v1));
+}
+
+}  // namespace
+}  // namespace bmg::relayer

@@ -1,0 +1,118 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+
+namespace bmg::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.at(3.0, [&] { order.push_back(3); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulation, TiesFireInScheduleOrder) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(5.0, [&, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation s;
+  double fired_at = -1;
+  s.at(2.0, [&] { s.after(1.5, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation s;
+  double fired_at = -1;
+  s.at(5.0, [&] { s.at(1.0, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, NegativeDelayClampsToZero) {
+  Simulation s;
+  double fired_at = -1;
+  s.at(4.0, [&] { s.after(-10.0, [&] { fired_at = s.now(); }); });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) s.at(i, [&] { ++count; });
+  s.run_until(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run_until(20.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation s;
+  EXPECT_FALSE(s.step());
+  s.at(1.0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Simulation, SelfReschedulingChain) {
+  Simulation s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 100) s.after(0.4, tick);
+  };
+  s.after(0.4, tick);
+  s.run();
+  EXPECT_EQ(ticks, 100);
+  EXPECT_NEAR(s.now(), 40.0, 1e-9);
+}
+
+TEST(LatencyProfile, QuantileFitRecoversMedianAndQ3) {
+  const LatencyProfile p = LatencyProfile::from_quantiles(4.0, 6.0, 1.0);
+  Rng rng(77);
+  std::vector<double> samples(200001);
+  for (auto& v : samples) v = p.sample(rng);
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 4.0, 0.1);
+  EXPECT_NEAR(samples[samples.size() * 3 / 4], 6.0, 0.15);
+  EXPECT_GE(samples.front(), 1.0);  // floor respected
+}
+
+TEST(LatencyProfile, OutagesProduceHeavyTail) {
+  const LatencyProfile base = LatencyProfile::from_quantiles(4.0, 6.0);
+  const LatencyProfile heavy = base.with_outages(0.01, 1000.0);
+  Rng r1(5), r2(5);
+  double max_base = 0, max_heavy = 0;
+  for (int i = 0; i < 20000; ++i) {
+    max_base = std::max(max_base, base.sample(r1));
+    max_heavy = std::max(max_heavy, heavy.sample(r2));
+  }
+  EXPECT_LT(max_base, 100.0);
+  EXPECT_GT(max_heavy, 300.0);
+}
+
+}  // namespace
+}  // namespace bmg::sim

@@ -1,0 +1,54 @@
+#include "trie/nibbles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bmg::trie {
+namespace {
+
+TEST(Nibbles, ExpandsHighNibbleFirst) {
+  const Bytes key = {0xAB, 0x01};
+  EXPECT_EQ(to_nibbles(key), (Nibbles{0xA, 0xB, 0x0, 0x1}));
+}
+
+TEST(Nibbles, EmptyKey) { EXPECT_TRUE(to_nibbles({}).empty()); }
+
+TEST(Nibbles, CommonPrefix) {
+  const Nibbles a = {1, 2, 3, 4};
+  const Nibbles b = {1, 2, 9, 4};
+  EXPECT_EQ(common_prefix(a, 0, b, 0), 2u);
+  EXPECT_EQ(common_prefix(a, 2, b, 2), 0u);
+  EXPECT_EQ(common_prefix(a, 3, b, 3), 1u);
+  EXPECT_EQ(common_prefix(a, 0, a, 0), 4u);
+}
+
+TEST(Nibbles, CommonPrefixRespectsOffsets) {
+  const Nibbles a = {7, 1, 2};
+  const Nibbles b = {1, 2, 5};
+  EXPECT_EQ(common_prefix(a, 1, b, 0), 2u);
+}
+
+TEST(Nibbles, SliceBasic) {
+  const Nibbles n = {1, 2, 3, 4};
+  EXPECT_EQ(slice(n, 1, 2), (Nibbles{2, 3}));
+  EXPECT_TRUE(slice(n, 4, 0).empty());
+  EXPECT_THROW((void)slice(n, 3, 2), std::out_of_range);
+}
+
+TEST(Nibbles, EncodeDecodeRoundTrip) {
+  const Nibbles n = {0, 15, 7, 3};
+  Encoder e;
+  encode_nibbles(e, n);
+  Decoder d(e.out());
+  EXPECT_EQ(decode_nibbles(d), n);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Nibbles, DecodeRejectsOutOfRangeNibble) {
+  Encoder e;
+  e.u16(1).u8(16);
+  Decoder d(e.out());
+  EXPECT_THROW((void)decode_nibbles(d), CodecError);
+}
+
+}  // namespace
+}  // namespace bmg::trie

@@ -1,0 +1,125 @@
+// Model-based randomized testing: the sealable trie against a simple
+// reference model (map + sealed set), over long random operation
+// sequences with monotonic per-subspace keys.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "trie/trie.hpp"
+
+namespace bmg::trie {
+namespace {
+
+Bytes seq_key(std::uint64_t space, std::uint64_t seq) {
+  Encoder e;
+  e.u64(space).u64(seq);
+  return e.take();
+}
+
+Hash32 val(std::uint64_t v) {
+  Encoder e;
+  e.u64(v);
+  return crypto::Sha256::digest(e.out());
+}
+
+/// Reference model of one subspace: values per sequence, contiguous
+/// sealed prefix.
+struct SpaceModel {
+  std::map<std::uint64_t, std::uint64_t> values;  // seq -> value id
+  std::uint64_t next_seq = 1;
+  std::uint64_t sealed_upto = 0;  // 1..sealed_upto sealed
+  std::set<std::uint64_t> present_contig;  // helper: watermark
+
+  [[nodiscard]] std::uint64_t watermark() const {
+    std::uint64_t w = 0;
+    while (values.count(w + 1) > 0) ++w;
+    return w;
+  }
+};
+
+class TrieModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
+  Rng rng(GetParam());
+  SealableTrie trie;
+  std::map<std::uint64_t, SpaceModel> model;
+  const std::uint64_t kSpaces = 3;
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::uint64_t space = rng.uniform_int(kSpaces);
+    SpaceModel& m = model[space];
+    const double action = rng.uniform();
+
+    if (action < 0.55) {
+      // Insert the next sequence (dense per subspace, like send_packet)
+      // or occasionally a future one (out-of-order receipt).
+      std::uint64_t seq = m.next_seq;
+      if (rng.chance(0.2)) seq += rng.uniform_int(3);  // skip ahead
+      if (m.values.count(seq) > 0) continue;
+      const std::uint64_t v = rng.next();
+      trie.set(seq_key(space, seq), val(v));
+      m.values[seq] = v;
+      m.next_seq = std::max(m.next_seq, seq + 1);
+    } else if (action < 0.75) {
+      // Seal the next sealable sequence.  Safe-sealing rule: seal s
+      // only when 1..s and s+1 are all present, i.e. s < watermark.
+      const std::uint64_t s = m.sealed_upto + 1;
+      if (s >= m.watermark()) continue;  // keep the newest entry live
+      trie.seal(seq_key(space, s));
+      m.sealed_upto = s;
+    } else if (action < 0.9) {
+      // Update an unsealed existing key.
+      if (m.values.empty()) continue;
+      auto it = m.values.upper_bound(m.sealed_upto);
+      if (it == m.values.end()) continue;
+      const std::uint64_t v = rng.next();
+      trie.set(seq_key(space, it->first), val(v));
+      it->second = v;
+    } else {
+      // Random lookups agree with the model.
+      const std::uint64_t seq = 1 + rng.uniform_int(m.next_seq + 2);
+      Hash32 out;
+      const auto res = trie.get(seq_key(space, seq), &out);
+      if (seq <= m.sealed_upto && m.values.count(seq)) {
+        EXPECT_EQ(res, SealableTrie::Lookup::kSealed);
+      } else if (m.values.count(seq)) {
+        ASSERT_EQ(res, SealableTrie::Lookup::kFound);
+        EXPECT_EQ(out, val(m.values.at(seq)));
+      } else {
+        // Absent keys may sit behind sealed subtrees only if <= sealed_upto.
+        if (res == SealableTrie::Lookup::kSealed) {
+          EXPECT_LE(seq, m.sealed_upto + 1);
+        } else {
+          EXPECT_EQ(res, SealableTrie::Lookup::kAbsent);
+        }
+      }
+    }
+  }
+
+  // Final sweep: every model entry is either retrievable or sealed,
+  // and all unsealed entries are provable against the root.
+  const Hash32 root = trie.root_hash();
+  for (const auto& [space, m] : model) {
+    for (const auto& [seq, v] : m.values) {
+      const Bytes key = seq_key(space, seq);
+      if (seq <= m.sealed_upto) {
+        EXPECT_EQ(trie.get(key), SealableTrie::Lookup::kSealed);
+      } else {
+        const Proof proof = trie.prove(key);
+        const VerifyOutcome out = verify_proof(root, key, proof);
+        ASSERT_EQ(out.kind, VerifyOutcome::Kind::kFound);
+        EXPECT_EQ(out.value, val(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace bmg::trie
