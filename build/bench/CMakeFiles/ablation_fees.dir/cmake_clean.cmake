@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fees.dir/ablation_fees.cpp.o"
+  "CMakeFiles/ablation_fees.dir/ablation_fees.cpp.o.d"
+  "ablation_fees"
+  "ablation_fees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hosts.dir/ablation_hosts.cpp.o"
+  "CMakeFiles/ablation_hosts.dir/ablation_hosts.cpp.o.d"
+  "ablation_hosts"
+  "ablation_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_block_interval.dir/fig6_block_interval.cpp.o"
+  "CMakeFiles/fig6_block_interval.dir/fig6_block_interval.cpp.o.d"
+  "fig6_block_interval"
+  "fig6_block_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_block_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_costs.dir/storage_costs.cpp.o"
+  "CMakeFiles/storage_costs.dir/storage_costs.cpp.o.d"
+  "storage_costs"
+  "storage_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relayer_daemon.dir/relayer_daemon.cpp.o"
+  "CMakeFiles/relayer_daemon.dir/relayer_daemon.cpp.o.d"
+  "relayer_daemon"
+  "relayer_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relayer_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

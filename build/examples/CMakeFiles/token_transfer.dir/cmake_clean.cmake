@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_transfer.dir/token_transfer.cpp.o"
+  "CMakeFiles/token_transfer.dir/token_transfer.cpp.o.d"
+  "token_transfer"
+  "token_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/validator_lifecycle.cpp" "examples/CMakeFiles/validator_lifecycle.dir/validator_lifecycle.cpp.o" "gcc" "examples/CMakeFiles/validator_lifecycle.dir/validator_lifecycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relayer/CMakeFiles/bmg_relayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/bmg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/counterparty/CMakeFiles/bmg_counterparty.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bmg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibc/CMakeFiles/bmg_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bmg_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_lifecycle.dir/validator_lifecycle.cpp.o"
+  "CMakeFiles/validator_lifecycle.dir/validator_lifecycle.cpp.o.d"
+  "validator_lifecycle"
+  "validator_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

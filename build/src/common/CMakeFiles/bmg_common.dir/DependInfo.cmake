@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/base58.cpp" "src/common/CMakeFiles/bmg_common.dir/base58.cpp.o" "gcc" "src/common/CMakeFiles/bmg_common.dir/base58.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/bmg_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/bmg_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/codec.cpp" "src/common/CMakeFiles/bmg_common.dir/codec.cpp.o" "gcc" "src/common/CMakeFiles/bmg_common.dir/codec.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/bmg_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/bmg_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/bmg_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/bmg_common.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_common.dir/base58.cpp.o"
+  "CMakeFiles/bmg_common.dir/base58.cpp.o.d"
+  "CMakeFiles/bmg_common.dir/bytes.cpp.o"
+  "CMakeFiles/bmg_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/bmg_common.dir/codec.cpp.o"
+  "CMakeFiles/bmg_common.dir/codec.cpp.o.d"
+  "CMakeFiles/bmg_common.dir/rng.cpp.o"
+  "CMakeFiles/bmg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bmg_common.dir/stats.cpp.o"
+  "CMakeFiles/bmg_common.dir/stats.cpp.o.d"
+  "libbmg_common.a"
+  "libbmg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

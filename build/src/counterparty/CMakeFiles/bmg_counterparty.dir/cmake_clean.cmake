@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_counterparty.dir/chain.cpp.o"
+  "CMakeFiles/bmg_counterparty.dir/chain.cpp.o.d"
+  "libbmg_counterparty.a"
+  "libbmg_counterparty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_counterparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/bmg_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/bmg_crypto.dir/keys.cpp.o"
+  "CMakeFiles/bmg_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/bmg_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/bmg_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/bmg_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/bmg_crypto.dir/sha512.cpp.o.d"
+  "libbmg_crypto.a"
+  "libbmg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

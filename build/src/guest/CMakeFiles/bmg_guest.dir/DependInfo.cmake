@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/block.cpp" "src/guest/CMakeFiles/bmg_guest.dir/block.cpp.o" "gcc" "src/guest/CMakeFiles/bmg_guest.dir/block.cpp.o.d"
+  "/root/repo/src/guest/contract.cpp" "src/guest/CMakeFiles/bmg_guest.dir/contract.cpp.o" "gcc" "src/guest/CMakeFiles/bmg_guest.dir/contract.cpp.o.d"
+  "/root/repo/src/guest/instructions.cpp" "src/guest/CMakeFiles/bmg_guest.dir/instructions.cpp.o" "gcc" "src/guest/CMakeFiles/bmg_guest.dir/instructions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bmg_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibc/CMakeFiles/bmg_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bmg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_guest.dir/block.cpp.o"
+  "CMakeFiles/bmg_guest.dir/block.cpp.o.d"
+  "CMakeFiles/bmg_guest.dir/contract.cpp.o"
+  "CMakeFiles/bmg_guest.dir/contract.cpp.o.d"
+  "CMakeFiles/bmg_guest.dir/instructions.cpp.o"
+  "CMakeFiles/bmg_guest.dir/instructions.cpp.o.d"
+  "libbmg_guest.a"
+  "libbmg_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

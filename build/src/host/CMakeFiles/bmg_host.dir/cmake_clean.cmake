@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_host.dir/chain.cpp.o"
+  "CMakeFiles/bmg_host.dir/chain.cpp.o.d"
+  "libbmg_host.a"
+  "libbmg_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

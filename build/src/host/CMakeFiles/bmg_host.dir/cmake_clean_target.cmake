@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbmg_host.a"
+)

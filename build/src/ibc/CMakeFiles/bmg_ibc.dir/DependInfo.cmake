@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ibc/bank.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/bank.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/bank.cpp.o.d"
+  "/root/repo/src/ibc/commitment.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/commitment.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/commitment.cpp.o.d"
+  "/root/repo/src/ibc/handshake.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/handshake.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/handshake.cpp.o.d"
+  "/root/repo/src/ibc/module.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/module.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/module.cpp.o.d"
+  "/root/repo/src/ibc/packet.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/packet.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/packet.cpp.o.d"
+  "/root/repo/src/ibc/quorum.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/quorum.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/quorum.cpp.o.d"
+  "/root/repo/src/ibc/seq_tracker.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/seq_tracker.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/seq_tracker.cpp.o.d"
+  "/root/repo/src/ibc/transfer.cpp" "src/ibc/CMakeFiles/bmg_ibc.dir/transfer.cpp.o" "gcc" "src/ibc/CMakeFiles/bmg_ibc.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bmg_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

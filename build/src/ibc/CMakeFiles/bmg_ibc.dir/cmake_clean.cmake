@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_ibc.dir/bank.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/bank.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/commitment.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/commitment.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/handshake.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/handshake.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/module.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/module.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/packet.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/packet.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/quorum.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/quorum.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/seq_tracker.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/seq_tracker.cpp.o.d"
+  "CMakeFiles/bmg_ibc.dir/transfer.cpp.o"
+  "CMakeFiles/bmg_ibc.dir/transfer.cpp.o.d"
+  "libbmg_ibc.a"
+  "libbmg_ibc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_ibc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

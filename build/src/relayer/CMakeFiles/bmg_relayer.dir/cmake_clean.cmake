@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_relayer.dir/deployment.cpp.o"
+  "CMakeFiles/bmg_relayer.dir/deployment.cpp.o.d"
+  "CMakeFiles/bmg_relayer.dir/relayer_agent.cpp.o"
+  "CMakeFiles/bmg_relayer.dir/relayer_agent.cpp.o.d"
+  "CMakeFiles/bmg_relayer.dir/validator_agent.cpp.o"
+  "CMakeFiles/bmg_relayer.dir/validator_agent.cpp.o.d"
+  "libbmg_relayer.a"
+  "libbmg_relayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_relayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bmg_relayer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/bmg_sim.dir/scheduler.cpp.o.d"
+  "libbmg_sim.a"
+  "libbmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmg_trie.dir/nibbles.cpp.o"
+  "CMakeFiles/bmg_trie.dir/nibbles.cpp.o.d"
+  "CMakeFiles/bmg_trie.dir/node.cpp.o"
+  "CMakeFiles/bmg_trie.dir/node.cpp.o.d"
+  "CMakeFiles/bmg_trie.dir/trie.cpp.o"
+  "CMakeFiles/bmg_trie.dir/trie.cpp.o.d"
+  "libbmg_trie.a"
+  "libbmg_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmg_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

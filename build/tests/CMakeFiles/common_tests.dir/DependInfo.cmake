@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/base58_test.cpp" "tests/CMakeFiles/common_tests.dir/common/base58_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/base58_test.cpp.o.d"
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/common_tests.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/codec_test.cpp" "tests/CMakeFiles/common_tests.dir/common/codec_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/codec_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/common_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

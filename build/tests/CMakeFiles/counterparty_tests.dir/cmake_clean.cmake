@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterparty_tests.dir/counterparty/chain_test.cpp.o"
+  "CMakeFiles/counterparty_tests.dir/counterparty/chain_test.cpp.o.d"
+  "counterparty_tests"
+  "counterparty_tests.pdb"
+  "counterparty_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterparty_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

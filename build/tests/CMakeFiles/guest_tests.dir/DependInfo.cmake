@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guest/block_test.cpp" "tests/CMakeFiles/guest_tests.dir/guest/block_test.cpp.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/block_test.cpp.o.d"
+  "/root/repo/tests/guest/contract_test.cpp" "tests/CMakeFiles/guest_tests.dir/guest/contract_test.cpp.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/contract_test.cpp.o.d"
+  "/root/repo/tests/guest/futurework_test.cpp" "tests/CMakeFiles/guest_tests.dir/guest/futurework_test.cpp.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/futurework_test.cpp.o.d"
+  "/root/repo/tests/guest/instructions_test.cpp" "tests/CMakeFiles/guest_tests.dir/guest/instructions_test.cpp.o" "gcc" "tests/CMakeFiles/guest_tests.dir/guest/instructions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guest/CMakeFiles/bmg_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/ibc/CMakeFiles/bmg_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bmg_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/bmg_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_tests.dir/guest/block_test.cpp.o"
+  "CMakeFiles/guest_tests.dir/guest/block_test.cpp.o.d"
+  "CMakeFiles/guest_tests.dir/guest/contract_test.cpp.o"
+  "CMakeFiles/guest_tests.dir/guest/contract_test.cpp.o.d"
+  "CMakeFiles/guest_tests.dir/guest/futurework_test.cpp.o"
+  "CMakeFiles/guest_tests.dir/guest/futurework_test.cpp.o.d"
+  "CMakeFiles/guest_tests.dir/guest/instructions_test.cpp.o"
+  "CMakeFiles/guest_tests.dir/guest/instructions_test.cpp.o.d"
+  "guest_tests"
+  "guest_tests.pdb"
+  "guest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

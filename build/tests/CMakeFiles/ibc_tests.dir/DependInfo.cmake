@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ibc/bank_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/bank_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/bank_test.cpp.o.d"
+  "/root/repo/tests/ibc/module_negative_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/module_negative_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/module_negative_test.cpp.o.d"
+  "/root/repo/tests/ibc/module_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/module_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/module_test.cpp.o.d"
+  "/root/repo/tests/ibc/ordered_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/ordered_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/ordered_test.cpp.o.d"
+  "/root/repo/tests/ibc/packet_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/packet_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/packet_test.cpp.o.d"
+  "/root/repo/tests/ibc/quorum_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/quorum_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/quorum_test.cpp.o.d"
+  "/root/repo/tests/ibc/self_client_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/self_client_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/self_client_test.cpp.o.d"
+  "/root/repo/tests/ibc/seq_tracker_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/seq_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/seq_tracker_test.cpp.o.d"
+  "/root/repo/tests/ibc/transfer_test.cpp" "tests/CMakeFiles/ibc_tests.dir/ibc/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/ibc_tests.dir/ibc/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ibc/CMakeFiles/bmg_ibc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/bmg_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/bmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

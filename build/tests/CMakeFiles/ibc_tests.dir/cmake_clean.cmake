@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibc_tests.dir/ibc/bank_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/bank_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/module_negative_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/module_negative_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/module_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/module_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/ordered_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/ordered_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/packet_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/packet_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/quorum_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/quorum_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/self_client_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/self_client_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/seq_tracker_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/seq_tracker_test.cpp.o.d"
+  "CMakeFiles/ibc_tests.dir/ibc/transfer_test.cpp.o"
+  "CMakeFiles/ibc_tests.dir/ibc/transfer_test.cpp.o.d"
+  "ibc_tests"
+  "ibc_tests.pdb"
+  "ibc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relayer_tests.dir/relayer/relayer_unit_test.cpp.o"
+  "CMakeFiles/relayer_tests.dir/relayer/relayer_unit_test.cpp.o.d"
+  "relayer_tests"
+  "relayer_tests.pdb"
+  "relayer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relayer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_tests.dir/trie/nibbles_test.cpp.o"
+  "CMakeFiles/trie_tests.dir/trie/nibbles_test.cpp.o.d"
+  "CMakeFiles/trie_tests.dir/trie/trie_model_test.cpp.o"
+  "CMakeFiles/trie_tests.dir/trie/trie_model_test.cpp.o.d"
+  "CMakeFiles/trie_tests.dir/trie/trie_test.cpp.o"
+  "CMakeFiles/trie_tests.dir/trie/trie_test.cpp.o.d"
+  "trie_tests"
+  "trie_tests.pdb"
+  "trie_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
+include("/root/repo/build/tests/trie_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/host_tests[1]_include.cmake")
+include("/root/repo/build/tests/counterparty_tests[1]_include.cmake")
+include("/root/repo/build/tests/ibc_tests[1]_include.cmake")
+include("/root/repo/build/tests/guest_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/relayer_tests[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_tests[1]_include.cmake")
