@@ -49,6 +49,56 @@ void BM_Ed25519Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Ed25519Verify);
 
+// Batched verification at several batch sizes.  Per-signature time is
+// the headline number: `time / batch` here vs. BM_Ed25519Verify shows
+// the amortization from the shared Straus doubling chain.
+void BM_Ed25519VerifyBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> msgs;
+  std::vector<crypto::ed25519::VerifyItem> items;
+  msgs.reserve(n);
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const crypto::PrivateKey key =
+        crypto::PrivateKey::from_label("batch-" + std::to_string(i));
+    msgs.push_back(bytes_of("a guest block digest: 32 bytes.."));
+    const crypto::Signature sig = key.sign(msgs.back());
+    items.push_back({key.public_key().raw(), ByteView{msgs.back()}, sig.raw()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519::verify_batch(items));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ed25519VerifyBatch)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+// The same work done one verify at a time — the baseline the batch
+// amortization is measured against.
+void BM_Ed25519VerifySequential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> msgs;
+  std::vector<crypto::ed25519::VerifyItem> items;
+  msgs.reserve(n);
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const crypto::PrivateKey key =
+        crypto::PrivateKey::from_label("batch-" + std::to_string(i));
+    msgs.push_back(bytes_of("a guest block digest: 32 bytes.."));
+    const crypto::Signature sig = key.sign(msgs.back());
+    items.push_back({key.public_key().raw(), ByteView{msgs.back()}, sig.raw()});
+  }
+  for (auto _ : state) {
+    bool all = true;
+    for (const auto& it : items)
+      all = all && crypto::ed25519::verify(it.pub, it.msg, it.sig);
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Ed25519VerifySequential)->Arg(32);
+
 void BM_Ed25519DerivePublic(benchmark::State& state) {
   crypto::ed25519::Seed seed{};
   seed[0] = 42;

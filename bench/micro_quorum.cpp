@@ -1,0 +1,82 @@
+// Micro-benchmarks of the quorum light-client hot path: what one
+// header update costs at realistic validator-set sizes.  This is the
+// per-update work behind the paper's Fig. 4/5 latency and cost curves.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "ibc/quorum.hpp"
+
+namespace {
+
+using namespace bmg;
+
+struct Fixture {
+  ibc::ValidatorSet set;
+  ibc::SignedQuorumHeader sh;
+};
+
+// A set of `n` equal-stake validators and a header signed by all of
+// them — the common fully-participating commit.
+Fixture make_fixture(int n) {
+  Fixture f;
+  std::vector<crypto::PrivateKey> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(crypto::PrivateKey::from_label("bench-qv-" + std::to_string(i)));
+    f.set.add(keys.back().public_key(), 100);
+  }
+  ibc::QuorumHeader hd;
+  hd.chain_id = "benchchain";
+  hd.height = 1;
+  hd.timestamp = 1.0;
+  hd.validator_set_hash = f.set.hash();
+  f.sh.header = hd;
+  const Hash32 digest = hd.signing_digest();
+  for (const auto& k : keys)
+    f.sh.signatures.emplace_back(k.public_key(), k.sign(digest.view()));
+  return f;
+}
+
+// Full `verify_signatures`: duplicate/membership checks plus one
+// batched Ed25519 verification over every commit signature.
+void BM_QuorumVerifySignatures(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ibc::QuorumLightClient::verify_signatures(f.sh, f.set));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_QuorumVerifySignatures)->Arg(25)->Arg(50)->Arg(100);
+
+// One complete light-client update, decode included — the on-chain
+// cost unit a relayer pays per header.
+void BM_QuorumClientUpdate(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)));
+  const Bytes wire = f.sh.encode();
+  for (auto _ : state) {
+    ibc::QuorumLightClient client("benchchain", f.set);
+    client.update(wire);
+    benchmark::DoNotOptimize(client.latest_height());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_QuorumClientUpdate)->Arg(25)->Arg(50)->Arg(100);
+
+// The cached cheap path: set hash + header byte_size, the quantities
+// every update re-derived before caching landed.
+void BM_QuorumHeaderOverheads(benchmark::State& state) {
+  const Fixture f = make_fixture(50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.set.hash());
+    benchmark::DoNotOptimize(f.set.total_stake());
+    benchmark::DoNotOptimize(f.sh.byte_size());
+    benchmark::DoNotOptimize(f.sh.signing_digest());
+  }
+}
+BENCHMARK(BM_QuorumHeaderOverheads);
+
+}  // namespace
+
+BENCHMARK_MAIN();

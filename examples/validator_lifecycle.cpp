@@ -47,7 +47,7 @@ int main() {
   d.run_for(2.0);
 
   std::printf("genesis epoch: %zu validators, total stake %llu, quorum %llu\n\n",
-              d.guest().epoch_validators().validators.size(),
+              d.guest().epoch_validators().size(),
               (unsigned long long)d.guest().epoch_validators().total_stake(),
               (unsigned long long)d.guest().epoch_validators().quorum_stake());
 
@@ -69,7 +69,7 @@ int main() {
       1800.0);
   std::printf("[%7.1fs] epoch rotated: newcomer is now in the validator set"
               " (%zu validators)\n\n",
-              d.sim().now(), d.guest().epoch_validators().validators.size());
+              d.sim().now(), d.guest().epoch_validators().size());
 
   // --- misbehaviour: genesis-0 double-signs -----------------------------
   const crypto::PrivateKey& offender = d.validators()[0]->key();
@@ -147,6 +147,6 @@ int main() {
   }
 
   std::printf("\nfinal epoch size: %zu, guest blocks: %zu\n",
-              d.guest().epoch_validators().validators.size(), d.guest().block_count());
+              d.guest().epoch_validators().size(), d.guest().block_count());
   return 0;
 }

@@ -13,8 +13,7 @@ CounterpartyChain::CounterpartyChain(sim::Simulation& sim, Rng rng, Config cfg)
   for (int i = 0; i < cfg_.num_validators; ++i) {
     validator_keys_.push_back(
         crypto::PrivateKey::from_label(cfg_.chain_id + "-validator-" + std::to_string(i)));
-    validator_set_.validators.push_back(
-        {validator_keys_.back().public_key(), cfg_.stake_per_validator});
+    validator_set_.add(validator_keys_.back().public_key(), cfg_.stake_per_validator);
   }
 
   module_.set_self_identity(cfg_.chain_id, [this] { return validator_set_.hash(); });
@@ -56,14 +55,14 @@ void CounterpartyChain::produce_block() {
   for (std::size_t i = 0; i < validator_keys_.size(); ++i) {
     if (rng_.chance(participation)) {
       in_commit[i] = true;
-      power += validator_set_.validators[i].stake;
+      power += validator_set_.entries()[i].stake;
     }
   }
   for (std::size_t i = 0; i < validator_keys_.size() && power < validator_set_.quorum_stake();
        ++i) {
     if (!in_commit[i]) {
       in_commit[i] = true;
-      power += validator_set_.validators[i].stake;
+      power += validator_set_.entries()[i].stake;
     }
   }
   for (std::size_t i = 0; i < validator_keys_.size(); ++i)
@@ -95,7 +94,8 @@ const ibc::SignedQuorumHeader& CounterpartyChain::header_at(ibc::Height h) const
 
   ibc::SignedQuorumHeader sh;
   sh.header = pending->second.header;
-  const Hash32 digest = sh.header.signing_digest();
+  // Cached on the header we hand out, so verifiers reuse the digest.
+  const Hash32 digest = sh.signing_digest();
   for (const std::size_t i : pending->second.signer_indices)
     sh.signatures.emplace_back(validator_keys_[i].public_key(),
                                validator_keys_[i].sign(digest.view()));

@@ -168,22 +168,40 @@ Fe fe_pow(const Fe& base, const std::uint8_t exp_le[32]) {
   return result;
 }
 
-Fe fe_invert(const Fe& a) {
-  // p - 2 = 2^255 - 21, little-endian.
-  static const std::uint8_t kPm2[32] = {
-      0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
-  return fe_pow(a, kPm2);
+Fe fe_sqn(Fe a, int n) {
+  for (int i = 0; i < n; ++i) a = fe_sq(a);
+  return a;
 }
 
+// Shared prefix of the two exponentiation chains below (the classic
+// curve25519 addition chain): computes a^(2^250 - 1) and a^11.
+void fe_pow_ladder(const Fe& a, Fe& pow250m1, Fe& a11) {
+  const Fe a2 = fe_sq(a);                                // a^2
+  const Fe a9 = fe_mul(a, fe_sqn(a2, 2));                // a^9
+  a11 = fe_mul(a9, a2);                                  // a^11
+  const Fe p5 = fe_mul(fe_sq(a11), a9);                  // a^(2^5 - 1)
+  const Fe p10 = fe_mul(fe_sqn(p5, 5), p5);              // a^(2^10 - 1)
+  const Fe p20 = fe_mul(fe_sqn(p10, 10), p10);           // a^(2^20 - 1)
+  const Fe p40 = fe_mul(fe_sqn(p20, 20), p20);           // a^(2^40 - 1)
+  const Fe p50 = fe_mul(fe_sqn(p40, 10), p10);           // a^(2^50 - 1)
+  const Fe p100 = fe_mul(fe_sqn(p50, 50), p50);          // a^(2^100 - 1)
+  const Fe p200 = fe_mul(fe_sqn(p100, 100), p100);       // a^(2^200 - 1)
+  pow250m1 = fe_mul(fe_sqn(p200, 50), p50);              // a^(2^250 - 1)
+}
+
+// a^(p - 2) = a^(2^255 - 21) — ~254 squarings + 12 multiplications,
+// roughly half the cost of the generic square-and-multiply ladder.
+Fe fe_invert(const Fe& a) {
+  Fe p250, a11;
+  fe_pow_ladder(a, p250, a11);
+  return fe_mul(fe_sqn(p250, 5), a11);  // (2^250-1)*2^5 + 11 = 2^255 - 21
+}
+
+// a^((p - 5) / 8) = a^(2^252 - 3), used for the decompression sqrt.
 Fe fe_pow_p58(const Fe& a) {
-  // (p - 5) / 8 = 2^252 - 3, little-endian.
-  static const std::uint8_t kP58[32] = {
-      0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
-      0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
-  return fe_pow(a, kP58);
+  Fe p250, a11;
+  fe_pow_ladder(a, p250, a11);
+  return fe_mul(fe_sqn(p250, 2), a);  // (2^250-1)*2^2 + 1 = 2^252 - 3
 }
 
 const Fe& fe_d() {
@@ -223,19 +241,6 @@ struct Ge {
 
 Ge ge_identity() { return Ge{fe_zero(), fe_one(), fe_one(), fe_zero()}; }
 
-// add-2008-hwcd-3 for a = -1.
-Ge ge_add(const Ge& p, const Ge& q) {
-  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), fe_carry(fe_sub(q.y, q.x)));
-  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), fe_carry(fe_add(q.y, q.x)));
-  const Fe c = fe_mul(fe_mul(p.t, fe_2d()), q.t);
-  const Fe d = fe_mul(fe_carry(fe_add(p.z, p.z)), q.z);
-  const Fe e = fe_carry(fe_sub(b, a));
-  const Fe f = fe_carry(fe_sub(d, c));
-  const Fe g = fe_carry(fe_add(d, c));
-  const Fe h = fe_carry(fe_add(b, a));
-  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
-}
-
 // dbl-2008-hwcd for a = -1.
 Ge ge_double(const Ge& p) {
   const Fe a = fe_sq(p.x);
@@ -252,14 +257,73 @@ Ge ge_double(const Ge& p) {
 
 Ge ge_neg(const Ge& p) { return Ge{fe_neg(p.x), p.y, p.z, fe_neg(p.t)}; }
 
-// Scalar is a 32-byte little-endian integer.
-Ge ge_scalarmult(const Ge& p, const std::uint8_t scalar[32]) {
-  Ge r = ge_identity();
-  for (int bit = 255; bit >= 0; --bit) {
-    r = ge_double(r);
-    if ((scalar[bit / 8] >> (bit % 8)) & 1) r = ge_add(r, p);
-  }
-  return r;
+bool ge_is_identity(const Ge& p) { return fe_is_zero(p.x) && fe_eq(p.y, p.z); }
+
+// A point prepared for repeated addition: (Y+X, Y-X, Z, 2dT).  Saves
+// two field additions and the 2d multiplication on every ge_add.
+struct GeCached {
+  Fe y_plus_x, y_minus_x, z, t2d;
+};
+
+GeCached ge_cache(const Ge& p) {
+  return GeCached{fe_carry(fe_add(p.y, p.x)), fe_carry(fe_sub(p.y, p.x)), p.z,
+                  fe_mul(p.t, fe_2d())};
+}
+
+Ge ge_add_cached(const Ge& p, const GeCached& q) {
+  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), q.y_minus_x);
+  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), q.y_plus_x);
+  const Fe c = fe_mul(p.t, q.t2d);
+  const Fe d = fe_mul(fe_carry(fe_add(p.z, p.z)), q.z);
+  const Fe e = fe_carry(fe_sub(b, a));
+  const Fe f = fe_carry(fe_sub(d, c));
+  const Fe g = fe_carry(fe_add(d, c));
+  const Fe h = fe_carry(fe_add(b, a));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// p - q: addition with q negated, i.e. (Y+X, Y-X) swapped and 2dT sign
+// flipped (which turns F = D - C, G = D + C into F = D + C, G = D - C).
+Ge ge_sub_cached(const Ge& p, const GeCached& q) {
+  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), q.y_plus_x);
+  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), q.y_minus_x);
+  const Fe c = fe_mul(p.t, q.t2d);
+  const Fe d = fe_mul(fe_carry(fe_add(p.z, p.z)), q.z);
+  const Fe e = fe_carry(fe_sub(b, a));
+  const Fe f = fe_carry(fe_add(d, c));
+  const Fe g = fe_carry(fe_sub(d, c));
+  const Fe h = fe_carry(fe_add(b, a));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+// An affine precomputed point (Z = 1 implicit): (y+x, y-x, 2dxy).
+// Mixed addition against these drops one field multiplication (no Z2).
+struct GePrecomp {
+  Fe y_plus_x, y_minus_x, xy2d;
+};
+
+Ge ge_add_precomp(const Ge& p, const GePrecomp& q) {
+  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), q.y_minus_x);
+  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), q.y_plus_x);
+  const Fe c = fe_mul(p.t, q.xy2d);
+  const Fe d = fe_carry(fe_add(p.z, p.z));
+  const Fe e = fe_carry(fe_sub(b, a));
+  const Fe f = fe_carry(fe_sub(d, c));
+  const Fe g = fe_carry(fe_add(d, c));
+  const Fe h = fe_carry(fe_add(b, a));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_sub_precomp(const Ge& p, const GePrecomp& q) {
+  const Fe a = fe_mul(fe_carry(fe_sub(p.y, p.x)), q.y_plus_x);
+  const Fe b = fe_mul(fe_carry(fe_add(p.y, p.x)), q.y_minus_x);
+  const Fe c = fe_mul(p.t, q.xy2d);
+  const Fe d = fe_carry(fe_add(p.z, p.z));
+  const Fe e = fe_carry(fe_sub(b, a));
+  const Fe f = fe_carry(fe_add(d, c));
+  const Fe g = fe_carry(fe_sub(d, c));
+  const Fe h = fe_carry(fe_add(b, a));
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
 }
 
 void ge_compress(std::uint8_t out[32], const Ge& p) {
@@ -325,6 +389,177 @@ const Ge& ge_base() {
 }
 
 // ---------------------------------------------------------------------------
+// Windowed-NAF scalar recoding and precomputed tables.
+//
+// All scalar multiplications here are variable-time, as the seed's
+// double-and-add ladder already was; the simulation's threat model has
+// no timing side channel.
+// ---------------------------------------------------------------------------
+
+// Digits of the dynamic (per-point) window: odd, |digit| <= 15 (w = 5).
+constexpr int kWindowDyn = 5;
+// Digits of the static base-point window: odd, |digit| <= 63 (w = 7).
+constexpr int kWindowBase = 7;
+constexpr int kBaseTableSize = 1 << (kWindowBase - 2);  // odd multiples 1B..63B
+
+// Signed sliding-window recoding of a little-endian scalar (< 2^253):
+// r[0..256] with r[i] zero or odd, |r[i]| < 2^(w-1), and
+// sum r[i] 2^i == scalar.
+void slide(signed char* r, const std::uint8_t a[32], int w) {
+  for (int i = 0; i < 256; ++i) r[i] = 1 & (a[i >> 3] >> (i & 7));
+  r[256] = 0;
+  const int bound = 1 << (w - 1);
+  for (int i = 0; i < 256; ++i) {
+    if (!r[i]) continue;
+    for (int b = 1; b < w && i + b <= 256; ++b) {
+      if (!r[i + b]) continue;
+      if (r[i] + (r[i + b] << b) <= bound - 1) {
+        r[i] += static_cast<signed char>(r[i + b] << b);
+        r[i + b] = 0;
+      } else if (r[i] - (r[i + b] << b) >= -(bound - 1)) {
+        r[i] -= static_cast<signed char>(r[i + b] << b);
+        // Borrowed a subtraction: carry +1 upward.
+        for (int k = i + b; k <= 256; ++k) {
+          if (!r[k]) {
+            r[k] = 1;
+            break;
+          }
+          r[k] = 0;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+}
+
+// Odd multiples {P, 3P, 5P, ..., 15P} in cached form, for w = 5 wNAF.
+struct DynTable {
+  GeCached mult[8];
+};
+
+DynTable ge_dyn_table(const Ge& p) {
+  DynTable t;
+  t.mult[0] = ge_cache(p);
+  const Ge p2 = ge_double(p);
+  for (int i = 1; i < 8; ++i) t.mult[i] = ge_cache(ge_add_cached(p2, t.mult[i - 1]));
+  return t;
+}
+
+// Odd multiples {B, 3B, ..., 63B} of the base point in affine form,
+// built once (Montgomery batch inversion turns 32 Z-inversions into 1).
+struct BaseTable {
+  GePrecomp mult[kBaseTableSize];
+};
+
+const BaseTable& base_table() {
+  static const BaseTable table = [] {
+    Ge pts[kBaseTableSize];
+    pts[0] = ge_base();
+    const Ge b2 = ge_double(ge_base());
+    const GeCached b2c = ge_cache(b2);
+    for (int i = 1; i < kBaseTableSize; ++i) pts[i] = ge_add_cached(pts[i - 1], b2c);
+
+    Fe prefix[kBaseTableSize];  // prefix[i] = z_0 * ... * z_i
+    prefix[0] = pts[0].z;
+    for (int i = 1; i < kBaseTableSize; ++i) prefix[i] = fe_mul(prefix[i - 1], pts[i].z);
+    Fe inv = fe_invert(prefix[kBaseTableSize - 1]);
+
+    BaseTable t;
+    for (int i = kBaseTableSize - 1; i >= 0; --i) {
+      const Fe zi = i == 0 ? inv : fe_mul(inv, prefix[i - 1]);
+      inv = fe_mul(inv, pts[i].z);
+      const Fe x = fe_mul(pts[i].x, zi);
+      const Fe y = fe_mul(pts[i].y, zi);
+      t.mult[i] = GePrecomp{fe_carry(fe_add(y, x)), fe_carry(fe_sub(y, x)),
+                            fe_mul(fe_mul(x, y), fe_2d())};
+    }
+    return t;
+  }();
+  return table;
+}
+
+// r = [scalar]B via the static base table (w = 7 wNAF: ~253 doublings
+// plus ~36 mixed additions, versus 256 doublings + ~128 additions for
+// the plain ladder this replaces).
+Ge ge_scalarmult_base(const std::uint8_t scalar[32]) {
+  signed char naf[257];
+  slide(naf, scalar, kWindowBase);
+  const BaseTable& bt = base_table();
+  int i = 256;
+  while (i >= 0 && !naf[i]) --i;
+  Ge r = ge_identity();
+  for (; i >= 0; --i) {
+    r = ge_double(r);
+    if (naf[i] > 0) r = ge_add_precomp(r, bt.mult[naf[i] >> 1]);
+    else if (naf[i] < 0) r = ge_sub_precomp(r, bt.mult[(-naf[i]) >> 1]);
+  }
+  return r;
+}
+
+// r = [a]A + [b]B (Straus/Shamir: one shared doubling chain).
+Ge ge_double_scalarmult(const std::uint8_t a[32], const Ge& A, const std::uint8_t b[32]) {
+  signed char anaf[257], bnaf[257];
+  slide(anaf, a, kWindowDyn);
+  slide(bnaf, b, kWindowBase);
+  const DynTable at = ge_dyn_table(A);
+  const BaseTable& bt = base_table();
+  int i = 256;
+  while (i >= 0 && !anaf[i] && !bnaf[i]) --i;
+  Ge r = ge_identity();
+  for (; i >= 0; --i) {
+    r = ge_double(r);
+    if (anaf[i] > 0) r = ge_add_cached(r, at.mult[anaf[i] >> 1]);
+    else if (anaf[i] < 0) r = ge_sub_cached(r, at.mult[(-anaf[i]) >> 1]);
+    if (bnaf[i] > 0) r = ge_add_precomp(r, bt.mult[bnaf[i] >> 1]);
+    else if (bnaf[i] < 0) r = ge_sub_precomp(r, bt.mult[(-bnaf[i]) >> 1]);
+  }
+  return r;
+}
+
+// r = [base_scalar]B + sum [scalars[j]]points[j] — generalized Straus
+// for batch verification.  One doubling chain regardless of how many
+// points are combined.
+struct MsmEntry {
+  Ge point;
+  std::uint8_t scalar[32];
+};
+
+Ge ge_multi_scalarmult(const std::uint8_t base_scalar[32],
+                       const std::vector<MsmEntry>& entries) {
+  const std::size_t n = entries.size();
+  std::vector<std::array<signed char, 257>> nafs(n);
+  std::vector<DynTable> tables(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    slide(nafs[j].data(), entries[j].scalar, kWindowDyn);
+    tables[j] = ge_dyn_table(entries[j].point);
+  }
+  signed char bnaf[257];
+  slide(bnaf, base_scalar, kWindowBase);
+  const BaseTable& bt = base_table();
+
+  int i = 256;
+  for (; i >= 0; --i) {
+    if (bnaf[i]) break;
+    bool any = false;
+    for (std::size_t j = 0; j < n && !any; ++j) any = nafs[j][static_cast<std::size_t>(i)] != 0;
+    if (any) break;
+  }
+  Ge r = ge_identity();
+  for (; i >= 0; --i) {
+    r = ge_double(r);
+    for (std::size_t j = 0; j < n; ++j) {
+      const signed char d = nafs[j][static_cast<std::size_t>(i)];
+      if (d > 0) r = ge_add_cached(r, tables[j].mult[d >> 1]);
+      else if (d < 0) r = ge_sub_cached(r, tables[j].mult[(-d) >> 1]);
+    }
+    if (bnaf[i] > 0) r = ge_add_precomp(r, bt.mult[bnaf[i] >> 1]);
+    else if (bnaf[i] < 0) r = ge_sub_precomp(r, bt.mult[(-bnaf[i]) >> 1]);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
 // ---------------------------------------------------------------------------
 
@@ -364,9 +599,10 @@ void u256_shl1_or(U256& r, int bit) {
 }
 
 // Reduce an arbitrary-size little-endian byte string mod L via binary
-// long division.  Not fast, but simple, obviously correct, and plenty
-// for simulation workloads.
-U256 sc_reduce_bytes(const std::uint8_t* data, std::size_t len) {
+// long division.  Slow (one shift/compare/subtract per bit) — kept as
+// the fallback for odd lengths and to bootstrap the Montgomery
+// constants below.
+U256 sc_reduce_bytes_slow(const std::uint8_t* data, std::size_t len) {
   U256 r = {{0, 0, 0, 0}};
   for (std::size_t byte = len; byte-- > 0;) {
     for (int bit = 7; bit >= 0; --bit) {
@@ -375,6 +611,102 @@ U256 sc_reduce_bytes(const std::uint8_t* data, std::size_t len) {
     }
   }
   return r;
+}
+
+U256 u256_load(const std::uint8_t* p) {
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t w = 0;
+    for (int j = 7; j >= 0; --j)
+      w = (w << 8) | p[static_cast<std::size_t>(i * 8 + j)];
+    r.w[i] = w;
+  }
+  return r;
+}
+
+U256 sc_add(const U256& a, const U256& b);
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic mod L with R = 2^256.  The hot scalar ops —
+// the k = SHA512(...) reduction in every verify and the z_i products
+// of batch verification — each needed a 512-iteration binary division
+// before; one CIOS pass is ~32 word multiplies instead.
+// ---------------------------------------------------------------------------
+
+// -L^{-1} mod 2^64, by Newton iteration (doubles correct bits, and any
+// odd x is its own inverse mod 8, so five rounds reach 64 bits).
+std::uint64_t mont_n0() {
+  static const std::uint64_t n0 = [] {
+    std::uint64_t x = kL.w[0];
+    for (int i = 0; i < 5; ++i) x *= 2 - kL.w[0] * x;
+    return ~x + 1;
+  }();
+  return n0;
+}
+
+// R^2 mod L = 2^512 mod L, bootstrapped once through the slow reducer.
+const U256& mont_r2() {
+  static const U256 r2 = [] {
+    std::uint8_t n[65] = {};
+    n[64] = 1;
+    return sc_reduce_bytes_slow(n, 65);
+  }();
+  return r2;
+}
+
+// CIOS Montgomery product: a * b * R^{-1} mod L.  Requires b < L and
+// a < 2^256 (the intermediate then stays below 2L, so one conditional
+// subtraction canonicalises).
+U256 mont_mul(const U256& a, const U256& b) {
+  std::uint64_t t[6] = {};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const unsigned __int128 cur =
+          (unsigned __int128)a.w[i] * b.w[j] + t[j] + (std::uint64_t)carry;
+      t[j] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    unsigned __int128 top = (unsigned __int128)t[4] + (std::uint64_t)carry;
+    t[4] = (std::uint64_t)top;
+    t[5] = (std::uint64_t)(top >> 64);
+
+    const std::uint64_t m = t[0] * mont_n0();
+    carry = ((unsigned __int128)m * kL.w[0] + t[0]) >> 64;
+    for (int j = 1; j < 4; ++j) {
+      const unsigned __int128 cur =
+          (unsigned __int128)m * kL.w[j] + t[j] + (std::uint64_t)carry;
+      t[j - 1] = (std::uint64_t)cur;
+      carry = cur >> 64;
+    }
+    top = (unsigned __int128)t[4] + (std::uint64_t)carry;
+    t[3] = (std::uint64_t)top;
+    t[4] = t[5] + (std::uint64_t)(top >> 64);
+  }
+  U256 r = {{t[0], t[1], t[2], t[3]}};
+  if (t[4] != 0 || u256_cmp(r, kL) >= 0) u256_sub_inplace(r, kL);
+  return r;
+}
+
+const U256 kOne = {{1, 0, 0, 0}};
+
+U256 sc_reduce_bytes(const std::uint8_t* data, std::size_t len) {
+  if (len == 32) {
+    // Value < 2^256 < 16L: a handful of conditional subtractions.
+    U256 r = u256_load(data);
+    while (u256_cmp(r, kL) >= 0) u256_sub_inplace(r, kL);
+    return r;
+  }
+  if (len == 64) {
+    // N = hi*R + lo, so N*R^{-1} = hi + lo*R^{-1}; one more Montgomery
+    // product by R^2 multiplies the R back in.
+    const U256 lo = u256_load(data);
+    U256 hi = u256_load(data + 32);
+    while (u256_cmp(hi, kL) >= 0) u256_sub_inplace(hi, kL);
+    const U256 u = sc_add(hi, mont_mul(lo, kOne));
+    return mont_mul(u, mont_r2());
+  }
+  return sc_reduce_bytes_slow(data, len);
 }
 
 U256 sc_add(const U256& a, const U256& b) {
@@ -390,23 +722,8 @@ U256 sc_add(const U256& a, const U256& b) {
 }
 
 U256 sc_mul(const U256& a, const U256& b) {
-  // Schoolbook 256x256 -> 512, then binary reduce.
-  std::uint64_t prod[8] = {};
-  for (int i = 0; i < 4; ++i) {
-    unsigned __int128 carry = 0;
-    for (int j = 0; j < 4; ++j) {
-      const unsigned __int128 cur =
-          (unsigned __int128)a.w[i] * b.w[j] + prod[i + j] + (std::uint64_t)carry;
-      prod[i + j] = (std::uint64_t)cur;
-      carry = cur >> 64;
-    }
-    prod[i + 4] = (std::uint64_t)carry;
-  }
-  std::uint8_t bytes[64];
-  for (int i = 0; i < 8; ++i)
-    for (int j = 0; j < 8; ++j)
-      bytes[i * 8 + j] = (std::uint8_t)(prod[i] >> (8 * j));
-  return sc_reduce_bytes(bytes, 64);
+  // Two CIOS passes: abR^{-1}, then multiply the R back in via R^2.
+  return mont_mul(mont_mul(a, b), mont_r2());
 }
 
 void sc_to_bytes(std::uint8_t out[32], const U256& a) {
@@ -453,7 +770,7 @@ PublicKeyBytes derive_public(const Seed& seed) {
   std::uint8_t a[32];
   std::memcpy(a, h.data(), 32);
   clamp(a);
-  const Ge A = ge_scalarmult(ge_base(), a);
+  const Ge A = ge_scalarmult_base(a);
   PublicKeyBytes out;
   ge_compress(out.data(), A);
   return out;
@@ -474,7 +791,7 @@ SignatureBytes sign(const Seed& seed, ByteView msg) {
   std::uint8_t r_bytes[32];
   sc_to_bytes(r_bytes, r);
 
-  const Ge R = ge_scalarmult(ge_base(), r_bytes);
+  const Ge R = ge_scalarmult_base(r_bytes);
   SignatureBytes sig{};
   ge_compress(sig.data(), R);
 
@@ -490,27 +807,134 @@ SignatureBytes sign(const Seed& seed, ByteView msg) {
   return sig;
 }
 
-bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig) {
+namespace {
+
+// Everything `verify` rejects before touching the curve equation, plus
+// the decoded values the equation needs.  Shared by the single and
+// batched paths so both enforce identical rules.
+struct DecodedSig {
+  Ge A;       // the public key
+  Ge R;       // the signature's commitment point
+  U256 k;     // SHA512(R || A || msg) mod L
+  U256 s;     // the signature scalar
+};
+
+bool decode_for_verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig,
+                       DecodedSig& out) {
   if (!sc_is_canonical(sig.data() + 32)) return false;
+  if (!ge_decompress(out.A, pub.data())) return false;
+  if (!ge_decompress(out.R, sig.data())) return false;
+  const Digest512 kh =
+      hash3(ByteView{sig.data(), 32}, ByteView{pub.data(), pub.size()}, msg);
+  out.k = sc_reduce_bytes(kh.data(), kh.size());
+  out.s = sc_from_bytes(sig.data() + 32);
+  return true;
+}
 
-  Ge A;
-  if (!ge_decompress(A, pub.data())) return false;
-  Ge R;
-  if (!ge_decompress(R, sig.data())) return false;
-
-  const Digest512 kh = hash3(ByteView{sig.data(), 32}, ByteView{pub.data(), pub.size()}, msg);
-  const U256 k = sc_reduce_bytes(kh.data(), kh.size());
-  std::uint8_t k_bytes[32];
-  sc_to_bytes(k_bytes, k);
-
-  // Check [S]B == R + [k]A  <=>  [S]B + [k](-A) == R.
-  const Ge sB = ge_scalarmult(ge_base(), sig.data() + 32);
-  const Ge kA = ge_scalarmult(ge_neg(A), k_bytes);
-  const Ge lhs = ge_add(sB, kA);
-
+// The cofactorless check [S]B == R + [k]A, given decoded inputs.
+bool check_equation(const DecodedSig& d, const std::uint8_t* r_bytes) {
+  std::uint8_t k_bytes[32], s_bytes[32];
+  sc_to_bytes(k_bytes, d.k);
+  sc_to_bytes(s_bytes, d.s);
+  // [S]B + [k](-A) must compress back to the signature's R bytes.  R
+  // decompressed canonically, so byte equality == point equality.
+  const Ge lhs = ge_double_scalarmult(k_bytes, ge_neg(d.A), s_bytes);
   std::uint8_t lhs_bytes[32];
   ge_compress(lhs_bytes, lhs);
-  return std::memcmp(lhs_bytes, sig.data(), 32) == 0;
+  return std::memcmp(lhs_bytes, r_bytes, 32) == 0;
+}
+
+}  // namespace
+
+bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig) {
+  DecodedSig d;
+  if (!decode_for_verify(pub, msg, sig, d)) return false;
+  return check_equation(d, sig.data());
+}
+
+std::vector<bool> verify_batch(std::span<const VerifyItem> items) {
+  std::vector<bool> ok(items.size(), false);
+  if (items.empty()) return ok;
+
+  // Pre-checks: canonical S, canonical point encodings, k derivation.
+  // Items failing here are definitively invalid and excluded from the
+  // combined equation.
+  struct Candidate {
+    std::size_t idx;
+    DecodedSig d;
+  };
+  std::vector<Candidate> cand;
+  cand.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    DecodedSig d;
+    if (decode_for_verify(items[i].pub, items[i].msg, items[i].sig, d))
+      cand.push_back({i, d});
+  }
+  if (cand.empty()) return ok;
+  if (cand.size() == 1) {
+    ok[cand[0].idx] = check_equation(cand[0].d, items[cand[0].idx].sig.data());
+    return ok;
+  }
+
+  // Fiat–Shamir coefficients: z_i = 128 bits of SHA512(transcript, i).
+  // The transcript binds every key, signature and message (k already
+  // hashes the message), so an adversary cannot pick signatures as a
+  // function of the z they will be combined with.
+  Sha512 transcript;
+  static constexpr const char kDomain[] = "bmg/ed25519/batch/v1";
+  transcript.update(
+      ByteView{reinterpret_cast<const std::uint8_t*>(kDomain), sizeof(kDomain) - 1});
+  for (const Candidate& c : cand) {
+    transcript.update(ByteView{items[c.idx].pub.data(), 32});
+    transcript.update(ByteView{items[c.idx].sig.data(), 64});
+    std::uint8_t k_bytes[32];
+    sc_to_bytes(k_bytes, c.d.k);
+    transcript.update(ByteView{k_bytes, 32});
+  }
+  const Digest512 root = transcript.finish();
+
+  // Combined equation: [sum z_i S_i]B + sum [z_i](-R_i) + sum [z_i k_i](-A_i)
+  // must be the identity.
+  U256 b_comb = {{0, 0, 0, 0}};
+  std::vector<MsmEntry> entries;
+  entries.reserve(cand.size() * 2);
+  for (std::size_t j = 0; j < cand.size(); ++j) {
+    Sha512 zh;
+    zh.update(ByteView{root.data(), root.size()});
+    std::uint8_t j_le[8];
+    for (int b = 0; b < 8; ++b) j_le[b] = static_cast<std::uint8_t>(j >> (8 * b));
+    zh.update(ByteView{j_le, 8});
+    const Digest512 zd = zh.finish();
+    std::uint8_t z_bytes[32] = {};
+    std::memcpy(z_bytes, zd.data(), 16);  // 128-bit coefficients suffice
+    bool all_zero = true;
+    for (int b = 0; b < 16; ++b) all_zero = all_zero && z_bytes[b] == 0;
+    if (all_zero) z_bytes[0] = 1;
+    const U256 z = sc_from_bytes(z_bytes);
+
+    const DecodedSig& d = cand[j].d;
+    b_comb = sc_add(b_comb, sc_mul(z, d.s));
+    MsmEntry er;
+    er.point = ge_neg(d.R);
+    sc_to_bytes(er.scalar, z);
+    entries.push_back(er);
+    MsmEntry ea;
+    ea.point = ge_neg(d.A);
+    sc_to_bytes(ea.scalar, sc_mul(z, d.k));
+    entries.push_back(ea);
+  }
+  std::uint8_t b_bytes[32];
+  sc_to_bytes(b_bytes, b_comb);
+  if (ge_is_identity(ge_multi_scalarmult(b_bytes, entries))) {
+    for (const Candidate& c : cand) ok[c.idx] = true;
+    return ok;
+  }
+
+  // At least one signature is bad: fall back to per-item verification
+  // so the caller learns which.
+  for (const Candidate& c : cand)
+    ok[c.idx] = check_equation(c.d, items[c.idx].sig.data());
+  return ok;
 }
 
 }  // namespace bmg::crypto::ed25519

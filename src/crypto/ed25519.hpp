@@ -10,6 +10,8 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -27,5 +29,24 @@ using SignatureBytes = std::array<std::uint8_t, 64>;
 
 /// Verifies a signature (RFC 8032 §5.1.7, cofactorless, strict S < L).
 [[nodiscard]] bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig);
+
+/// One signature of a batch; `msg` must stay alive for the call.
+struct VerifyItem {
+  PublicKeyBytes pub;
+  ByteView msg;
+  SignatureBytes sig;
+};
+
+/// Batch verification of many (pub, msg, sig) triples at once.
+///
+/// The fast path checks one random-linear-combination equation
+///   [sum z_i S_i] B  ==  sum [z_i] R_i + sum [z_i k_i] A_i
+/// with per-item 128-bit coefficients z_i derived Fiat–Shamir style
+/// from the batch itself, sharing a single doubling chain across every
+/// point (Straus).  If the combined check fails, each item is
+/// re-verified individually so callers still learn *which* signature
+/// is bad.  Accepts exactly the signatures `verify` accepts (same
+/// canonical-S, canonical-encoding and cofactorless-equation rules).
+[[nodiscard]] std::vector<bool> verify_batch(std::span<const VerifyItem> items);
 
 }  // namespace bmg::crypto::ed25519

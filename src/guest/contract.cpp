@@ -33,7 +33,7 @@ GuestContract::GuestContract(GuestConfig cfg,
   // Genesis validators are pre-staked candidates.
   for (const auto& v : genesis_validators) candidates_[v.key] = Candidate{v.stake};
   epoch_ = select_validators();
-  if (epoch_.validators.empty())
+  if (epoch_.empty())
     throw std::invalid_argument("guest contract: empty genesis validator set");
 
   // Genesis block: height 0, finalised by construction.
@@ -102,9 +102,7 @@ ibc::ValidatorSet GuestContract::select_validators() const {
     return a.key < b.key;
   });
   if (sorted.size() > cfg_.max_validators) sorted.resize(cfg_.max_validators);
-  ibc::ValidatorSet set;
-  set.validators = std::move(sorted);
-  return set;
+  return ibc::ValidatorSet(std::move(sorted));
 }
 
 void GuestContract::op_generate_block(host::TxContext& ctx) {
@@ -125,7 +123,7 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
                                       ctx.slot(), epoch_);
   if (epoch_due) {
     const ibc::ValidatorSet next = select_validators();
-    if (!next.validators.empty()) block.next_validators = next;
+    if (!next.empty()) block.next_validators = next;
   }
   block.packets = std::move(pending_packets_);
   pending_packets_.clear();

@@ -196,11 +196,17 @@ void Chain::execute_tx(PendingTx& ptx) {
   TxContext ctx(*this, tx, slot_, sim_.now(), cfg_.max_compute_units);
   std::string touched_program;
   try {
-    // Ed25519 pre-compile runs before the programs.
+    // Ed25519 pre-compile runs before the programs.  All signatures of
+    // a transaction are checked as one batch (real runtimes verify the
+    // whole packet's signatures up front, too).
     ctx.consume_cu(kCuEd25519PerSig * tx.sig_verifies.size());
-    for (const auto& sv : tx.sig_verifies) {
-      if (!crypto::verify(sv.pubkey, sv.message, sv.signature))
-        throw TxError("ed25519 pre-compile: invalid signature");
+    if (!tx.sig_verifies.empty()) {
+      std::vector<crypto::ed25519::VerifyItem> items;
+      items.reserve(tx.sig_verifies.size());
+      for (const auto& sv : tx.sig_verifies)
+        items.push_back({sv.pubkey.raw(), ByteView{sv.message}, sv.signature.raw()});
+      for (const bool good : crypto::ed25519::verify_batch(items))
+        if (!good) throw TxError("ed25519 pre-compile: invalid signature");
     }
     for (const auto& ins : tx.instructions) {
       ctx.consume_cu(kCuInstructionBase);

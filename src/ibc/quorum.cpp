@@ -1,24 +1,52 @@
 #include "ibc/quorum.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/codec.hpp"
+#include "crypto/ed25519.hpp"
 #include "crypto/sha256.hpp"
 
 namespace bmg::ibc {
 
+void ValidatorSet::invalidate() noexcept {
+  hash_.reset();
+  total_stake_.reset();
+  index_.reset();
+}
+
+void ValidatorSet::add(crypto::PublicKey key, std::uint64_t stake) {
+  validators_.push_back(ValidatorInfo{std::move(key), stake});
+  invalidate();
+}
+
+void ValidatorSet::assign(std::vector<ValidatorInfo> validators) {
+  validators_ = std::move(validators);
+  invalidate();
+}
+
 std::uint64_t ValidatorSet::total_stake() const {
-  std::uint64_t sum = 0;
-  for (const auto& v : validators) sum += v.stake;
-  return sum;
+  if (!total_stake_) {
+    std::uint64_t sum = 0;
+    for (const auto& v : validators_) sum += v.stake;
+    total_stake_ = sum;
+  }
+  return *total_stake_;
 }
 
 std::uint64_t ValidatorSet::quorum_stake() const { return total_stake() * 2 / 3 + 1; }
 
 std::optional<std::uint64_t> ValidatorSet::stake_of(const crypto::PublicKey& key) const {
-  for (const auto& v : validators)
-    if (v.key == key) return v.stake;
-  return std::nullopt;
+  if (!index_) {
+    index_.emplace();
+    index_->reserve(validators_.size());
+    // emplace keeps the first entry on duplicate keys, matching the
+    // linear scan this index replaced.
+    for (const auto& v : validators_) index_->emplace(v.key, v.stake);
+  }
+  const auto it = index_->find(key);
+  if (it == index_->end()) return std::nullopt;
+  return it->second;
 }
 
 bool ValidatorSet::contains(const crypto::PublicKey& key) const {
@@ -27,8 +55,8 @@ bool ValidatorSet::contains(const crypto::PublicKey& key) const {
 
 Bytes ValidatorSet::encode() const {
   Encoder e;
-  e.u32(static_cast<std::uint32_t>(validators.size()));
-  for (const auto& v : validators) {
+  e.u32(static_cast<std::uint32_t>(validators_.size()));
+  for (const auto& v : validators_) {
     e.raw(v.key.view());
     e.u64(v.stake);
   }
@@ -37,12 +65,12 @@ Bytes ValidatorSet::encode() const {
 
 ValidatorSet ValidatorSet::decode(ByteView wire) {
   Decoder d(wire);
-  ValidatorSet set;
   const std::uint32_t n = d.u32();
   // Bound the allocation by the bytes actually present (40 per entry)
   // — a hostile length prefix must not trigger a huge reserve.
   if (n > d.remaining() / 40) throw CodecError("validator set: implausible count");
-  set.validators.reserve(n);
+  std::vector<ValidatorInfo> vals;
+  vals.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     ValidatorInfo v;
     const Bytes raw = d.raw(32);
@@ -50,13 +78,20 @@ ValidatorSet ValidatorSet::decode(ByteView wire) {
     std::copy(raw.begin(), raw.end(), pk.begin());
     v.key = crypto::PublicKey(pk);
     v.stake = d.u64();
-    set.validators.push_back(v);
+    vals.push_back(v);
   }
   d.expect_done();
-  return set;
+  return ValidatorSet(std::move(vals));
 }
 
-Hash32 ValidatorSet::hash() const { return crypto::Sha256::digest(encode()); }
+const Hash32& ValidatorSet::hash() const {
+  if (!hash_) hash_ = crypto::Sha256::digest(encode());
+  return *hash_;
+}
+
+std::size_t ValidatorSet::byte_size() const noexcept {
+  return 4 + 40 * validators_.size();  // u32 count + (32-byte key, u64 stake) each
+}
 
 Bytes QuorumHeader::encode() const {
   Encoder e;
@@ -83,6 +118,11 @@ QuorumHeader QuorumHeader::decode(ByteView wire) {
 }
 
 Hash32 QuorumHeader::signing_digest() const { return crypto::Sha256::digest(encode()); }
+
+std::size_t QuorumHeader::byte_size() const noexcept {
+  // str/bytes carry a u32 length prefix; u64s are 8 bytes, hashes 32.
+  return (4 + chain_id.size()) + 8 + 8 + 32 + 32 + (4 + extra.size());
+}
 
 Bytes SignedQuorumHeader::encode() const {
   Encoder e;
@@ -116,26 +156,45 @@ SignedQuorumHeader SignedQuorumHeader::decode(ByteView wire) {
   return sh;
 }
 
-std::size_t SignedQuorumHeader::byte_size() const { return encode().size(); }
+std::size_t SignedQuorumHeader::byte_size() const noexcept {
+  std::size_t n = 4 + header.byte_size();             // length-prefixed header blob
+  n += 4 + signatures.size() * (32 + 64);             // count + (key, sig) pairs
+  n += 1;                                             // next_validators flag
+  if (next_validators) n += 4 + next_validators->byte_size();
+  return n;
+}
+
+const Hash32& SignedQuorumHeader::signing_digest() const {
+  if (!digest_) digest_ = header.signing_digest();
+  return *digest_;
+}
 
 QuorumLightClient::QuorumLightClient(std::string chain_id, ValidatorSet genesis_validators)
     : chain_id_(std::move(chain_id)), validators_(std::move(genesis_validators)) {}
 
 std::uint64_t QuorumLightClient::verify_signatures(const SignedQuorumHeader& sh,
                                                    const ValidatorSet& validators) {
-  const Hash32 digest = sh.header.signing_digest();
+  const Hash32& digest = sh.signing_digest();
+  // First pass: membership and uniqueness, before paying for any curve
+  // arithmetic.  A header failing these is rejected for free.
   std::uint64_t power = 0;
-  std::vector<crypto::PublicKey> seen;
+  std::unordered_set<crypto::PublicKey, crypto::PublicKeyHasher> seen;
+  seen.reserve(sh.signatures.size());
   for (const auto& [key, sig] : sh.signatures) {
-    if (std::find(seen.begin(), seen.end(), key) != seen.end())
-      throw IbcError("quorum client: duplicate signer");
-    seen.push_back(key);
+    if (!seen.insert(key).second) throw IbcError("quorum client: duplicate signer");
     const auto stake = validators.stake_of(key);
     if (!stake) throw IbcError("quorum client: signer not in validator set");
-    if (!crypto::verify(key, digest.view(), sig))
-      throw IbcError("quorum client: invalid signature");
     power += *stake;
   }
+  // Second pass: one batched verification over every signature — all
+  // of them sign the same digest, the textbook batch-friendly shape.
+  std::vector<crypto::ed25519::VerifyItem> items;
+  items.reserve(sh.signatures.size());
+  for (const auto& [key, sig] : sh.signatures)
+    items.push_back({key.raw(), digest.view(), sig.raw()});
+  const std::vector<bool> ok = crypto::ed25519::verify_batch(items);
+  for (const bool good : ok)
+    if (!good) throw IbcError("quorum client: invalid signature");
   return power;
 }
 
@@ -155,8 +214,7 @@ void QuorumLightClient::update(ByteView header) {
     throw IbcError("quorum client: non-monotonic header height");
   if (sh.header.validator_set_hash != validators_.hash())
     throw IbcError("quorum client: header names an unknown validator set");
-  if (sh.next_validators &&
-      sh.next_validators->validators.empty())
+  if (sh.next_validators && sh.next_validators->empty())
     throw IbcError("quorum client: empty next validator set");
   const std::uint64_t power = verify_signatures(sh, validators_);
   if (power < validators_.quorum_stake())
@@ -186,7 +244,7 @@ void QuorumLightClient::submit_misbehaviour(const SignedQuorumHeader& a,
     throw IbcError("misbehaviour: wrong chain id");
   if (a.header.height != b.header.height)
     throw IbcError("misbehaviour: headers at different heights");
-  if (a.header.signing_digest() == b.header.signing_digest())
+  if (a.signing_digest() == b.signing_digest())
     throw IbcError("misbehaviour: headers are identical");
   // Both must be properly finalised by the tracked validator set —
   // otherwise anyone could freeze the client with garbage.

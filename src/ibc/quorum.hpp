@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -29,8 +30,29 @@ struct ValidatorInfo {
   friend bool operator==(const ValidatorInfo&, const ValidatorInfo&) = default;
 };
 
-struct ValidatorSet {
-  std::vector<ValidatorInfo> validators;
+/// The stake-weighted validator set of one chain.
+///
+/// Encapsulated so the hot light-client path can cache what it keeps
+/// re-deriving: the set hash (one SHA-256 of the full encoding), the
+/// total stake, and a key→stake index.  All three are built lazily on
+/// first use and invalidated by the mutators, so a set that is built
+/// once and read per-header (the common case) pays each cost once.
+class ValidatorSet {
+ public:
+  ValidatorSet() = default;
+  explicit ValidatorSet(std::vector<ValidatorInfo> validators)
+      : validators_(std::move(validators)) {}
+
+  [[nodiscard]] const std::vector<ValidatorInfo>& entries() const noexcept {
+    return validators_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return validators_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return validators_.empty(); }
+
+  /// Appends one validator.  Invalidates the caches.
+  void add(crypto::PublicKey key, std::uint64_t stake);
+  /// Replaces the whole set.  Invalidates the caches.
+  void assign(std::vector<ValidatorInfo> validators);
 
   [[nodiscard]] std::uint64_t total_stake() const;
   /// Stake strictly required to finalise: > 2/3 of total.
@@ -40,9 +62,23 @@ struct ValidatorSet {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static ValidatorSet decode(ByteView wire);
-  [[nodiscard]] Hash32 hash() const;
+  [[nodiscard]] const Hash32& hash() const;
+  /// Serialized size, computed arithmetically (no encode).
+  [[nodiscard]] std::size_t byte_size() const noexcept;
 
-  friend bool operator==(const ValidatorSet&, const ValidatorSet&) = default;
+  friend bool operator==(const ValidatorSet& a, const ValidatorSet& b) {
+    return a.validators_ == b.validators_;
+  }
+
+ private:
+  void invalidate() noexcept;
+
+  std::vector<ValidatorInfo> validators_;
+  mutable std::optional<Hash32> hash_;
+  mutable std::optional<std::uint64_t> total_stake_;
+  mutable std::optional<
+      std::unordered_map<crypto::PublicKey, std::uint64_t, crypto::PublicKeyHasher>>
+      index_;
 };
 
 /// A block header as seen by light clients.
@@ -61,6 +97,8 @@ struct QuorumHeader {
   [[nodiscard]] static QuorumHeader decode(ByteView wire);
   /// What validators sign.
   [[nodiscard]] Hash32 signing_digest() const;
+  /// Serialized size, computed arithmetically (no encode).
+  [[nodiscard]] std::size_t byte_size() const noexcept;
 
   friend bool operator==(const QuorumHeader&, const QuorumHeader&) = default;
 };
@@ -75,8 +113,17 @@ struct SignedQuorumHeader {
 
   [[nodiscard]] Bytes encode() const;
   [[nodiscard]] static SignedQuorumHeader decode(ByteView wire);
-  /// Serialized size — what a relayer must ship on-chain.
-  [[nodiscard]] std::size_t byte_size() const;
+  /// Serialized size — what a relayer must ship on-chain.  Computed
+  /// arithmetically from the wire format; never allocates.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+  /// `header.signing_digest()`, hashed once and cached.  Headers are
+  /// value objects — built or decoded, then only read — so the cache
+  /// never sees `header` change.  Mutating `header` after the first
+  /// call here is a bug.
+  [[nodiscard]] const Hash32& signing_digest() const;
+
+ private:
+  mutable std::optional<Hash32> digest_;
 };
 
 /// Light client verifying quorum headers of one counterparty chain.

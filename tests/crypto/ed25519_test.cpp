@@ -173,6 +173,121 @@ TEST(Ed25519, SignIsDeterministic) {
   EXPECT_EQ(to_hex(ByteView{sign(seed, msg)}), to_hex(ByteView{sign(seed, msg)}));
 }
 
+TEST(Ed25519, RejectsAllZeroSignature) {
+  const Seed seed = seed_from_hex(kVectors[0].seed_hex);
+  const PublicKeyBytes pub = derive_public(seed);
+  const SignatureBytes zero{};
+  EXPECT_FALSE(verify(pub, bytes_of("any message"), zero));
+  // And an all-zero public key against a real signature.
+  const Bytes msg = bytes_of("any message");
+  const SignatureBytes sig = sign(seed, msg);
+  const PublicKeyBytes zero_pub{};
+  EXPECT_FALSE(verify(zero_pub, msg, sig));
+}
+
+TEST(Ed25519, BatchAcceptsAllValid) {
+  std::vector<Bytes> msgs;
+  std::vector<VerifyItem> items;
+  msgs.reserve(16);  // ByteViews into elements must survive push_back
+  for (int i = 0; i < 16; ++i) {
+    Seed seed{};
+    seed[0] = static_cast<std::uint8_t>(i + 1);
+    msgs.push_back(bytes_of("batch-msg-" + std::to_string(i)));
+    items.push_back({derive_public(seed), ByteView{msgs.back()}, sign(seed, msgs.back())});
+  }
+  const std::vector<bool> ok = verify_batch(items);
+  ASSERT_EQ(ok.size(), items.size());
+  for (std::size_t i = 0; i < ok.size(); ++i) EXPECT_TRUE(ok[i]) << i;
+}
+
+TEST(Ed25519, BatchEmptyAndSingle) {
+  EXPECT_TRUE(verify_batch({}).empty());
+  Seed seed{};
+  seed[0] = 9;
+  const Bytes msg = bytes_of("solo");
+  const VerifyItem good{derive_public(seed), ByteView{msg}, sign(seed, msg)};
+  EXPECT_EQ(verify_batch({&good, 1}), std::vector<bool>{true});
+  VerifyItem bad = good;
+  bad.sig[10] ^= 1;
+  EXPECT_EQ(verify_batch({&bad, 1}), std::vector<bool>{false});
+}
+
+// The load-bearing equivalence: verify_batch must accept exactly the
+// items that per-item verify accepts, on batches that mix valid
+// signatures with every corruption the single-signature tests cover
+// (tampered sig halves, tampered message, wrong key, non-canonical S,
+// all-zero signature).
+TEST(Ed25519, BatchMatchesSingleVerifyProperty) {
+  std::uint64_t rng = 0x2b992ddfa23249d6ULL;  // fixed seed: deterministic test
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  const Bytes ell = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+
+  int cases = 0;
+  for (int round = 0; cases < 1000; ++round) {
+    const std::size_t n = 1 + next() % 12;
+    std::vector<Bytes> msgs(n);
+    std::vector<VerifyItem> items(n);
+    std::vector<bool> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Seed seed{};
+      for (int b = 0; b < 4; ++b) {
+        const std::uint64_t w = next();
+        for (int j = 0; j < 8; ++j)
+          seed[static_cast<std::size_t>(b * 8 + j)] =
+              static_cast<std::uint8_t>(w >> (8 * j));
+      }
+      msgs[i] = bytes_of("prop-" + std::to_string(round) + "-" + std::to_string(i));
+      items[i] = {derive_public(seed), ByteView{msgs[i]}, sign(seed, msgs[i])};
+
+      switch (next() % 8) {
+        case 0:  // tampered R half
+          items[i].sig[next() % 32] ^= static_cast<std::uint8_t>(1 + next() % 255);
+          break;
+        case 1:  // tampered S half
+          items[i].sig[32 + next() % 32] ^= static_cast<std::uint8_t>(1 + next() % 255);
+          break;
+        case 2:  // wrong message
+          msgs[i].back() ^= 0x01;
+          break;
+        case 3: {  // wrong key
+          Seed other{};
+          other[0] = static_cast<std::uint8_t>(next());
+          other[1] = 0xEE;
+          items[i].pub = derive_public(other);
+          break;
+        }
+        case 4: {  // non-canonical S' = S + L
+          unsigned carry = 0;
+          for (std::size_t b = 0; b < 32; ++b) {
+            const unsigned sum = items[i].sig[32 + b] + ell[b] + carry;
+            items[i].sig[32 + b] = static_cast<std::uint8_t>(sum);
+            carry = sum >> 8;
+          }
+          break;
+        }
+        case 5:  // all-zero signature
+          items[i].sig = SignatureBytes{};
+          break;
+        default:  // leave valid (two of eight arms)
+          break;
+      }
+      expected[i] = verify(items[i].pub, items[i].msg, items[i].sig);
+      ++cases;
+    }
+    const std::vector<bool> got = verify_batch(items);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(got[i], expected[i]) << "round " << round << " item " << i;
+  }
+}
+
 TEST(Ed25519, ManyRandomRoundTrips) {
   for (int i = 0; i < 16; ++i) {
     Seed seed{};

@@ -10,8 +10,7 @@ namespace {
 ibc::ValidatorSet make_set(int n) {
   ibc::ValidatorSet set;
   for (int i = 0; i < n; ++i)
-    set.validators.push_back(
-        {crypto::PrivateKey::from_label("bv-" + std::to_string(i)).public_key(), 50});
+    set.add(crypto::PrivateKey::from_label("bv-" + std::to_string(i)).public_key(), 50);
   return set;
 }
 
@@ -50,7 +49,7 @@ TEST(GuestBlock, SignedStakeCountsOnlySetMembers) {
   const ibc::ValidatorSet set = make_set(3);
   GuestBlock b = GuestBlock::make("guest-1", 1, 1.0, Hash32{}, Hash32{}, 1, set);
   const auto outsider = crypto::PrivateKey::from_label("outsider");
-  b.signers[set.validators[0].key] = crypto::Signature{};
+  b.signers[set.entries()[0].key] = crypto::Signature{};
   b.signers[outsider.public_key()] = crypto::Signature{};
   EXPECT_EQ(b.signed_stake(), 50u);  // outsider contributes nothing
 }
@@ -66,7 +65,7 @@ TEST(GuestBlock, ToSignedHeaderCarriesSignaturesAndRotation) {
   const ibc::SignedQuorumHeader sh = b.to_signed_header();
   EXPECT_EQ(sh.signatures.size(), 1u);
   ASSERT_TRUE(sh.next_validators.has_value());
-  EXPECT_EQ(sh.next_validators->validators.size(), 4u);
+  EXPECT_EQ(sh.next_validators->size(), 4u);
   // Round-trips on the wire.
   const auto back = ibc::SignedQuorumHeader::decode(sh.encode());
   EXPECT_EQ(back.header, sh.header);

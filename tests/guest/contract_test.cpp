@@ -26,7 +26,7 @@ class GuestContractTest : public ::testing::Test {
     }
     for (int i = 0; i < kNumCpValidators; ++i) {
       cp_keys_.push_back(PrivateKey::from_label("cpval-" + std::to_string(i)));
-      cp_set_.validators.push_back({cp_keys_.back().public_key(), 10});
+      cp_set_.add(cp_keys_.back().public_key(), 10);
     }
     GuestConfig cfg;
     cfg.delta_seconds = 100.0;
@@ -123,7 +123,7 @@ class GuestContractTest : public ::testing::Test {
 TEST_F(GuestContractTest, GenesisIsFinalised) {
   EXPECT_EQ(contract_->head().header.height, 0u);
   EXPECT_TRUE(contract_->head().finalised);
-  EXPECT_EQ(contract_->epoch_validators().validators.size(),
+  EXPECT_EQ(contract_->epoch_validators().size(),
             static_cast<std::size_t>(kNumValidators));
 }
 

@@ -23,7 +23,7 @@ class FutureWorkTest : public ::testing::Test {
     }
     for (int i = 0; i < 4; ++i) {
       cp_keys_.push_back(PrivateKey::from_label("fw-cp-" + std::to_string(i)));
-      cp_set_.validators.push_back({cp_keys_.back().public_key(), 10});
+      cp_set_.add(cp_keys_.back().public_key(), 10);
     }
     payer_ = PrivateKey::from_label("fw-payer").public_key();
     chain_.airdrop(payer_, 1000 * host::kLamportsPerSol);

@@ -12,8 +12,7 @@ using crypto::PrivateKey;
 ValidatorSet make_set(int n, std::uint64_t stake_each = 100) {
   ValidatorSet set;
   for (int i = 0; i < n; ++i)
-    set.validators.push_back(
-        {PrivateKey::from_label("qv-" + std::to_string(i)).public_key(), stake_each});
+    set.add(PrivateKey::from_label("qv-" + std::to_string(i)).public_key(), stake_each);
   return set;
 }
 
@@ -42,16 +41,17 @@ TEST(ValidatorSetTest, StakeArithmetic) {
   const ValidatorSet set = make_set(4, 100);
   EXPECT_EQ(set.total_stake(), 400u);
   EXPECT_EQ(set.quorum_stake(), 267u);  // > 2/3
-  EXPECT_TRUE(set.contains(set.validators[0].key));
-  EXPECT_EQ(set.stake_of(set.validators[2].key), 100u);
+  EXPECT_TRUE(set.contains(set.entries()[0].key));
+  EXPECT_EQ(set.stake_of(set.entries()[2].key), 100u);
   EXPECT_FALSE(set.stake_of(PrivateKey::from_label("outsider").public_key()));
 }
 
 TEST(ValidatorSetTest, EncodeDecodeAndHash) {
   const ValidatorSet set = make_set(5, 77);
   EXPECT_EQ(ValidatorSet::decode(set.encode()), set);
-  ValidatorSet other = set;
-  other.validators[0].stake = 78;
+  std::vector<ValidatorInfo> tweaked = set.entries();
+  tweaked[0].stake = 78;
+  const ValidatorSet other(std::move(tweaked));
   EXPECT_NE(set.hash(), other.hash());
 }
 
@@ -150,8 +150,7 @@ TEST(QuorumClient, ValidatorSetRotation) {
   // Header 1 rotates to a new set of signers "rot-*".
   ValidatorSet next;
   for (int i = 0; i < 3; ++i)
-    next.validators.push_back(
-        {PrivateKey::from_label("rot-" + std::to_string(i)).public_key(), 50});
+    next.add(PrivateKey::from_label("rot-" + std::to_string(i)).public_key(), 50);
   SignedQuorumHeader sh1 = sign_header(make_header(1, genesis), 3);
   sh1.next_validators = next;
   client.update(sh1.encode());
@@ -250,6 +249,63 @@ TEST(QuorumClient, VerifySignaturesReturnsPower) {
   const ValidatorSet set = make_set(5, 10);
   const SignedQuorumHeader sh = sign_header(make_header(1, set), 4);
   EXPECT_EQ(QuorumLightClient::verify_signatures(sh, set), 40u);
+}
+
+TEST(QuorumClient, ExactQuorumBoundaryStake) {
+  // Uneven stakes chosen so a signer subset can land exactly on the
+  // quorum threshold and exactly one unit below it.
+  ValidatorSet set;
+  const std::uint64_t stakes[] = {266, 1, 133};  // total 400, quorum 267
+  for (int i = 0; i < 3; ++i)
+    set.add(PrivateKey::from_label("qv-" + std::to_string(i)).public_key(), stakes[i]);
+  ASSERT_EQ(set.quorum_stake(), 267u);
+
+  // 266 + 1 == 267: exactly at threshold, must be accepted.
+  {
+    QuorumLightClient client("testchain", set);
+    client.update(sign_header(make_header(1, set), 2).encode());
+    EXPECT_EQ(client.latest_height(), 1u);
+  }
+  // 266 alone: one below threshold, must be rejected.
+  {
+    QuorumLightClient client("testchain", set);
+    EXPECT_THROW(client.update(sign_header(make_header(1, set), 1).encode()), IbcError);
+  }
+}
+
+TEST(ValidatorSetTest, CachesInvalidateOnMutation) {
+  ValidatorSet set = make_set(3, 100);
+  const Hash32 h0 = set.hash();
+  EXPECT_EQ(set.total_stake(), 300u);
+  const crypto::PublicKey newcomer = PrivateKey::from_label("late").public_key();
+  EXPECT_FALSE(set.contains(newcomer));  // builds the index
+
+  set.add(newcomer, 50);
+  EXPECT_NE(set.hash(), h0);
+  EXPECT_EQ(set.total_stake(), 350u);
+  EXPECT_EQ(set.stake_of(newcomer), 50u);
+
+  set.assign({});
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total_stake(), 0u);
+  EXPECT_FALSE(set.contains(newcomer));
+  EXPECT_NE(set.hash(), h0);
+}
+
+TEST(ValidatorSetTest, ByteSizeMatchesEncoding) {
+  for (int n : {0, 1, 7}) {
+    const ValidatorSet set = make_set(n);
+    EXPECT_EQ(set.byte_size(), set.encode().size()) << n;
+  }
+}
+
+TEST(SignedHeaderTest, ByteSizeMatchesEncodingWithoutNextValidators) {
+  const ValidatorSet set = make_set(3);
+  QuorumHeader hd = make_header(2, set);
+  hd.extra = bytes_of("epoch-extra");
+  const SignedQuorumHeader sh = sign_header(hd, 3);
+  EXPECT_EQ(sh.byte_size(), sh.encode().size());
+  EXPECT_EQ(hd.byte_size(), hd.encode().size());
 }
 
 }  // namespace

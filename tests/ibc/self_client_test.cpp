@@ -15,8 +15,7 @@ using crypto::PrivateKey;
 ValidatorSet make_set(const std::string& prefix, int n) {
   ValidatorSet set;
   for (int i = 0; i < n; ++i)
-    set.validators.push_back(
-        {PrivateKey::from_label(prefix + std::to_string(i)).public_key(), 100});
+    set.add(PrivateKey::from_label(prefix + std::to_string(i)).public_key(), 100);
   return set;
 }
 

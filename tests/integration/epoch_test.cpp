@@ -87,7 +87,7 @@ TEST(EpochRotation, StakeExitShrinksNextEpoch) {
   Deployment d(epoch_config(23));
   d.start();
   d.run_for(5.0);
-  ASSERT_EQ(d.guest().epoch_validators().validators.size(), 4u);
+  ASSERT_EQ(d.guest().epoch_validators().size(), 4u);
 
   // Validator 3 unstakes fully; after rotation the set has 3 members.
   const crypto::PrivateKey& leaver = d.validators()[3]->key();
@@ -99,7 +99,7 @@ TEST(EpochRotation, StakeExitShrinksNextEpoch) {
   ASSERT_TRUE(d.run_until([&] { return done; }, 60.0));
 
   ASSERT_TRUE(d.run_until(
-      [&] { return d.guest().epoch_validators().validators.size() == 3; }, 900.0));
+      [&] { return d.guest().epoch_validators().size() == 3; }, 900.0));
   EXPECT_FALSE(d.guest().epoch_validators().contains(leaver.public_key()));
 }
 
