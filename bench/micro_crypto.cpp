@@ -21,6 +21,44 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(32)->Arg(256)->Arg(1232)->Arg(65536);
 
+// Each backend the runtime dispatcher can pick, measured on the same
+// input sizes as BM_Sha256 (which reports whatever the dispatcher
+// chose on this CPU).
+void BM_Sha256Backend(benchmark::State& state) {
+  const auto impl = static_cast<crypto::Sha256Impl>(state.range(0));
+  if (!crypto::sha256_impl_available(impl)) {
+    state.SkipWithError("backend not available on this CPU");
+    return;
+  }
+  const Bytes data(static_cast<std::size_t>(state.range(1)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256_digest_with(impl, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(1));
+}
+BENCHMARK(BM_Sha256Backend)
+    ->ArgsProduct({{static_cast<long>(crypto::Sha256Impl::kScalar),
+                    static_cast<long>(crypto::Sha256Impl::kShaNi),
+                    static_cast<long>(crypto::Sha256Impl::kAvx2)},
+                   {256, 65536}});
+
+// The multi-way batch API the trie's deferred commit() drives: many
+// short fixed-shape preimages hashed in one call.
+void BM_Sha256Batch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> msgs(n, Bytes(107, 0xAB));  // ~ext/leaf preimage size
+  std::vector<ByteView> views(n);
+  for (std::size_t i = 0; i < n; ++i) views[i] = msgs[i];
+  std::vector<Hash32> out(n);
+  for (auto _ : state) {
+    crypto::sha256_batch(views.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Sha256Batch)->Arg(8)->Arg(64)->Arg(512);
+
 void BM_Sha512(benchmark::State& state) {
   const Bytes data(static_cast<std::size_t>(state.range(0)), 0xCD);
   for (auto _ : state) {

@@ -39,6 +39,42 @@ void BM_TrieInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieInsert)->Arg(100)->Arg(1000)->Arg(10000);
 
+void BM_TrieBatchCommit(benchmark::State& state) {
+  // The deferred-commit path in isolation: n sets accumulate dirty
+  // refs, then one commit() hashes the whole batch (Alg. 1's per-block
+  // root computation).
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  Hash32 v;
+  v.bytes[0] = 1;
+  for (auto _ : state) {
+    trie::SealableTrie t;
+    for (std::uint64_t i = 0; i < n; ++i) t.set(key_of(i), v);
+    t.commit();
+    benchmark::DoNotOptimize(t.root_hash());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TrieBatchCommit)->Arg(1000)->Arg(10000);
+
+void BM_TrieSingleSetRoot(benchmark::State& state) {
+  // The latency floor: one set() followed immediately by root_hash()
+  // on an already-committed trie — the workload where deferral buys
+  // nothing and must cost nothing.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  trie::SealableTrie t = prefilled(n);
+  benchmark::DoNotOptimize(t.root_hash());
+  Hash32 v;
+  std::uint64_t i = n;
+  for (auto _ : state) {
+    v.bytes[0] = static_cast<std::uint8_t>(i);
+    t.set(key_of(i++), v);
+    benchmark::DoNotOptimize(t.root_hash());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieSingleSetRoot)->Arg(1000);
+
 void BM_TrieLookup(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   const trie::SealableTrie t = prefilled(n);

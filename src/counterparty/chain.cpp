@@ -36,6 +36,11 @@ void CounterpartyChain::start() {
 void CounterpartyChain::produce_block() {
   ++height_;
 
+  // Trie writes accumulated since the last block are hashed in one
+  // batched commit, mirroring how a real chain commits app state once
+  // per block.
+  store_.commit();
+
   ibc::QuorumHeader header;
   header.chain_id = cfg_.chain_id;
   header.height = height_;

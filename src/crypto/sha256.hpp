@@ -2,6 +2,13 @@
 //
 // Used for every commitment in the system: trie node hashes, guest
 // block hashes, IBC packet commitments.  Tested against NIST vectors.
+//
+// The compression function is runtime-dispatched: SHA-NI (x86 SHA
+// extensions) when the CPU has it, otherwise a portable scalar
+// implementation.  An additional AVX2 8-lane mode hashes independent
+// messages in parallel; `sha256_batch` uses it to amortize the trie's
+// deferred-commit rehash over sibling subtrees.  All fast paths
+// byte-match the scalar fallback (property-tested).
 #pragma once
 
 #include <array>
@@ -10,6 +17,18 @@
 #include "common/bytes.hpp"
 
 namespace bmg::crypto {
+
+/// Which SHA-256 backend to run.  kScalar is always available.
+enum class Sha256Impl : std::uint8_t {
+  kScalar = 0,  ///< portable C++ (the reference implementation)
+  kShaNi = 1,   ///< x86 SHA extensions, single stream
+  kAvx2 = 2,    ///< AVX2, 8 interleaved lanes (batch API only)
+};
+
+/// True if `impl` can run on this CPU.
+[[nodiscard]] bool sha256_impl_available(Sha256Impl impl) noexcept;
+/// Backend the runtime dispatcher selected for single-stream hashing.
+[[nodiscard]] Sha256Impl sha256_active_impl() noexcept;
 
 class Sha256 {
  public:
@@ -20,11 +39,13 @@ class Sha256 {
   /// Finalizes and returns the digest; the object must be reset() before reuse.
   [[nodiscard]] Hash32 finish() noexcept;
 
-  /// One-shot convenience.
+  /// One-shot fast path: pads on the stack and feeds whole blocks
+  /// straight to the compression function, skipping the streaming
+  /// buffer state machine.
   [[nodiscard]] static Hash32 digest(ByteView data) noexcept;
 
  private:
-  void process_block(const std::uint8_t* block) noexcept;
+  void process_blocks(const std::uint8_t* blocks, std::size_t n) noexcept;
 
   std::array<std::uint32_t, 8> state_{};
   std::array<std::uint8_t, 64> buffer_{};
@@ -34,5 +55,17 @@ class Sha256 {
 
 /// sha256(a || b) — common pattern for combining two hashes.
 [[nodiscard]] Hash32 sha256_pair(const Hash32& a, const Hash32& b) noexcept;
+
+/// Hashes `n` independent messages into `out[0..n)`.  Dispatches to
+/// the AVX2 8-lane mode (grouping messages with equal padded block
+/// counts) when that is the fastest available backend, otherwise
+/// hashes each message with the best single-stream backend.
+void sha256_batch(const ByteView* msgs, std::size_t n, Hash32* out);
+
+/// Testing/benchmark hooks: force a specific backend.  Throws
+/// std::runtime_error if `impl` is unavailable on this CPU.
+[[nodiscard]] Hash32 sha256_digest_with(Sha256Impl impl, ByteView data);
+void sha256_batch_with(Sha256Impl impl, const ByteView* msgs, std::size_t n,
+                       Hash32* out);
 
 }  // namespace bmg::crypto

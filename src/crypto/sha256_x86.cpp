@@ -1,0 +1,299 @@
+// x86 SHA-256 backends: SHA-NI single-stream compression and an AVX2
+// 8-lane message-parallel kernel.  Both are compiled with per-function
+// target attributes so the rest of the build needs no -m flags, and
+// both are guarded by runtime CPUID checks — callers must consult
+// cpu_has_sha_ni()/cpu_has_avx2() first.
+//
+// On non-x86 targets this file compiles to "feature absent" stubs and
+// the portable scalar path in sha256.cpp is used everywhere.
+#include "crypto/sha256_impl.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define BMG_SHA_X86 1
+#include <immintrin.h>
+#else
+#define BMG_SHA_X86 0
+#endif
+
+namespace bmg::crypto::detail {
+
+#if BMG_SHA_X86
+
+bool cpu_has_sha_ni() noexcept {
+  static const bool ok = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1") != 0;
+  }();
+  return ok;
+}
+
+bool cpu_has_avx2() noexcept {
+  static const bool ok = [] {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") != 0;
+  }();
+  return ok;
+}
+
+__attribute__((target("sha,sse4.1"))) void compress_shani(
+    std::uint32_t state[8], const std::uint8_t* data, std::size_t nblocks) noexcept {
+  // Register layout required by sha256rnds2: STATE0 = {A,B,E,F},
+  // STATE1 = {C,D,G,H} (high to low words).
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  const auto k = [](int i) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256Round[i]));
+  };
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);            // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);      // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  while (nblocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg;
+
+    // Rounds 0-3
+    __m128i msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kByteSwap);
+    msg = _mm_add_epi32(msg0, k(0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    __m128i msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kByteSwap);
+    msg = _mm_add_epi32(msg1, k(4));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    __m128i msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kByteSwap);
+    msg = _mm_add_epi32(msg2, k(8));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    __m128i msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kByteSwap);
+    msg = _mm_add_epi32(msg3, k(12));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-47: the steady-state schedule/round pattern.
+    for (int r = 16; r < 48; r += 16) {
+      msg = _mm_add_epi32(msg0, k(r));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg0, msg3, 4);
+      msg1 = _mm_add_epi32(msg1, tmp);
+      msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+      msg = _mm_add_epi32(msg1, k(r + 4));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg1, msg0, 4);
+      msg2 = _mm_add_epi32(msg2, tmp);
+      msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+      msg = _mm_add_epi32(msg2, k(r + 8));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg2, msg1, 4);
+      msg3 = _mm_add_epi32(msg3, tmp);
+      msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+      msg = _mm_add_epi32(msg3, k(r + 12));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      tmp = _mm_alignr_epi8(msg3, msg2, 4);
+      msg0 = _mm_add_epi32(msg0, tmp);
+      msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    }
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(msg0, k(48));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55
+    msg = _mm_add_epi32(msg1, k(52));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(msg2, k(56));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(msg3, k(60));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+
+    data += 64;
+    --nblocks;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);         // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);      // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);   // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);      // HGFE -> EFGH word order
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+namespace {
+
+__attribute__((target("avx2"))) inline __m256i rotr8(__m256i x, int n) noexcept {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+__attribute__((target("avx2"))) inline __m256i load_words(
+    const std::uint8_t* const msgs[8], std::size_t block, int t) noexcept {
+  const auto be = [](const std::uint8_t* p) {
+    std::uint32_t v;
+    __builtin_memcpy(&v, p, 4);
+    return static_cast<int>(__builtin_bswap32(v));
+  };
+  const std::size_t off = block * 64 + static_cast<std::size_t>(t) * 4;
+  // Lane i of the vector holds message i's word t.
+  return _mm256_set_epi32(be(msgs[7] + off), be(msgs[6] + off), be(msgs[5] + off),
+                          be(msgs[4] + off), be(msgs[3] + off), be(msgs[2] + off),
+                          be(msgs[1] + off), be(msgs[0] + off));
+}
+
+}  // namespace
+
+__attribute__((target("avx2"))) void sha256_avx2_x8(
+    const std::uint8_t* const msgs[8], std::size_t nblocks, Hash32 out[8]) noexcept {
+  // One state word per vector, one message per 32-bit lane.
+  __m256i s[8];
+  for (int j = 0; j < 8; ++j) s[j] = _mm256_set1_epi32(static_cast<int>(kSha256Init[j]));
+
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    __m256i w[64];
+    for (int t = 0; t < 16; ++t) w[t] = load_words(msgs, blk, t);
+    for (int t = 16; t < 64; ++t) {
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr8(w[t - 15], 7), rotr8(w[t - 15], 18)),
+          _mm256_srli_epi32(w[t - 15], 3));
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr8(w[t - 2], 17), rotr8(w[t - 2], 19)),
+          _mm256_srli_epi32(w[t - 2], 10));
+      w[t] = _mm256_add_epi32(_mm256_add_epi32(w[t - 16], s0),
+                              _mm256_add_epi32(w[t - 7], s1));
+    }
+
+    __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+    for (int t = 0; t < 64; ++t) {
+      const __m256i big_s1 =
+          _mm256_xor_si256(_mm256_xor_si256(rotr8(e, 6), rotr8(e, 11)), rotr8(e, 25));
+      const __m256i ch =
+          _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, big_s1), ch),
+          _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(kSha256Round[t])), w[t]));
+      const __m256i big_s0 =
+          _mm256_xor_si256(_mm256_xor_si256(rotr8(a, 2), rotr8(a, 13)), rotr8(a, 22));
+      const __m256i maj = _mm256_xor_si256(
+          _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+          _mm256_and_si256(b, c));
+      const __m256i t2 = _mm256_add_epi32(big_s0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+
+    s[0] = _mm256_add_epi32(s[0], a);
+    s[1] = _mm256_add_epi32(s[1], b);
+    s[2] = _mm256_add_epi32(s[2], c);
+    s[3] = _mm256_add_epi32(s[3], d);
+    s[4] = _mm256_add_epi32(s[4], e);
+    s[5] = _mm256_add_epi32(s[5], f);
+    s[6] = _mm256_add_epi32(s[6], g);
+    s[7] = _mm256_add_epi32(s[7], h);
+  }
+
+  // Transpose back: lane i's eight state words become digest i.
+  alignas(32) std::uint32_t words[8][8];  // [state word][lane]
+  for (int j = 0; j < 8; ++j)
+    _mm256_store_si256(reinterpret_cast<__m256i*>(words[j]), s[j]);
+  for (int lane = 0; lane < 8; ++lane) {
+    for (int j = 0; j < 8; ++j) {
+      const std::uint32_t v = words[j][lane];
+      out[lane].bytes[static_cast<std::size_t>(j * 4)] = static_cast<std::uint8_t>(v >> 24);
+      out[lane].bytes[static_cast<std::size_t>(j * 4 + 1)] = static_cast<std::uint8_t>(v >> 16);
+      out[lane].bytes[static_cast<std::size_t>(j * 4 + 2)] = static_cast<std::uint8_t>(v >> 8);
+      out[lane].bytes[static_cast<std::size_t>(j * 4 + 3)] = static_cast<std::uint8_t>(v);
+    }
+  }
+}
+
+#else  // !BMG_SHA_X86
+
+bool cpu_has_sha_ni() noexcept { return false; }
+bool cpu_has_avx2() noexcept { return false; }
+
+void compress_shani(std::uint32_t state[8], const std::uint8_t* data,
+                    std::size_t nblocks) noexcept {
+  // Unreachable: callers gate on cpu_has_sha_ni().
+  compress_scalar(state, data, nblocks);
+}
+
+void sha256_avx2_x8(const std::uint8_t* const[8], std::size_t, Hash32[8]) noexcept {
+  std::abort();  // unreachable: callers gate on cpu_has_avx2()
+}
+
+#endif  // BMG_SHA_X86
+
+}  // namespace bmg::crypto::detail

@@ -111,6 +111,10 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
   if (!head_block.finalised)
     throw host::TxError("generate_block: head is not finalised");
 
+  // Alg. 1 GenerateBlock: all trie writes since the previous block are
+  // committed here, as one batched hash pass, before the state root is
+  // compared and embedded in the new header.
+  store_.commit();
   const bool root_changed = head_block.header.state_root != store_.root_hash();
   const bool aged = ctx.time() - head_block.header.timestamp >= cfg_.delta_seconds;
   const bool epoch_due =

@@ -9,45 +9,96 @@ constexpr std::uint8_t kTagLeaf = 0x00;
 constexpr std::uint8_t kTagBranch = 0x01;
 constexpr std::uint8_t kTagExtension = 0x02;
 
-Encoder encode_leaf(const Nibbles& suffix, const Hash32& value) {
-  Encoder e;
-  e.u8(kTagLeaf);
-  encode_nibbles(e, suffix);
-  e.hash(value);
-  return e;
-}
+/// Stack budget for the fixed-shape preimage fast path.  Branch
+/// preimages are at most 1 + 2 + 16*32 = 515 bytes; leaf/extension
+/// preimages fit whenever the nibble path is under ~1 KiB (any
+/// hashed/IBC key).  Longer paths take the heap fallback.
+constexpr std::size_t kInlinePreimage = 1024;
 
-Encoder encode_branch(const std::array<std::optional<Hash32>, 16>& children) {
-  Encoder e;
-  e.u8(kTagBranch);
-  std::uint16_t bitmap = 0;
-  for (std::size_t i = 0; i < 16; ++i)
-    if (children[i]) bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
-  e.u16(bitmap);
-  for (std::size_t i = 0; i < 16; ++i)
-    if (children[i]) e.hash(*children[i]);
-  return e;
-}
-
-Encoder encode_extension(const Nibbles& path, const Hash32& child) {
-  Encoder e;
-  e.u8(kTagExtension);
-  encode_nibbles(e, path);
-  e.hash(child);
-  return e;
+std::size_t append_nibbles(std::uint8_t* out, const Nibbles& n) {
+  out[0] = static_cast<std::uint8_t>(n.size() >> 8);
+  out[1] = static_cast<std::uint8_t>(n.size());
+  std::copy(n.begin(), n.end(), out + 2);
+  return 2 + n.size();
 }
 }  // namespace
 
+// The hash_* functions are the trie's three fixed-shape one-shot
+// hashers: they lay the canonical preimage out in a stack buffer and
+// hand it to the one-shot Sha256::digest, avoiding both the Encoder
+// heap allocation and the streaming-update state machine.
+
 Hash32 hash_leaf(const Nibbles& suffix, const Hash32& value) {
-  return crypto::Sha256::digest(encode_leaf(suffix, value).out());
+  std::uint8_t buf[kInlinePreimage];
+  if (3 + suffix.size() + 32 <= sizeof(buf)) {
+    buf[0] = kTagLeaf;
+    std::size_t len = 1 + append_nibbles(buf + 1, suffix);
+    std::copy(value.bytes.begin(), value.bytes.end(), buf + len);
+    len += 32;
+    return crypto::Sha256::digest(ByteView{buf, len});
+  }
+  Bytes pre;
+  append_leaf_preimage(pre, suffix, value);
+  return crypto::Sha256::digest(pre);
 }
 
 Hash32 hash_branch(const std::array<std::optional<Hash32>, 16>& children) {
-  return crypto::Sha256::digest(encode_branch(children).out());
+  std::uint8_t buf[515];
+  buf[0] = kTagBranch;
+  std::uint16_t bitmap = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    if (children[i]) bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
+  buf[1] = static_cast<std::uint8_t>(bitmap >> 8);
+  buf[2] = static_cast<std::uint8_t>(bitmap);
+  std::size_t len = 3;
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (!children[i]) continue;
+    std::copy(children[i]->bytes.begin(), children[i]->bytes.end(), buf + len);
+    len += 32;
+  }
+  return crypto::Sha256::digest(ByteView{buf, len});
 }
 
 Hash32 hash_extension(const Nibbles& path, const Hash32& child) {
-  return crypto::Sha256::digest(encode_extension(path, child).out());
+  std::uint8_t buf[kInlinePreimage];
+  if (3 + path.size() + 32 <= sizeof(buf)) {
+    buf[0] = kTagExtension;
+    std::size_t len = 1 + append_nibbles(buf + 1, path);
+    std::copy(child.bytes.begin(), child.bytes.end(), buf + len);
+    len += 32;
+    return crypto::Sha256::digest(ByteView{buf, len});
+  }
+  Bytes pre;
+  append_extension_preimage(pre, path, child);
+  return crypto::Sha256::digest(pre);
+}
+
+void append_leaf_preimage(Bytes& out, const Nibbles& suffix, const Hash32& value) {
+  out.push_back(kTagLeaf);
+  out.push_back(static_cast<std::uint8_t>(suffix.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(suffix.size()));
+  out.insert(out.end(), suffix.begin(), suffix.end());
+  out.insert(out.end(), value.bytes.begin(), value.bytes.end());
+}
+
+void append_branch_preimage(Bytes& out,
+                            const std::array<std::optional<Hash32>, 16>& children) {
+  out.push_back(kTagBranch);
+  std::uint16_t bitmap = 0;
+  for (std::size_t i = 0; i < 16; ++i)
+    if (children[i]) bitmap = static_cast<std::uint16_t>(bitmap | (1u << i));
+  out.push_back(static_cast<std::uint8_t>(bitmap >> 8));
+  out.push_back(static_cast<std::uint8_t>(bitmap));
+  for (std::size_t i = 0; i < 16; ++i)
+    if (children[i]) out.insert(out.end(), children[i]->bytes.begin(), children[i]->bytes.end());
+}
+
+void append_extension_preimage(Bytes& out, const Nibbles& path, const Hash32& child) {
+  out.push_back(kTagExtension);
+  out.push_back(static_cast<std::uint8_t>(path.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(path.size()));
+  out.insert(out.end(), path.begin(), path.end());
+  out.insert(out.end(), child.bytes.begin(), child.bytes.end());
 }
 
 Hash32 hash_proof_node(const ProofNode& node) {

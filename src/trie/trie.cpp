@@ -1,6 +1,10 @@
 #include "trie/trie.hpp"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "crypto/sha256.hpp"
 
 namespace bmg::trie {
 
@@ -10,20 +14,124 @@ namespace {
 constexpr std::size_t kNodeHeader = 4;
 }  // namespace
 
-std::uint32_t SealableTrie::alloc(Node node) {
-  if (!free_list_.empty()) {
-    const std::uint32_t idx = free_list_.back();
-    free_list_.pop_back();
-    arena_[idx] = std::move(node);
-    return idx;
+std::uint32_t SealableTrie::alloc_leaf(LeafNode node) {
+  std::uint32_t idx;
+  if (!free_leaves_.empty()) {
+    idx = free_leaves_.back();
+    free_leaves_.pop_back();
+    leaves_[idx] = std::move(node);
+  } else {
+    idx = static_cast<std::uint32_t>(leaves_.size());
+    leaves_.push_back(std::move(node));
   }
-  arena_.push_back(std::move(node));
-  return static_cast<std::uint32_t>(arena_.size() - 1);
+  const std::uint32_t id = (static_cast<std::uint32_t>(kLeaf) << kKindShift) | idx;
+  add_node_stats(id);
+  return id;
 }
 
-void SealableTrie::free_node(std::uint32_t idx) {
-  arena_[idx] = std::monostate{};
-  free_list_.push_back(idx);
+std::uint32_t SealableTrie::alloc_branch(BranchNode node) {
+  std::uint32_t idx;
+  if (!free_branches_.empty()) {
+    idx = free_branches_.back();
+    free_branches_.pop_back();
+    branches_[idx] = std::move(node);
+  } else {
+    idx = static_cast<std::uint32_t>(branches_.size());
+    branches_.push_back(std::move(node));
+  }
+  const std::uint32_t id = (static_cast<std::uint32_t>(kBranch) << kKindShift) | idx;
+  add_node_stats(id);
+  return id;
+}
+
+std::uint32_t SealableTrie::alloc_ext(ExtensionNode node) {
+  std::uint32_t idx;
+  if (!free_exts_.empty()) {
+    idx = free_exts_.back();
+    free_exts_.pop_back();
+    exts_[idx] = std::move(node);
+  } else {
+    idx = static_cast<std::uint32_t>(exts_.size());
+    exts_.push_back(std::move(node));
+  }
+  const std::uint32_t id = (static_cast<std::uint32_t>(kExt) << kKindShift) | idx;
+  add_node_stats(id);
+  return id;
+}
+
+void SealableTrie::free_node(std::uint32_t node) {
+  sub_node_stats(node);
+  const std::uint32_t idx = index_of(node);
+  switch (kind_of(node)) {
+    case kLeaf:
+      leaves_[idx] = LeafNode{};
+      free_leaves_.push_back(idx);
+      break;
+    case kBranch:
+      branches_[idx] = BranchNode{};
+      free_branches_.push_back(idx);
+      break;
+    case kExt:
+      exts_[idx] = ExtensionNode{};
+      free_exts_.push_back(idx);
+      break;
+  }
+}
+
+void SealableTrie::add_node_stats(std::uint32_t node) {
+  switch (kind_of(node)) {
+    case kLeaf: {
+      const LeafNode& n = leaf_at(node);
+      ++stats_.leaf_count;
+      stats_.byte_size += kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
+      break;
+    }
+    case kBranch: {
+      const BranchNode& n = branch_at(node);
+      ++stats_.branch_count;
+      stats_.byte_size += kNodeHeader + 3;
+      for (const Ref& c : n.children) {
+        if (c.sealed) ++stats_.sealed_refs;
+        if (!c.is_empty()) stats_.byte_size += 33;
+      }
+      break;
+    }
+    case kExt: {
+      const ExtensionNode& n = ext_at(node);
+      ++stats_.extension_count;
+      stats_.byte_size += kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
+      if (n.child.sealed) ++stats_.sealed_refs;
+      break;
+    }
+  }
+}
+
+void SealableTrie::sub_node_stats(std::uint32_t node) {
+  switch (kind_of(node)) {
+    case kLeaf: {
+      const LeafNode& n = leaf_at(node);
+      --stats_.leaf_count;
+      stats_.byte_size -= kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
+      break;
+    }
+    case kBranch: {
+      const BranchNode& n = branch_at(node);
+      --stats_.branch_count;
+      stats_.byte_size -= kNodeHeader + 3;
+      for (const Ref& c : n.children) {
+        if (c.sealed) --stats_.sealed_refs;
+        if (!c.is_empty()) stats_.byte_size -= 33;
+      }
+      break;
+    }
+    case kExt: {
+      const ExtensionNode& n = ext_at(node);
+      --stats_.extension_count;
+      stats_.byte_size -= kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
+      if (n.child.sealed) --stats_.sealed_refs;
+      break;
+    }
+  }
 }
 
 std::optional<Hash32> SealableTrie::ref_hash(const Ref& ref) {
@@ -31,20 +139,53 @@ std::optional<Hash32> SealableTrie::ref_hash(const Ref& ref) {
   return ref.hash;
 }
 
-Hash32 SealableTrie::node_hash(std::uint32_t idx) const {
-  const Node& node = arena_[idx];
-  if (const auto* leaf = std::get_if<LeafNode>(&node))
-    return hash_leaf(leaf->suffix, leaf->value);
-  if (const auto* branch = std::get_if<BranchNode>(&node)) {
-    std::array<std::optional<Hash32>, 16> kids;
-    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch->children[i]);
-    return hash_branch(kids);
+Hash32 SealableTrie::node_hash(std::uint32_t node) const {
+  switch (kind_of(node)) {
+    case kLeaf: {
+      const LeafNode& n = leaf_at(node);
+      return hash_leaf(n.suffix, n.value);
+    }
+    case kBranch: {
+      const BranchNode& n = branch_at(node);
+      std::array<std::optional<Hash32>, 16> kids;
+      for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(n.children[i]);
+      return hash_branch(kids);
+    }
+    default: {
+      const ExtensionNode& n = ext_at(node);
+      return hash_extension(n.path, n.child.hash);
+    }
   }
-  const auto& ext = std::get<ExtensionNode>(node);
-  return hash_extension(ext.path, ext.child.hash);
 }
 
-Hash32 SealableTrie::root_hash() const noexcept {
+void SealableTrie::append_node_preimage(Bytes& out, std::uint32_t node) const {
+  switch (kind_of(node)) {
+    case kLeaf: {
+      const LeafNode& n = leaf_at(node);
+      append_leaf_preimage(out, n.suffix, n.value);
+      break;
+    }
+    case kBranch: {
+      const BranchNode& n = branch_at(node);
+      std::array<std::optional<Hash32>, 16> kids;
+      for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(n.children[i]);
+      append_branch_preimage(out, kids);
+      break;
+    }
+    case kExt: {
+      const ExtensionNode& n = ext_at(node);
+      append_extension_preimage(out, n.path, n.child.hash);
+      break;
+    }
+  }
+}
+
+void SealableTrie::ensure_committed() const {
+  if (root_.dirty) const_cast<SealableTrie*>(this)->commit();
+}
+
+Hash32 SealableTrie::root_hash() const {
+  ensure_committed();
   if (root_.is_empty()) return Hash32{};
   return root_.hash;
 }
@@ -62,117 +203,183 @@ SealableTrie::Ref SealableTrie::set_rec(Ref ref, const Nibbles& nibs, std::size_
 
   if (ref.is_empty()) {
     LeafNode leaf{slice(nibs, pos, nibs.size() - pos), value};
-    const Hash32 h = hash_leaf(leaf.suffix, leaf.value);
-    return Ref{h, alloc(Node{std::move(leaf)}), false};
+    return Ref{Hash32{}, alloc_leaf(std::move(leaf)), false, true};
   }
 
-  Node& node = arena_[ref.node];
+  switch (kind_of(ref.node)) {
+    case kLeaf: {
+      LeafNode& leaf = leaf_at(ref.node);
+      const std::size_t rest = nibs.size() - pos;
+      const std::size_t cp = common_prefix(leaf.suffix, 0, nibs, pos);
+      if (cp == leaf.suffix.size() && cp == rest) {
+        // Same key: update in place; the hash is recomputed at commit.
+        leaf.value = value;
+        ref.dirty = true;
+        return ref;
+      }
+      if (cp == leaf.suffix.size() || cp == rest)
+        throw PrefixError("set: key is a prefix of an existing key (or vice versa)");
 
-  if (auto* leaf = std::get_if<LeafNode>(&node)) {
-    const std::size_t rest = nibs.size() - pos;
-    const std::size_t cp = common_prefix(leaf->suffix, 0, nibs, pos);
-    if (cp == leaf->suffix.size() && cp == rest) {
-      // Same key: update in place.
-      leaf->value = value;
-      ref.hash = hash_leaf(leaf->suffix, leaf->value);
+      // Split: branch at the divergence nibble, possibly under an extension.
+      const std::uint8_t old_nib = leaf.suffix[cp];
+      const std::uint8_t new_nib = nibs[pos + cp];
+      const Nibbles shared = slice(leaf.suffix, 0, cp);
+
+      // Shorten the existing leaf (reuse its arena slot).
+      sub_node_stats(ref.node);
+      leaf.suffix = slice(leaf.suffix, cp + 1, leaf.suffix.size() - cp - 1);
+      add_node_stats(ref.node);
+      const Ref old_ref{Hash32{}, ref.node, false, true};
+
+      LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
+      const Ref new_ref{Hash32{}, alloc_leaf(std::move(new_leaf)), false, true};
+
+      BranchNode branch;
+      branch.children[old_nib] = old_ref;
+      branch.children[new_nib] = new_ref;
+      const Ref branch_ref{Hash32{}, alloc_branch(std::move(branch)), false, true};
+
+      if (shared.empty()) return branch_ref;
+      ExtensionNode ext{shared, branch_ref};
+      return Ref{Hash32{}, alloc_ext(std::move(ext)), false, true};
+    }
+
+    case kBranch: {
+      if (pos == nibs.size())
+        throw PrefixError("set: key terminates at an interior branch");
+      const std::uint8_t nib = nibs[pos];
+      // Recursion may reallocate the arena; re-resolve after the call.
+      const std::uint32_t node_id = ref.node;
+      const Ref updated = set_rec(branch_at(node_id).children[nib], nibs, pos + 1, value);
+      BranchNode& fresh = branch_at(node_id);
+      if (fresh.children[nib].is_empty()) stats_.byte_size += 33;
+      fresh.children[nib] = updated;
+      ref.dirty = true;
       return ref;
     }
-    if (cp == leaf->suffix.size() || cp == rest)
-      throw PrefixError("set: key is a prefix of an existing key (or vice versa)");
 
-    // Split: branch at the divergence nibble, possibly under an extension.
-    const std::uint8_t old_nib = leaf->suffix[cp];
-    const std::uint8_t new_nib = nibs[pos + cp];
-    const Nibbles shared = slice(leaf->suffix, 0, cp);
+    default: {
+      ExtensionNode& ext = ext_at(ref.node);
+      const std::size_t rest = nibs.size() - pos;
+      const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+      if (cp == ext.path.size()) {
+        const std::uint32_t node_id = ref.node;
+        const Ref updated = set_rec(ext.child, nibs, pos + cp, value);
+        ext_at(node_id).child = updated;
+        ref.dirty = true;
+        return ref;
+      }
+      if (cp == rest)
+        throw PrefixError("set: key terminates inside an extension path");
 
-    // Shorten the existing leaf (reuse its arena slot).
-    leaf->suffix = slice(leaf->suffix, cp + 1, leaf->suffix.size() - cp - 1);
-    const Hash32 old_leaf_hash = hash_leaf(leaf->suffix, leaf->value);
-    const Ref old_ref{old_leaf_hash, ref.node, false};
+      // Split this extension at nibble cp.
+      const Nibbles shared = slice(ext.path, 0, cp);
+      const std::uint8_t old_nib = ext.path[cp];
+      const std::uint8_t new_nib = nibs[pos + cp];
+      const Nibbles old_tail = slice(ext.path, cp + 1, ext.path.size() - cp - 1);
+      const Ref old_child = ext.child;
 
-    LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
-    const Hash32 new_leaf_hash = hash_leaf(new_leaf.suffix, new_leaf.value);
-    const Ref new_ref{new_leaf_hash, alloc(Node{std::move(new_leaf)}), false};
+      Ref old_side;
+      if (old_tail.empty()) {
+        // The branch points directly at the old extension's child.
+        old_side = old_child;
+        free_node(ref.node);
+      } else {
+        // Reuse this arena slot as the shortened extension.
+        sub_node_stats(ref.node);
+        ext.path = old_tail;
+        add_node_stats(ref.node);
+        old_side = Ref{Hash32{}, ref.node, false, true};
+      }
 
-    BranchNode branch;
-    branch.children[old_nib] = old_ref;
-    branch.children[new_nib] = new_ref;
-    std::array<std::optional<Hash32>, 16> kids;
-    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch.children[i]);
-    const Hash32 branch_hash = hash_branch(kids);
-    const Ref branch_ref{branch_hash, alloc(Node{std::move(branch)}), false};
+      LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
+      const Ref new_ref{Hash32{}, alloc_leaf(std::move(new_leaf)), false, true};
 
-    if (shared.empty()) return branch_ref;
-    const Hash32 ext_hash = hash_extension(shared, branch_ref.hash);
-    ExtensionNode ext{shared, branch_ref};
-    return Ref{ext_hash, alloc(Node{std::move(ext)}), false};
+      BranchNode branch;
+      branch.children[old_nib] = old_side;
+      branch.children[new_nib] = new_ref;
+      const Ref branch_ref{Hash32{}, alloc_branch(std::move(branch)), false, true};
+
+      if (shared.empty()) return branch_ref;
+      ExtensionNode top{shared, branch_ref};
+      return Ref{Hash32{}, alloc_ext(std::move(top)), false, true};
+    }
+  }
+}
+
+void SealableTrie::commit() {
+  if (!root_.dirty) return;
+
+  // Collect every dirty ref with its depth.  commit() allocates no
+  // nodes, so Ref pointers into the arenas stay stable throughout.
+  struct Item {
+    Ref* ref;
+    std::uint32_t depth;
+  };
+  std::vector<Item> dirty;
+  std::vector<Item> stack;
+  stack.push_back({&root_, 0});
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    dirty.push_back(it);
+    const Ref& r = *it.ref;
+    switch (kind_of(r.node)) {
+      case kBranch:
+        for (Ref& c : branch_at(r.node).children)
+          if (c.dirty) stack.push_back({&c, it.depth + 1});
+        break;
+      case kExt: {
+        Ref& c = ext_at(r.node).child;
+        if (c.dirty) stack.push_back({&c, it.depth + 1});
+        break;
+      }
+      default:
+        break;
+    }
   }
 
-  if (auto* branch = std::get_if<BranchNode>(&node)) {
-    if (pos == nibs.size())
-      throw PrefixError("set: key terminates at an interior branch");
-    const std::uint8_t nib = nibs[pos];
-    // Recursion may reallocate the arena; re-resolve after the call.
-    const std::uint32_t node_idx = ref.node;
-    const Ref updated =
-        set_rec(branch->children[nib], nibs, pos + 1, value);
-    auto& fresh_branch = std::get<BranchNode>(arena_[node_idx]);
-    fresh_branch.children[nib] = updated;
-    std::array<std::optional<Hash32>, 16> kids;
-    for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(fresh_branch.children[i]);
-    ref.hash = hash_branch(kids);
-    return ref;
+  // Deepest level first, so every child hash is final before its
+  // parent's preimage is built.  Refs within one level are
+  // independent and are hashed as a single multi-lane SHA-256 batch.
+  std::stable_sort(dirty.begin(), dirty.end(),
+                   [](const Item& a, const Item& b) { return a.depth > b.depth; });
+
+  Bytes scratch;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::vector<ByteView> views;
+  std::vector<Hash32> hashes;
+  std::size_t lo = 0;
+  while (lo < dirty.size()) {
+    std::size_t hi = lo;
+    while (hi < dirty.size() && dirty[hi].depth == dirty[lo].depth) ++hi;
+    const std::size_t n = hi - lo;
+    if (n == 1) {
+      // Lone node on this level: the fixed-shape one-shot hasher
+      // (stack preimage) beats building a batch of one.
+      Ref& r = *dirty[lo].ref;
+      r.hash = node_hash(r.node);
+      r.dirty = false;
+    } else {
+      scratch.clear();
+      spans.clear();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t off = scratch.size();
+        append_node_preimage(scratch, dirty[i].ref->node);
+        spans.emplace_back(off, scratch.size() - off);
+      }
+      views.resize(n);
+      hashes.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        views[i] = ByteView{scratch.data() + spans[i].first, spans[i].second};
+      crypto::sha256_batch(views.data(), n, hashes.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        dirty[lo + i].ref->hash = hashes[i];
+        dirty[lo + i].ref->dirty = false;
+      }
+    }
+    lo = hi;
   }
-
-  auto& ext = std::get<ExtensionNode>(node);
-  const std::size_t rest = nibs.size() - pos;
-  const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-  if (cp == ext.path.size()) {
-    const std::uint32_t node_idx = ref.node;
-    const Ref updated = set_rec(ext.child, nibs, pos + cp, value);
-    auto& fresh_ext = std::get<ExtensionNode>(arena_[node_idx]);
-    fresh_ext.child = updated;
-    ref.hash = hash_extension(fresh_ext.path, fresh_ext.child.hash);
-    return ref;
-  }
-  if (cp == rest)
-    throw PrefixError("set: key terminates inside an extension path");
-
-  // Split this extension at nibble cp.
-  const Nibbles shared = slice(ext.path, 0, cp);
-  const std::uint8_t old_nib = ext.path[cp];
-  const std::uint8_t new_nib = nibs[pos + cp];
-  const Nibbles old_tail = slice(ext.path, cp + 1, ext.path.size() - cp - 1);
-  const Ref old_child = ext.child;
-
-  Ref old_side;
-  if (old_tail.empty()) {
-    // The branch points directly at the old extension's child; reuse
-    // this node's slot for nothing — free it below.
-    old_side = old_child;
-    free_node(ref.node);
-  } else {
-    // Reuse this arena slot as the shortened extension.
-    ext.path = old_tail;
-    const Hash32 h = hash_extension(ext.path, ext.child.hash);
-    old_side = Ref{h, ref.node, false};
-  }
-
-  LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
-  const Hash32 new_leaf_hash = hash_leaf(new_leaf.suffix, new_leaf.value);
-  const Ref new_ref{new_leaf_hash, alloc(Node{std::move(new_leaf)}), false};
-
-  BranchNode branch;
-  branch.children[old_nib] = old_side;
-  branch.children[new_nib] = new_ref;
-  std::array<std::optional<Hash32>, 16> kids;
-  for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(branch.children[i]);
-  const Ref branch_ref{hash_branch(kids), alloc(Node{std::move(branch)}), false};
-
-  if (shared.empty()) return branch_ref;
-  ExtensionNode top{shared, branch_ref};
-  const Hash32 top_hash = hash_extension(top.path, top.child.hash);
-  return Ref{top_hash, alloc(Node{std::move(top)}), false};
 }
 
 SealableTrie::Lookup SealableTrie::get(ByteView key, Hash32* value_out) const {
@@ -182,26 +389,32 @@ SealableTrie::Lookup SealableTrie::get(ByteView key, Hash32* value_out) const {
   while (true) {
     if (ref->sealed) return Lookup::kSealed;
     if (ref->is_empty()) return Lookup::kAbsent;
-    const Node& node = arena_[ref->node];
-    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
-      const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
-      if (leaf->suffix == rest) {
-        if (value_out != nullptr) *value_out = leaf->value;
-        return Lookup::kFound;
+    switch (kind_of(ref->node)) {
+      case kLeaf: {
+        const LeafNode& leaf = leaf_at(ref->node);
+        const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
+        if (leaf.suffix == rest) {
+          if (value_out != nullptr) *value_out = leaf.value;
+          return Lookup::kFound;
+        }
+        return Lookup::kAbsent;
       }
-      return Lookup::kAbsent;
+      case kBranch: {
+        const BranchNode& branch = branch_at(ref->node);
+        if (pos >= nibs.size()) return Lookup::kAbsent;
+        ref = &branch.children[nibs[pos]];
+        ++pos;
+        break;
+      }
+      default: {
+        const ExtensionNode& ext = ext_at(ref->node);
+        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+        if (cp != ext.path.size()) return Lookup::kAbsent;
+        pos += cp;
+        ref = &ext.child;
+        break;
+      }
     }
-    if (const auto* branch = std::get_if<BranchNode>(&node)) {
-      if (pos >= nibs.size()) return Lookup::kAbsent;
-      ref = &branch->children[nibs[pos]];
-      ++pos;
-      continue;
-    }
-    const auto& ext = std::get<ExtensionNode>(node);
-    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-    if (cp != ext.path.size()) return Lookup::kAbsent;
-    pos += cp;
-    ref = &ext.child;
   }
 }
 
@@ -209,8 +422,8 @@ void SealableTrie::seal(ByteView key) {
   const Nibbles nibs = to_nibbles(key);
   std::size_t pos = 0;
 
-  // Walk down, recording the chain of (node index, child slot) so we
-  // can propagate sealing upward.  Slot -1 means "extension child".
+  // Walk down, recording the chain of (node id, child slot) so we can
+  // propagate sealing upward.  Slot -1 means "extension child".
   struct Step {
     std::uint32_t node;
     int slot;  // 0..15 for branch children, -1 for extension child
@@ -221,43 +434,58 @@ void SealableTrie::seal(ByteView key) {
   while (true) {
     if (ref->sealed) throw SealedError("seal: key already inside a sealed region");
     if (ref->is_empty()) throw NotFoundError("seal: key not present");
-    Node& node = arena_[ref->node];
-    if (auto* leaf = std::get_if<LeafNode>(&node)) {
-      const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
-      if (leaf->suffix != rest) throw NotFoundError("seal: key not present");
-      break;  // `ref` points at the leaf to seal
+    bool done = false;
+    switch (kind_of(ref->node)) {
+      case kLeaf: {
+        const LeafNode& leaf = leaf_at(ref->node);
+        const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
+        if (leaf.suffix != rest) throw NotFoundError("seal: key not present");
+        done = true;  // `ref` points at the leaf to seal
+        break;
+      }
+      case kBranch: {
+        BranchNode& branch = branch_at(ref->node);
+        if (pos >= nibs.size()) throw NotFoundError("seal: key not present");
+        path.push_back({ref->node, nibs[pos]});
+        ref = &branch.children[nibs[pos]];
+        ++pos;
+        break;
+      }
+      default: {
+        ExtensionNode& ext = ext_at(ref->node);
+        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+        if (cp != ext.path.size()) throw NotFoundError("seal: key not present");
+        path.push_back({ref->node, -1});
+        pos += cp;
+        ref = &ext.child;
+        break;
+      }
     }
-    if (auto* branch = std::get_if<BranchNode>(&node)) {
-      if (pos >= nibs.size()) throw NotFoundError("seal: key not present");
-      path.push_back({ref->node, nibs[pos]});
-      ref = &branch->children[nibs[pos]];
-      ++pos;
-      continue;
-    }
-    auto& ext = std::get<ExtensionNode>(node);
-    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-    if (cp != ext.path.size()) throw NotFoundError("seal: key not present");
-    path.push_back({ref->node, -1});
-    pos += cp;
-    ref = &ext.child;
+    if (done) break;
   }
 
   // Seal the leaf: drop its storage, keep the hash in the parent ref.
+  // A dirty ref's recorded hash is stale, so fix it before the node's
+  // contents disappear — sealing must preserve the (future) root.
+  if (ref->dirty) {
+    ref->hash = node_hash(ref->node);
+    ref->dirty = false;
+  }
   free_node(ref->node);
   ref->node = kNil;
   ref->sealed = true;
+  ++stats_.sealed_refs;
 
   // Propagate: an extension whose child is sealed seals too; a branch
   // whose present children are all sealed seals too (paper §III-A).
   while (!path.empty()) {
     const Step step = path.back();
     path.pop_back();
-    Node& node = arena_[step.node];
 
     bool seal_this = false;
-    if (auto* branch = std::get_if<BranchNode>(&node)) {
+    if (kind_of(step.node) == kBranch) {
       seal_this = true;
-      for (const Ref& child : branch->children) {
+      for (const Ref& child : branch_at(step.node).children) {
         if (child.is_empty()) continue;
         if (!child.sealed) {
           seal_this = false;
@@ -265,7 +493,7 @@ void SealableTrie::seal(ByteView key) {
         }
       }
     } else {
-      seal_this = std::get<ExtensionNode>(node).child.sealed;
+      seal_this = ext_at(step.node).child.sealed;
     }
     if (!seal_this) break;
 
@@ -275,21 +503,27 @@ void SealableTrie::seal(ByteView key) {
       owner = &root_;
     } else {
       const Step parent = path.back();
-      Node& parent_node = arena_[parent.node];
       if (parent.slot >= 0) {
-        owner = &std::get<BranchNode>(parent_node)
-                     .children[static_cast<std::size_t>(parent.slot)];
+        owner = &branch_at(parent.node).children[static_cast<std::size_t>(parent.slot)];
       } else {
-        owner = &std::get<ExtensionNode>(parent_node).child;
+        owner = &ext_at(parent.node).child;
       }
+    }
+    // All children of this node are sealed with valid hashes, so its
+    // own hash can be finalized on the spot if it was pending.
+    if (owner->dirty) {
+      owner->hash = node_hash(step.node);
+      owner->dirty = false;
     }
     free_node(step.node);
     owner->node = kNil;
     owner->sealed = true;
+    ++stats_.sealed_refs;
   }
 }
 
 Proof SealableTrie::prove(ByteView key) const {
+  ensure_committed();
   const Nibbles nibs = to_nibbles(key);
   std::size_t pos = 0;
   Proof proof;
@@ -299,55 +533,95 @@ Proof SealableTrie::prove(ByteView key) const {
     if (ref->sealed)
       throw SealedError("prove: key path enters a sealed region");
     if (ref->is_empty()) return proof;  // absence; possibly empty proof for empty trie
-    const Node& node = arena_[ref->node];
-    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
-      proof.nodes.emplace_back(ProofLeaf{leaf->suffix, leaf->value});
-      return proof;
+    switch (kind_of(ref->node)) {
+      case kLeaf: {
+        const LeafNode& leaf = leaf_at(ref->node);
+        proof.nodes.emplace_back(ProofLeaf{leaf.suffix, leaf.value});
+        return proof;
+      }
+      case kBranch: {
+        const BranchNode& branch = branch_at(ref->node);
+        ProofBranch pb;
+        for (std::size_t i = 0; i < 16; ++i) pb.children[i] = ref_hash(branch.children[i]);
+        proof.nodes.emplace_back(std::move(pb));
+        if (pos >= nibs.size()) return proof;  // absence (interior end)
+        const Ref& child = branch.children[nibs[pos]];
+        ++pos;
+        if (child.is_empty()) return proof;  // absence proven by missing child
+        ref = &child;
+        break;
+      }
+      default: {
+        const ExtensionNode& ext = ext_at(ref->node);
+        proof.nodes.emplace_back(ProofExtension{ext.path, ext.child.hash});
+        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+        if (cp != ext.path.size()) return proof;  // absence at divergence
+        pos += cp;
+        ref = &ext.child;
+        break;
+      }
     }
-    if (const auto* branch = std::get_if<BranchNode>(&node)) {
-      ProofBranch pb;
-      for (std::size_t i = 0; i < 16; ++i) pb.children[i] = ref_hash(branch->children[i]);
-      proof.nodes.emplace_back(std::move(pb));
-      if (pos >= nibs.size()) return proof;  // absence (interior end)
-      const Ref& child = branch->children[nibs[pos]];
-      ++pos;
-      if (child.is_empty()) return proof;  // absence proven by missing child
-      ref = &child;
-      continue;
-    }
-    const auto& ext = std::get<ExtensionNode>(node);
-    proof.nodes.emplace_back(ProofExtension{ext.path, ext.child.hash});
-    const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-    if (cp != ext.path.size()) return proof;  // absence at divergence
-    pos += cp;
-    ref = &ext.child;
   }
 }
 
-TrieStats SealableTrie::stats() const {
+TrieStats SealableTrie::recompute_stats() const {
   TrieStats s;
-  auto count_ref = [&s](const Ref& r) {
-    if (r.sealed) ++s.sealed_refs;
-  };
-  count_ref(root_);
-  for (const Node& node : arena_) {
-    if (const auto* leaf = std::get_if<LeafNode>(&node)) {
-      ++s.leaf_count;
-      s.byte_size += kNodeHeader + 3 + leaf->suffix.size() / 2 + 1 + 32;
-    } else if (const auto* branch = std::get_if<BranchNode>(&node)) {
-      ++s.branch_count;
-      s.byte_size += kNodeHeader + 3;
-      for (const Ref& child : branch->children) {
-        count_ref(child);
-        if (!child.is_empty()) s.byte_size += 33;
+  if (root_.sealed) ++s.sealed_refs;
+  std::vector<std::uint32_t> stack;
+  if (root_.is_live()) stack.push_back(root_.node);
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    switch (kind_of(id)) {
+      case kLeaf: {
+        const LeafNode& n = leaf_at(id);
+        ++s.leaf_count;
+        s.byte_size += kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
+        break;
       }
-    } else if (const auto* ext = std::get_if<ExtensionNode>(&node)) {
-      ++s.extension_count;
-      s.byte_size += kNodeHeader + 3 + ext->path.size() / 2 + 1 + 33;
-      count_ref(ext->child);
+      case kBranch: {
+        const BranchNode& n = branch_at(id);
+        ++s.branch_count;
+        s.byte_size += kNodeHeader + 3;
+        for (const Ref& c : n.children) {
+          if (c.sealed) ++s.sealed_refs;
+          if (!c.is_empty()) s.byte_size += 33;
+          if (c.is_live()) stack.push_back(c.node);
+        }
+        break;
+      }
+      default: {
+        const ExtensionNode& n = ext_at(id);
+        ++s.extension_count;
+        s.byte_size += kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
+        if (n.child.sealed) ++s.sealed_refs;
+        if (n.child.is_live()) stack.push_back(n.child.node);
+        break;
+      }
     }
   }
   return s;
+}
+
+void SealableTrie::debug_check_stats() const {
+  const TrieStats live = recompute_stats();
+  if (live == stats_) return;
+  const auto diff = [](const char* field, std::size_t got, std::size_t want) {
+    return std::string(field) + " cached=" + std::to_string(got) +
+           " live=" + std::to_string(want) + "; ";
+  };
+  std::string msg = "TrieStats drift: ";
+  if (live.leaf_count != stats_.leaf_count)
+    msg += diff("leaf_count", stats_.leaf_count, live.leaf_count);
+  if (live.branch_count != stats_.branch_count)
+    msg += diff("branch_count", stats_.branch_count, live.branch_count);
+  if (live.extension_count != stats_.extension_count)
+    msg += diff("extension_count", stats_.extension_count, live.extension_count);
+  if (live.sealed_refs != stats_.sealed_refs)
+    msg += diff("sealed_refs", stats_.sealed_refs, live.sealed_refs);
+  if (live.byte_size != stats_.byte_size)
+    msg += diff("byte_size", stats_.byte_size, live.byte_size);
+  throw std::logic_error(msg);
 }
 
 }  // namespace bmg::trie

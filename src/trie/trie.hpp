@@ -11,6 +11,18 @@
 // through a sealed region fails.  That inaccessibility is exactly the
 // double-delivery guard: `assert ph ∉ trie` fails for a sealed ph.
 //
+// Writes are committed lazily: `set()` and `seal()` only mark the
+// modified spine dirty, and `commit()` recomputes the dirty hashes
+// bottom-up, batching independent siblings through the multi-lane
+// SHA-256 backend.  This mirrors the paper's Alg. 1, where the state
+// root is committed once per guest block (GenerateBlock), not once
+// per write.  `root_hash()` and `prove()` auto-commit, so callers can
+// stay oblivious; batch writers get the speedup for free.
+//
+// Nodes live in typed slab arenas (one per node kind) with free
+// lists; sealing returns slots.  This keeps batch commits
+// cache-friendly and avoids per-node heap allocation.
+//
 // Keys must be prefix-free (no key may be a prefix of another); the
 // IBC layer guarantees this by hashing commitment paths.  Violations
 // throw PrefixError.
@@ -19,7 +31,6 @@
 #include <array>
 #include <cstdint>
 #include <stdexcept>
-#include <variant>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -48,6 +59,8 @@ class NotFoundError : public TrieError {
 };
 
 /// Storage accounting (drives the §V-D storage-cost experiment).
+/// Maintained incrementally by the trie; `debug_check_stats()`
+/// recomputes it from the live nodes and verifies the two agree.
 struct TrieStats {
   std::size_t leaf_count = 0;
   std::size_t branch_count = 0;
@@ -60,6 +73,8 @@ struct TrieStats {
   [[nodiscard]] std::size_t node_count() const {
     return leaf_count + branch_count + extension_count;
   }
+
+  friend bool operator==(const TrieStats&, const TrieStats&) = default;
 };
 
 class SealableTrie {
@@ -73,11 +88,13 @@ class SealableTrie {
   SealableTrie() = default;
 
   /// Inserts or updates `key`.  Throws SealedError if the path crosses
-  /// a sealed region, PrefixError on prefix-freedom violations.
+  /// a sealed region, PrefixError on prefix-freedom violations.  The
+  /// modified spine is only marked dirty — no hashing happens until
+  /// commit() (or an auto-committing read).
   void set(ByteView key, const Hash32& value);
 
   /// Looks up `key`; on kFound stores the value into `*value_out`
-  /// (if non-null).
+  /// (if non-null).  Never triggers a commit.
   [[nodiscard]] Lookup get(ByteView key, Hash32* value_out = nullptr) const;
 
   /// Seals the entry for `key`: reclaims its storage while keeping the
@@ -85,26 +102,48 @@ class SealableTrie {
   /// SealedError if already sealed.
   void seal(ByteView key);
 
-  /// Root commitment.  All-zero for the empty trie.
-  [[nodiscard]] Hash32 root_hash() const noexcept;
+  /// Recomputes every dirty node hash bottom-up, hashing independent
+  /// siblings per level as one SHA-256 batch.  No-op when clean.  The
+  /// guest contract calls this once per generated block (Alg. 1).
+  void commit();
+
+  /// True if there are writes whose hashes have not been committed.
+  [[nodiscard]] bool has_uncommitted() const noexcept { return root_.dirty; }
+
+  /// Root commitment.  All-zero for the empty trie.  Auto-commits
+  /// pending writes.
+  [[nodiscard]] Hash32 root_hash() const;
 
   [[nodiscard]] bool empty() const noexcept;
 
   /// Builds a membership or non-membership proof for `key`.
   /// Throws SealedError if the path enters a sealed region.
+  /// Auto-commits pending writes.
   [[nodiscard]] Proof prove(ByteView key) const;
 
-  [[nodiscard]] TrieStats stats() const;
+  [[nodiscard]] TrieStats stats() const { return stats_; }
+
+  /// Recomputes TrieStats from the live nodes and throws
+  /// std::logic_error if the incrementally maintained counters have
+  /// drifted.  Used by tests and sanitizer runs.
+  void debug_check_stats() const;
 
  private:
   static constexpr std::uint32_t kNil = 0xFFFFFFFF;
+  /// Node ids pack the arena kind into the top bits of the index.
+  static constexpr std::uint32_t kKindShift = 30;
+  static constexpr std::uint32_t kIndexMask = (1u << kKindShift) - 1;
+  enum Kind : std::uint32_t { kLeaf = 0, kBranch = 1, kExt = 2 };
 
   /// Child reference: empty, live (points at an arena node) or sealed
-  /// (hash retained, node storage reclaimed).
+  /// (hash retained, node storage reclaimed).  `dirty` marks a live
+  /// ref whose recorded hash is stale pending commit(); a dirty ref's
+  /// ancestors are always dirty too.
   struct Ref {
     Hash32 hash{};
     std::uint32_t node = kNil;
     bool sealed = false;
+    bool dirty = false;
 
     [[nodiscard]] bool is_empty() const noexcept { return node == kNil && !sealed; }
     [[nodiscard]] bool is_live() const noexcept { return node != kNil; }
@@ -121,18 +160,55 @@ class SealableTrie {
     Nibbles path;
     Ref child;
   };
-  using Node = std::variant<std::monostate, LeafNode, BranchNode, ExtensionNode>;
 
-  [[nodiscard]] std::uint32_t alloc(Node node);
-  void free_node(std::uint32_t idx);
-  [[nodiscard]] Hash32 node_hash(std::uint32_t idx) const;
+  [[nodiscard]] static Kind kind_of(std::uint32_t node) noexcept {
+    return static_cast<Kind>(node >> kKindShift);
+  }
+  [[nodiscard]] static std::uint32_t index_of(std::uint32_t node) noexcept {
+    return node & kIndexMask;
+  }
+
+  [[nodiscard]] LeafNode& leaf_at(std::uint32_t node) { return leaves_[index_of(node)]; }
+  [[nodiscard]] const LeafNode& leaf_at(std::uint32_t node) const {
+    return leaves_[index_of(node)];
+  }
+  [[nodiscard]] BranchNode& branch_at(std::uint32_t node) {
+    return branches_[index_of(node)];
+  }
+  [[nodiscard]] const BranchNode& branch_at(std::uint32_t node) const {
+    return branches_[index_of(node)];
+  }
+  [[nodiscard]] ExtensionNode& ext_at(std::uint32_t node) { return exts_[index_of(node)]; }
+  [[nodiscard]] const ExtensionNode& ext_at(std::uint32_t node) const {
+    return exts_[index_of(node)];
+  }
+
+  [[nodiscard]] std::uint32_t alloc_leaf(LeafNode node);
+  [[nodiscard]] std::uint32_t alloc_branch(BranchNode node);
+  [[nodiscard]] std::uint32_t alloc_ext(ExtensionNode node);
+  void free_node(std::uint32_t node);
+
+  void add_node_stats(std::uint32_t node);
+  void sub_node_stats(std::uint32_t node);
+
+  [[nodiscard]] Hash32 node_hash(std::uint32_t node) const;
+  void append_node_preimage(Bytes& out, std::uint32_t node) const;
   [[nodiscard]] static std::optional<Hash32> ref_hash(const Ref& ref);
 
   Ref set_rec(Ref ref, const Nibbles& nibs, std::size_t pos, const Hash32& value);
+  void ensure_committed() const;
+  [[nodiscard]] TrieStats recompute_stats() const;
 
-  std::vector<Node> arena_;
-  std::vector<std::uint32_t> free_list_;
+  // Typed slab arenas with free lists; sealing returns slots.
+  std::vector<LeafNode> leaves_;
+  std::vector<std::uint32_t> free_leaves_;
+  std::vector<BranchNode> branches_;
+  std::vector<std::uint32_t> free_branches_;
+  std::vector<ExtensionNode> exts_;
+  std::vector<std::uint32_t> free_exts_;
+
   Ref root_;
+  TrieStats stats_;
 };
 
 }  // namespace bmg::trie

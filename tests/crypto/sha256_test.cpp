@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/rng.hpp"
 
 namespace bmg::crypto {
 namespace {
@@ -66,6 +70,139 @@ TEST(Sha256, PaddingBoundaries) {
     }
     EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
   }
+}
+
+TEST(Sha256, IncrementalAcrossPaddingBoundaries) {
+  // Incremental update() split exactly at the 55/56/63/64-byte padding
+  // edges (and one byte around them) must match the one-shot digest:
+  // these are the lengths where the final block layout changes shape.
+  const std::string msg(130, 'y');
+  for (std::size_t first : {54u, 55u, 56u, 57u, 62u, 63u, 64u, 65u}) {
+    for (std::size_t second : {0u, 1u, 55u, 56u, 63u, 64u}) {
+      if (first + second > msg.size()) continue;
+      const ByteView whole{reinterpret_cast<const std::uint8_t*>(msg.data()),
+                           first + second};
+      Sha256 h;
+      h.update(whole.subspan(0, first));
+      h.update(whole.subspan(first, second));
+      EXPECT_EQ(h.finish(), Sha256::digest(whole))
+          << "first=" << first << " second=" << second;
+    }
+  }
+}
+
+TEST(Sha256, MultiMegabyteMatchesOneShot) {
+  // Large streaming input in awkward chunk sizes vs a single digest()
+  // over the same bytes.
+  Bytes msg(3 * 1024 * 1024 + 17);
+  std::uint32_t x = 0x12345678;
+  for (auto& b : msg) {
+    x = x * 1664525 + 1013904223;
+    b = static_cast<std::uint8_t>(x >> 24);
+  }
+  Sha256 h;
+  std::size_t off = 0, chunk = 1;
+  while (off < msg.size()) {
+    const std::size_t n = std::min(chunk, msg.size() - off);
+    h.update(ByteView{msg.data() + off, n});
+    off += n;
+    chunk = chunk * 3 + 1;  // 1, 4, 13, 40, ... irregular boundaries
+  }
+  EXPECT_EQ(h.finish(), Sha256::digest(msg));
+}
+
+// --- fast-path vs scalar property tests ------------------------------------
+//
+// Whatever SIMD backends this CPU offers must agree byte-for-byte with
+// the portable scalar implementation on random inputs of every length
+// class: sub-block, padding edges, multi-block, and large.
+
+std::vector<Sha256Impl> available_accelerated() {
+  std::vector<Sha256Impl> impls;
+  for (Sha256Impl impl : {Sha256Impl::kShaNi, Sha256Impl::kAvx2})
+    if (sha256_impl_available(impl)) impls.push_back(impl);
+  return impls;
+}
+
+TEST(Sha256FastPath, AcceleratedMatchesScalarOnRandomInputs) {
+  Rng rng(0xfeedface);
+  const auto impls = available_accelerated();
+  if (impls.empty()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(700));
+    Bytes msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+    const Hash32 want = sha256_digest_with(Sha256Impl::kScalar, msg);
+    EXPECT_EQ(Sha256::digest(msg), want) << "len=" << len;
+    for (Sha256Impl impl : impls)
+      EXPECT_EQ(sha256_digest_with(impl, msg), want)
+          << "impl=" << static_cast<int>(impl) << " len=" << len;
+  }
+}
+
+TEST(Sha256FastPath, AcceleratedMatchesScalarAtPaddingEdges) {
+  const auto impls = available_accelerated();
+  if (impls.empty()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  for (std::size_t len : {0u,  1u,  31u, 32u,  55u,  56u,  57u,  63u, 64u,
+                          65u, 96u, 119u, 120u, 127u, 128u, 129u, 515u}) {
+    Bytes msg(len, 0xa5);
+    const Hash32 want = sha256_digest_with(Sha256Impl::kScalar, msg);
+    for (Sha256Impl impl : impls)
+      EXPECT_EQ(sha256_digest_with(impl, msg), want)
+          << "impl=" << static_cast<int>(impl) << " len=" << len;
+  }
+}
+
+TEST(Sha256FastPath, BatchMatchesSerialDigests) {
+  // The multi-way batch API (used by the trie's deferred commit) must
+  // produce exactly the per-message digests, for any batch size and a
+  // mix of message lengths — including the lane-grouping edge cases
+  // around multiples of 8.
+  Rng rng(0xb47c4);
+  for (const std::size_t n : {1u, 2u, 7u, 8u, 9u, 15u, 16u, 23u, 64u}) {
+    std::vector<Bytes> msgs(n);
+    std::vector<ByteView> views(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      msgs[i].resize(static_cast<std::size_t>(rng.uniform_int(300)));
+      for (auto& b : msgs[i]) b = static_cast<std::uint8_t>(rng.next());
+      views[i] = msgs[i];
+    }
+    std::vector<Hash32> out(n);
+    sha256_batch(views.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(out[i], Sha256::digest(msgs[i])) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Sha256FastPath, ForcedBatchBackendsMatchScalar) {
+  Rng rng(0x5eed);
+  const std::size_t n = 24;
+  std::vector<Bytes> msgs(n);
+  std::vector<ByteView> views(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Repeat lengths so the AVX2 grouping gets full 8-wide lanes.
+    msgs[i].resize(40 + 30 * (i % 3));
+    for (auto& b : msgs[i]) b = static_cast<std::uint8_t>(rng.next());
+    views[i] = msgs[i];
+  }
+  for (Sha256Impl impl :
+       {Sha256Impl::kScalar, Sha256Impl::kShaNi, Sha256Impl::kAvx2}) {
+    if (!sha256_impl_available(impl)) continue;
+    std::vector<Hash32> out(n);
+    sha256_batch_with(impl, views.data(), n, out.data());
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(out[i], Sha256::digest(msgs[i]))
+          << "impl=" << static_cast<int>(impl) << " i=" << i;
+  }
+}
+
+TEST(Sha256FastPath, UnavailableBackendThrows) {
+  // The testing hooks must refuse rather than silently fall back.
+  for (Sha256Impl impl : {Sha256Impl::kShaNi, Sha256Impl::kAvx2}) {
+    if (sha256_impl_available(impl)) continue;
+    EXPECT_THROW((void)sha256_digest_with(impl, {}), std::runtime_error);
+  }
+  EXPECT_TRUE(sha256_impl_available(Sha256Impl::kScalar));
 }
 
 TEST(Sha256, PairHelper) {

@@ -1,0 +1,132 @@
+// Hardening tests for Proof::deserialize: hostile relayers and
+// counterparties hand the contract arbitrary proof bytes, so the
+// decoder must reject truncated, oversized, and garbage inputs with a
+// clean CodecError — never an out-of-bounds read (the ASan/UBSan CI
+// job runs this file under BMG_SANITIZE).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/codec.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "trie/trie.hpp"
+
+namespace bmg::trie {
+namespace {
+
+Bytes key_of(std::uint64_t i) {
+  Encoder e;
+  e.u64(0xabcd).u64(i);
+  return e.take();
+}
+
+/// A realistic serialized proof to mutate: membership proof from a
+/// populated trie (leaf + branch + extension nodes all present).
+Bytes sample_proof_bytes() {
+  SealableTrie t;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    t.set(key_of(i), crypto::Sha256::digest(key_of(i)));
+  return t.prove(key_of(17)).serialize();
+}
+
+/// deserialize() must either succeed or throw CodecError; any other
+/// outcome (crash, OOB, std::bad_alloc from a hostile length) fails.
+void expect_clean(ByteView data) {
+  try {
+    const Proof p = Proof::deserialize(data);
+    // If it parsed, verification must run without faulting either —
+    // kInvalid outcomes are fine, memory errors are not.
+    const Hash32 root{};
+    (void)verify_proof(root, key_of(0), p);
+  } catch (const CodecError&) {
+    // expected rejection path
+  }
+}
+
+TEST(ProofFuzz, EmptyAndTinyInputs) {
+  expect_clean({});
+  for (std::uint8_t b = 0; b < 255; ++b) {
+    const std::uint8_t one[] = {b};
+    expect_clean(ByteView{one, 1});
+  }
+  EXPECT_THROW((void)Proof::deserialize({}), CodecError);
+}
+
+TEST(ProofFuzz, TruncatedAtEveryByte) {
+  const Bytes good = sample_proof_bytes();
+  ASSERT_NO_THROW((void)Proof::deserialize(good));
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    SCOPED_TRACE(len);
+    EXPECT_THROW((void)Proof::deserialize(ByteView{good.data(), len}), CodecError);
+  }
+}
+
+TEST(ProofFuzz, TrailingGarbageRejected) {
+  Bytes padded = sample_proof_bytes();
+  padded.push_back(0x00);
+  EXPECT_THROW((void)Proof::deserialize(padded), CodecError);
+}
+
+TEST(ProofFuzz, ImplausibleNodeCountRejected) {
+  // A count field claiming 2^32-1 nodes must be rejected up front, not
+  // drive a giant reserve() or a long parse loop.
+  Encoder e;
+  e.u32(0xFFFFFFFF);
+  EXPECT_THROW((void)Proof::deserialize(e.take()), CodecError);
+  Encoder e2;
+  e2.u32(4097);
+  EXPECT_THROW((void)Proof::deserialize(e2.take()), CodecError);
+}
+
+TEST(ProofFuzz, OversizedNibbleCountRejected) {
+  // Leaf node whose nibble count claims more data than the buffer holds.
+  Encoder e;
+  e.u32(1);
+  e.u8(0x00);     // leaf tag
+  e.u16(0xFFFF);  // nibble count far past end of input
+  e.u8(0x01);
+  EXPECT_THROW((void)Proof::deserialize(e.take()), CodecError);
+}
+
+TEST(ProofFuzz, RandomMutationsNeverFault) {
+  const Bytes good = sample_proof_bytes();
+  Rng rng(0xf022);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutated = good;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    if (rng.chance(0.3))
+      mutated.resize(static_cast<std::size_t>(rng.uniform_int(mutated.size() + 1)));
+    expect_clean(mutated);
+  }
+}
+
+TEST(ProofFuzz, RandomGarbageNeverFaults) {
+  Rng rng(0x6a2b);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes junk(static_cast<std::size_t>(rng.uniform_int(600)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    expect_clean(junk);
+  }
+}
+
+TEST(ProofFuzz, RoundTripSurvivesVerification) {
+  // Sanity: an untampered round trip still verifies against the real
+  // root, so the hardening above isn't rejecting valid proofs.
+  SealableTrie t;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    t.set(key_of(i), crypto::Sha256::digest(key_of(i)));
+  const Hash32 root = t.root_hash();
+  const Bytes wire = t.prove(key_of(17)).serialize();
+  const Proof decoded = Proof::deserialize(wire);
+  const VerifyOutcome out = verify_proof(root, key_of(17), decoded);
+  ASSERT_EQ(out.kind, VerifyOutcome::Kind::kFound);
+  EXPECT_EQ(out.value, crypto::Sha256::digest(key_of(17)));
+}
+
+}  // namespace
+}  // namespace bmg::trie

@@ -100,6 +100,10 @@ TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
     }
   }
 
+  // The incrementally maintained stats must agree with a recount from
+  // the live nodes after the full random run.
+  ASSERT_NO_THROW(trie.debug_check_stats());
+
   // Final sweep: every model entry is either retrievable or sealed,
   // and all unsealed entries are provable against the root.
   const Hash32 root = trie.root_hash();
@@ -120,6 +124,93 @@ TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelTest,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
+
+/// The deferred-commit trie against an always-eager reference: a
+/// mirror trie whose root is recomputed after every single operation.
+/// Both see the identical op sequence — sets, updates, seals — with
+/// commits injected at random points on the deferred side only.  The
+/// roots must be bit-identical at every comparison point.
+class DeferredCommitTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeferredCommitTest, RootsMatchEagerReferenceAcrossRandomOps) {
+  Rng rng(GetParam());
+  SealableTrie deferred;
+  SealableTrie eager;
+  std::map<std::uint64_t, SpaceModel> model;
+  const std::uint64_t kSpaces = 4;
+
+  const auto eager_root = [&eager] {
+    // Committing after every op is exactly the seed's eager behaviour.
+    const Hash32 r = eager.root_hash();
+    EXPECT_FALSE(eager.has_uncommitted());
+    return r;
+  };
+
+  for (int step = 0; step < 2500; ++step) {
+    const std::uint64_t space = rng.uniform_int(kSpaces);
+    SpaceModel& m = model[space];
+    const double action = rng.uniform();
+
+    if (action < 0.5) {
+      std::uint64_t seq = m.next_seq;
+      if (rng.chance(0.25)) seq += rng.uniform_int(4);
+      if (m.values.count(seq) > 0) continue;
+      const std::uint64_t v = rng.next();
+      deferred.set(seq_key(space, seq), val(v));
+      eager.set(seq_key(space, seq), val(v));
+      eager_root();
+      m.values[seq] = v;
+      m.next_seq = std::max(m.next_seq, seq + 1);
+    } else if (action < 0.7) {
+      // Interleaved seals: the deferred trie may seal entries whose
+      // spine is still dirty from uncommitted sets.
+      const std::uint64_t s = m.sealed_upto + 1;
+      if (s >= m.watermark()) continue;
+      deferred.seal(seq_key(space, s));
+      eager.seal(seq_key(space, s));
+      eager_root();
+      m.sealed_upto = s;
+    } else if (action < 0.85) {
+      if (m.values.empty()) continue;
+      auto it = m.values.upper_bound(m.sealed_upto);
+      if (it == m.values.end()) continue;
+      const std::uint64_t v = rng.next();
+      deferred.set(seq_key(space, it->first), val(v));
+      eager.set(seq_key(space, it->first), val(v));
+      eager_root();
+      it->second = v;
+    } else if (action < 0.95) {
+      // Commit the deferred trie at a random point mid-sequence.
+      deferred.commit();
+      EXPECT_FALSE(deferred.has_uncommitted());
+      ASSERT_EQ(deferred.root_hash(), eager_root()) << "at step " << step;
+    } else {
+      // Stats stay consistent on both tries regardless of commits.
+      ASSERT_NO_THROW(deferred.debug_check_stats()) << "at step " << step;
+      ASSERT_NO_THROW(eager.debug_check_stats()) << "at step " << step;
+    }
+  }
+
+  // Final comparison: roots bit-identical, proofs interchangeable.
+  const Hash32 root = deferred.root_hash();
+  ASSERT_EQ(root, eager_root());
+  ASSERT_NO_THROW(deferred.debug_check_stats());
+  EXPECT_EQ(deferred.stats().byte_size, eager.stats().byte_size);
+  EXPECT_EQ(deferred.stats().sealed_refs, eager.stats().sealed_refs);
+  for (const auto& [space, m] : model) {
+    for (const auto& [seq, v] : m.values) {
+      if (seq <= m.sealed_upto) continue;
+      const Bytes key = seq_key(space, seq);
+      const Proof proof = deferred.prove(key);
+      const VerifyOutcome out = verify_proof(eager.root_hash(), key, proof);
+      ASSERT_EQ(out.kind, VerifyOutcome::Kind::kFound);
+      EXPECT_EQ(out.value, val(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeferredCommitTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
 
 }  // namespace
 }  // namespace bmg::trie
