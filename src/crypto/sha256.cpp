@@ -66,7 +66,7 @@ Hash32 oneshot(CompressFn compress, ByteView data) noexcept {
 /// Writes the fully padded form of `msg` into `out` (padded_blocks(msg)*64 bytes).
 void pad_into(std::uint8_t* out, ByteView msg) noexcept {
   const std::size_t blocks = padded_blocks(msg.size());
-  std::memcpy(out, msg.data(), msg.size());
+  if (!msg.empty()) std::memcpy(out, msg.data(), msg.size());
   std::memset(out + msg.size(), 0, blocks * 64 - msg.size());
   out[msg.size()] = 0x80;
   const std::uint64_t bit_len = static_cast<std::uint64_t>(msg.size()) * 8;

@@ -36,7 +36,7 @@ void TxContext::transfer_from_payer(const crypto::PublicKey& to, std::uint64_t l
 }
 
 Chain::Chain(sim::Simulation& sim, Rng rng, ChainConfig cfg)
-    : sim_(sim), rng_(rng), cfg_(cfg) {}
+    : sim_(sim), rng_(rng), fault_rng_(cfg.fault_seed), cfg_(std::move(cfg)) {}
 
 void Chain::register_program(const std::string& name, std::unique_ptr<Program> program) {
   programs_[name] = std::move(program);
@@ -108,6 +108,11 @@ void Chain::submit(Transaction tx, ResultHandler on_result) {
   const auto first_slot =
       static_cast<std::uint64_t>(std::ceil(visible_at / cfg_.slot_seconds));
 
+  if (!cfg_.fault.empty()) {
+    submit_with_faults(std::move(tx), std::move(on_result), first_slot);
+    return;
+  }
+
   // Geometric inclusion delay driven by the fee policy.
   const double p = inclusion_probability(tx.fee);
   std::uint64_t extra = 0;
@@ -131,8 +136,106 @@ void Chain::submit(Transaction tx, ResultHandler on_result) {
   pending_[target].push_back(PendingTx{std::move(tx), std::move(on_result)});
 }
 
+void Chain::submit_with_faults(Transaction tx, ResultHandler on_result,
+                               std::uint64_t first_slot) {
+  const double now = sim_.now();
+
+  // Blackhole: the tx vanishes between the submitter and the cluster;
+  // no result handler ever fires.  This is what forces real timeout
+  // handling in the relayer pipeline.
+  const double p_bh = cfg_.fault.blackhole_probability(now, tx.label);
+  if (p_bh > 0 && fault_rng_.chance(p_bh)) {
+    ++fault_counters_.blackholed;
+    return;
+  }
+
+  // Per-slot inclusion scan: each candidate slot applies the congestion
+  // multiplier active at that slot's wall time, and outage slots
+  // include nothing at all.
+  const double p0 = inclusion_probability(tx.fee);
+  const std::uint64_t expiry_slot = first_slot + kTxExpirySlots;
+  std::uint64_t chosen = 0;
+  bool included = false;
+  bool congested = false;
+  bool waited_out_outage = false;
+  for (std::uint64_t s = std::max(first_slot, slot_ + 1); s <= expiry_slot; ++s) {
+    const double t = static_cast<double>(s) * cfg_.slot_seconds;
+    if (cfg_.fault.in_outage(t)) {
+      waited_out_outage = true;
+      continue;
+    }
+    const double m = cfg_.fault.congestion_multiplier(t, tx.label);
+    const double p = std::min(p0 * m, 1.0);
+    if (p <= 0) {
+      congested = true;
+      continue;
+    }
+    if (fault_rng_.chance(p)) {
+      chosen = s;
+      included = true;
+      break;
+    }
+    if (m < 1.0) congested = true;
+  }
+  if (congested) ++fault_counters_.congestion_delayed;
+  if (waited_out_outage) ++fault_counters_.outage_deferred;
+
+  if (!included) {
+    ++dropped_;
+    if (waited_out_outage) ++fault_counters_.outage_expired;
+    TxResult res;
+    res.executed = false;
+    res.success = false;
+    res.error = "transaction expired (blockhash too old)";
+    res.label = tx.label;
+    const double expiry_time = static_cast<double>(expiry_slot) * cfg_.slot_seconds;
+    if (on_result)
+      sim_.at(expiry_time, [on_result = std::move(on_result), res] { on_result(res); });
+    return;
+  }
+
+  // Duplicate fault: a ghost replay lands one slot later with no
+  // handler — the program must tolerate the second execution.
+  const double p_dup = cfg_.fault.duplicate_probability(now, tx.label);
+  if (p_dup > 0 && fault_rng_.chance(p_dup)) {
+    ++fault_counters_.duplicated;
+    pending_[chosen + 1].push_back(PendingTx{tx, {}, expiry_slot});
+  }
+
+  pending_[chosen].push_back(PendingTx{std::move(tx), std::move(on_result), expiry_slot});
+}
+
 void Chain::on_slot() {
   ++slot_;
+
+  if (!cfg_.fault.empty() && cfg_.fault.in_outage(sim_.now())) {
+    // Outage slot: produced, but includes nothing.  Defer everything to
+    // the next slot, expiring transactions whose blockhash aged out.
+    const auto it = pending_.find(slot_);
+    if (it != pending_.end()) {
+      std::vector<PendingTx> batch = std::move(it->second);
+      pending_.erase(it);
+      for (auto& ptx : batch) {
+        if (slot_ >= ptx.expiry_slot) {
+          ++fault_counters_.outage_expired;
+          ++dropped_;
+          if (ptx.on_result) {
+            TxResult res;
+            res.executed = false;
+            res.success = false;
+            res.error = "transaction expired (blockhash too old)";
+            res.label = ptx.tx.label;
+            sim_.after(0, [on_result = std::move(ptx.on_result), res] { on_result(res); });
+          }
+          continue;
+        }
+        ++fault_counters_.outage_deferred;
+        pending_[slot_ + 1].push_back(std::move(ptx));
+      }
+    }
+    sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
+    return;
+  }
 
   const auto it = pending_.find(slot_);
   if (it != pending_.end()) {
@@ -226,6 +329,19 @@ void Chain::execute_tx(PendingTx& ptx) {
 
   res.cu_used = ctx.cu_used();
   res.fee = compute_fee(tx, ctx.cu_used());
+
+  if (!cfg_.fault.empty()) {
+    // Fee spike: the market components (priority fee, bundle tip) cost
+    // a multiple of their quoted price; the protocol base fee is fixed.
+    const double m = cfg_.fault.fee_multiplier(sim_.now());
+    if (m != 1.0 && (res.fee.priority_lamports > 0 || res.fee.tip_lamports > 0)) {
+      res.fee.priority_lamports =
+          static_cast<std::uint64_t>(static_cast<double>(res.fee.priority_lamports) * m);
+      res.fee.tip_lamports =
+          static_cast<std::uint64_t>(static_cast<double>(res.fee.tip_lamports) * m);
+      ++fault_counters_.fee_spiked;
+    }
+  }
 
   // Charge fees (saturating — a payer going broke is an operator
   // problem, not a simulator crash).

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "crypto/keys.hpp"
+#include "host/fault.hpp"
 #include "host/program.hpp"
 #include "host/transaction.hpp"
 #include "sim/scheduler.hpp"
@@ -48,6 +49,12 @@ struct ChainConfig {
   std::uint64_t block_compute_units = kBlockComputeUnits;
   double slot_seconds = kSlotSeconds;
   std::size_t max_account_size = kMaxAccountSize;
+
+  /// Scheduled fault injection (empty = faithful chain, bit-identical
+  /// to a chain built before faults existed).  Fault randomness draws
+  /// from its own stream so the inclusion RNG is never perturbed.
+  FaultPlan fault;
+  std::uint64_t fault_seed = 0xFA01'7F4A'11C3'0D5Eull;
 };
 
 class Chain {
@@ -97,19 +104,37 @@ class Chain {
   [[nodiscard]] std::uint64_t failed_count() const noexcept { return failed_; }
   [[nodiscard]] std::uint64_t dropped_count() const noexcept { return dropped_; }
 
+  // -- fault injection ------------------------------------------------
+  /// The live fault schedule; mutable so tests can script windows at
+  /// runtime (e.g. start an outage mid-run).
+  [[nodiscard]] FaultPlan& fault_plan() noexcept { return cfg_.fault; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return cfg_.fault; }
+  [[nodiscard]] const FaultCounters& fault_counters() const noexcept {
+    return fault_counters_;
+  }
+
  private:
   struct PendingTx {
     Transaction tx;
     ResultHandler on_result;
+    /// Slot after which the blockhash is too old (fault path only; the
+    /// fault-free path pre-draws inclusion and never consults this).
+    std::uint64_t expiry_slot = UINT64_MAX;
   };
 
   void on_slot();
   void execute_tx(PendingTx& ptx);
   [[nodiscard]] double inclusion_probability(const FeePolicy& fee) const;
+  /// Fault-aware half of submit(): per-slot inclusion scan honouring
+  /// congestion/outage windows, blackholes and duplicate replays.
+  void submit_with_faults(Transaction tx, ResultHandler on_result,
+                          std::uint64_t first_slot);
 
   sim::Simulation& sim_;
   Rng rng_;
+  Rng fault_rng_;
   ChainConfig cfg_;
+  FaultCounters fault_counters_;
 
   std::unordered_map<std::string, std::unique_ptr<Program>> programs_;
   std::unordered_map<std::string, std::vector<EventHandler>> subscribers_;

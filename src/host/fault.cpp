@@ -1,0 +1,84 @@
+#include "host/fault.hpp"
+
+namespace bmg::host {
+
+namespace {
+
+bool label_matches(const FaultWindow& w, const std::string& label) {
+  if (w.label_prefix.empty()) return true;
+  return label.compare(0, w.label_prefix.size(), w.label_prefix) == 0;
+}
+
+bool active(const FaultWindow& w, double t) { return t >= w.start && t < w.end; }
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(FaultWindow w) {
+  windows_.push_back(std::move(w));
+  return *this;
+}
+
+FaultPlan& FaultPlan::congestion(double start, double end, double severity,
+                                 std::string label_prefix) {
+  return add({FaultKind::kCongestion, start, end, severity, 1.0,
+              std::move(label_prefix)});
+}
+
+FaultPlan& FaultPlan::outage(double start, double end) {
+  return add({FaultKind::kOutage, start, end, 0.0, 1.0, {}});
+}
+
+FaultPlan& FaultPlan::blackhole(double start, double end, double probability,
+                                std::string label_prefix) {
+  return add({FaultKind::kBlackhole, start, end, 1.0, probability,
+              std::move(label_prefix)});
+}
+
+FaultPlan& FaultPlan::duplicate(double start, double end, double probability,
+                                std::string label_prefix) {
+  return add({FaultKind::kDuplicate, start, end, 1.0, probability,
+              std::move(label_prefix)});
+}
+
+FaultPlan& FaultPlan::fee_spike(double start, double end, double multiplier) {
+  return add({FaultKind::kFeeSpike, start, end, multiplier, 1.0, {}});
+}
+
+double FaultPlan::congestion_multiplier(double t, const std::string& label) const {
+  double m = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kCongestion && active(w, t) && label_matches(w, label))
+      m *= w.severity;
+  return m;
+}
+
+bool FaultPlan::in_outage(double t) const {
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kOutage && active(w, t)) return true;
+  return false;
+}
+
+double FaultPlan::blackhole_probability(double t, const std::string& label) const {
+  double p_none = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kBlackhole && active(w, t) && label_matches(w, label))
+      p_none *= 1.0 - w.probability;
+  return 1.0 - p_none;
+}
+
+double FaultPlan::duplicate_probability(double t, const std::string& label) const {
+  double p_none = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kDuplicate && active(w, t) && label_matches(w, label))
+      p_none *= 1.0 - w.probability;
+  return 1.0 - p_none;
+}
+
+double FaultPlan::fee_multiplier(double t) const {
+  double m = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kFeeSpike && active(w, t)) m *= w.severity;
+  return m;
+}
+
+}  // namespace bmg::host

@@ -1,0 +1,99 @@
+// Deterministic fault injection for the host chain (chaos testing).
+//
+// The paper treats the host as hostile terrain: base-fee inclusion is
+// a coin flip (§V-B), RPC nodes drop transactions, and a light client
+// update needs ~36 sequential transactions to survive all of it
+// (§V-A).  A FaultPlan lets tests and benches *provoke* those
+// conditions on a schedule instead of waiting for the RNG to oblige:
+// congestion windows collapse inclusion probabilities, outage windows
+// produce empty blocks, blackholes swallow transactions without ever
+// reporting a result, duplicate windows replay executions (exercising
+// chunk-upload / seq-tracker idempotency), and fee spikes inflate the
+// market components of the fee.
+//
+// All randomness is drawn from a dedicated RNG stream owned by the
+// chain (never the inclusion stream), and every fault query is gated
+// on `empty()` — an empty plan leaves the chain bit-identical to a
+// chain built without one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmg::host {
+
+enum class FaultKind : std::uint8_t {
+  kCongestion,  ///< multiply inclusion probabilities by `severity`
+  kOutage,      ///< slots produce but include nothing
+  kBlackhole,   ///< tx vanishes; its result handler never fires
+  kDuplicate,   ///< tx executes a second time (ghost replay)
+  kFeeSpike,    ///< market fee components multiplied by `severity`
+};
+
+/// One scheduled fault over the half-open sim-time window [start, end).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kCongestion;
+  double start = 0;
+  double end = 0;
+  /// kCongestion: factor on inclusion probability in [0, 1].
+  /// kFeeSpike: factor (>= 1) on priority/tip lamports.
+  double severity = 1.0;
+  /// kBlackhole / kDuplicate: per-transaction probability.
+  double probability = 1.0;
+  /// Restricts the fault to transactions whose label starts with this
+  /// prefix; empty matches everything.  Outages ignore the filter
+  /// (blocks are empty for everyone).
+  std::string label_prefix;
+};
+
+/// How often each fault class actually fired.
+struct FaultCounters {
+  std::uint64_t congestion_delayed = 0;  ///< txs that lost >=1 congested slot
+  std::uint64_t outage_deferred = 0;     ///< txs that waited out >=1 outage slot
+  std::uint64_t outage_expired = 0;      ///< txs dropped while waiting out an outage
+  std::uint64_t blackholed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t fee_spiked = 0;
+};
+
+/// A scriptable, composable schedule of fault windows.  Windows of the
+/// same kind compose: congestion multipliers multiply, blackhole /
+/// duplicate probabilities combine as independent events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultWindow w);
+  // Convenience builders (all return *this for chaining).
+  FaultPlan& congestion(double start, double end, double severity,
+                        std::string label_prefix = {});
+  FaultPlan& outage(double start, double end);
+  FaultPlan& blackhole(double start, double end, double probability,
+                       std::string label_prefix = {});
+  FaultPlan& duplicate(double start, double end, double probability,
+                       std::string label_prefix = {});
+  FaultPlan& fee_spike(double start, double end, double multiplier);
+
+  void clear() { windows_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return windows_.size(); }
+  [[nodiscard]] const std::vector<FaultWindow>& windows() const noexcept {
+    return windows_;
+  }
+
+  // --- queries (evaluated by the chain) --------------------------------
+  /// Product of active congestion severities for a tx labelled `label`.
+  [[nodiscard]] double congestion_multiplier(double t, const std::string& label) const;
+  [[nodiscard]] bool in_outage(double t) const;
+  /// Combined probability that a tx submitted at `t` is blackholed.
+  [[nodiscard]] double blackhole_probability(double t, const std::string& label) const;
+  [[nodiscard]] double duplicate_probability(double t, const std::string& label) const;
+  /// Product of active fee-spike multipliers.
+  [[nodiscard]] double fee_multiplier(double t) const;
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace bmg::host

@@ -15,6 +15,7 @@
 
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
+#include "relayer/tx_pipeline.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bmg::relayer {
@@ -44,8 +45,13 @@ class GossipBus {
 class FishermanAgent {
  public:
   FishermanAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
-                 GossipBus& bus, crypto::PublicKey payer)
-      : sim_(sim), host_(host), contract_(contract), bus_(bus), payer_(std::move(payer)) {}
+                 GossipBus& bus, crypto::PublicKey payer, PipelineConfig pipeline_cfg = {})
+      : sim_(sim),
+        host_(host),
+        contract_(contract),
+        bus_(bus),
+        payer_(std::move(payer)),
+        pipeline_(sim, host, Rng(fold_payer_seed(payer_)), pipeline_cfg) {}
 
   void start() {
     bus_.subscribe([this](const SignatureGossip& g) { on_gossip(g); });
@@ -53,6 +59,8 @@ class FishermanAgent {
 
   [[nodiscard]] std::uint64_t evidence_submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t evidence_accepted() const { return accepted_; }
+  /// Pipeline state (retries, dead letters, structured errors).
+  [[nodiscard]] const TxPipeline& pipeline() const { return pipeline_; }
 
  private:
   void on_gossip(const SignatureGossip& gossip) {
@@ -131,20 +139,22 @@ class FishermanAgent {
     txs.push_back(std::move(fin));
 
     ++submitted_;
-    // Submit sequentially.
-    submit_chain(std::make_shared<std::vector<host::Transaction>>(std::move(txs)), 0);
+    // Evidence must survive drops and blackholes: a fisherman that
+    // gives up on the first lost transaction lets a double-signer keep
+    // its stake.  The pipeline retries with backoff and fee escalation
+    // until the sequence lands or the budget dead-letters it.
+    pipeline_.submit_sequence(
+        std::move(txs),
+        [this](const SequenceOutcome& out) {
+          if (out.ok) ++accepted_;
+        },
+        "fisherman");
   }
 
-  void submit_chain(std::shared_ptr<std::vector<host::Transaction>> txs,
-                    std::size_t index) {
-    if (index >= txs->size()) {
-      ++accepted_;
-      return;
-    }
-    host_.submit(std::move((*txs)[index]), [this, txs, index](const host::TxResult& r) {
-      if (!r.executed || !r.success) return;  // lost the race or invalid
-      submit_chain(txs, index + 1);
-    });
+  [[nodiscard]] static std::uint64_t fold_payer_seed(const crypto::PublicKey& key) {
+    std::uint64_t h = 0xF15'4E12'3A5Eull;  // distinct stream from relayers
+    for (unsigned char b : key.raw()) h = (h ^ b) * 0x1000'0000'01B3ull;
+    return h;
   }
 
   sim::Simulation& sim_;
@@ -152,6 +162,8 @@ class FishermanAgent {
   guest::GuestContract& contract_;
   GossipBus& bus_;
   crypto::PublicKey payer_;
+
+  TxPipeline pipeline_;
 
   std::map<std::pair<crypto::PublicKey, ibc::Height>, std::vector<SignatureGossip>>
       observations_;

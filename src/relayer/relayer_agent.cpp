@@ -4,6 +4,16 @@
 
 namespace bmg::relayer {
 
+namespace {
+/// Folds a public key into the pipeline seed so co-deployed relayers
+/// draw independent backoff-jitter streams deterministically.
+std::uint64_t mix_seed(std::uint64_t seed, const crypto::PublicKey& key) {
+  std::uint64_t h = seed;
+  for (unsigned char b : key.raw()) h = (h ^ b) * 0x1000'0000'01B3ull;
+  return h;
+}
+}  // namespace
+
 RelayerAgent::RelayerAgent(sim::Simulation& sim, host::Chain& host,
                            guest::GuestContract& contract,
                            counterparty::CounterpartyChain& cp,
@@ -15,7 +25,8 @@ RelayerAgent::RelayerAgent(sim::Simulation& sim, host::Chain& host,
       cp_(cp),
       guest_client_on_cp_(std::move(guest_client_on_cp)),
       payer_(std::move(payer)),
-      cfg_(cfg) {}
+      cfg_(cfg),
+      pipeline_(sim, host, Rng(mix_seed(cfg.pipeline_seed, payer_)), cfg.pipeline) {}
 
 void RelayerAgent::start() {
   host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
@@ -37,47 +48,16 @@ void RelayerAgent::start() {
 // --- transaction sequencing ---------------------------------------------------
 
 void RelayerAgent::submit_sequence(std::vector<host::Transaction> txs, SequenceDone done) {
-  struct SeqState {
-    std::vector<host::Transaction> txs;
-    std::size_t next = 0;
-    SequenceOutcome outcome;
-  };
-  auto state = std::make_shared<SeqState>();
-  state->txs = std::move(txs);
-  state->outcome.txs = static_cast<int>(state->txs.size());
+  pipeline_.submit_sequence(std::move(txs),
+                            [this, done = std::move(done)](const SequenceOutcome& out) {
+                              if (!out.ok) ++failed_sequences_;
+                              if (done) done(out);
+                            });
+}
 
-  // `step` holds itself alive through the async chain; `finish` breaks
-  // the reference cycle once the sequence ends (deferred so we never
-  // destroy the closure while it is executing).
-  auto step = std::make_shared<std::function<void()>>();
-  auto finish = [this, step](auto&& cb, const SequenceOutcome& outcome) {
-    if (cb) cb(outcome);
-    sim_.after(0, [step] { *step = nullptr; });
-  };
-  *step = [this, state, step, finish, done = std::move(done)]() mutable {
-    if (state->next >= state->txs.size()) {
-      state->outcome.ok = true;
-      finish(done, state->outcome);
-      return;
-    }
-    host::Transaction tx = std::move(state->txs[state->next]);
-    ++state->next;
-    host_.submit(std::move(tx),
-                 [this, state, step, finish, done](const host::TxResult& res) {
-      if (!res.executed || !res.success) {
-        ++failed_sequences_;
-        state->outcome.ok = false;
-        state->outcome.finished_at = sim_.now();
-        finish(done, state->outcome);
-        return;
-      }
-      if (state->outcome.started_at == 0) state->outcome.started_at = res.time;
-      state->outcome.finished_at = res.time;
-      state->outcome.cost_usd += res.fee.usd();
-      (*step)();
-    });
-  };
-  (*step)();
+void RelayerAgent::note_cp_reject(const std::string& label, const std::string& what) {
+  pipeline_.errors().push(
+      RelayError{RelayErrorKind::kCounterpartyReject, label, what, sim_.now(), 0});
 }
 
 std::vector<host::Transaction> RelayerAgent::chunked_call(ByteView payload,
@@ -160,7 +140,7 @@ void RelayerAgent::push_guest_header_to_cp(ibc::Height guest_height,
     } catch (const ibc::IbcError& e) {
       // Another relayer (or an explicit handshake push) already
       // submitted this height; duplicates are harmless.
-      last_relay_error_ += "[push " + std::to_string(guest_height) + ": " + e.what() + "] ";
+      note_cp_reject("push#" + std::to_string(guest_height), e.what());
     }
     if (done) done();
   });
@@ -207,7 +187,7 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
         cp_acks_.emplace_back(packet, ack, cp_.height() + 1);
       } catch (const std::exception& e) {
         // Already delivered by another relayer or invalid; skip.
-        last_relay_error_ += std::string("[recv seq ") + std::to_string(packet.sequence) + ": " + e.what() + "] ";
+        note_cp_reject("recv#" + std::to_string(packet.sequence), e.what());
       }
     }
     // Relay guest-side acks back to the counterparty.
@@ -230,6 +210,12 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
 void RelayerAgent::on_cp_block(ibc::Height) { pump_cp_to_guest(); }
 
 void RelayerAgent::update_guest_client(ibc::Height cp_height, std::function<void()> done) {
+  update_guest_client_attempt(cp_height, std::move(done), cfg_.update_retry_budget);
+}
+
+void RelayerAgent::update_guest_client_attempt(ibc::Height cp_height,
+                                               std::function<void()> done,
+                                               int rebuilds_left) {
   if (contract_.counterparty_client().latest_height() >= cp_height) {
     if (done) done();
     return;
@@ -243,19 +229,21 @@ void RelayerAgent::update_guest_client(ibc::Height cp_height, std::function<void
   guest_update_in_flight_ = true;
   submit_sequence(
       build_update_sequence(sh),
-      [this, cp_height, done = std::move(done), retried = false](
+      [this, cp_height, done = std::move(done), rebuilds_left](
           const SequenceOutcome& out) mutable {
         guest_update_in_flight_ = false;
         if (out.ok) {
           update_txs_.add(out.txs);
-          update_durations_.add(out.finished_at - out.started_at);
+          update_durations_.add(out.finished_at - out.start_time());
           update_costs_.add(out.cost_usd);
           if (done) done();
-        } else if (!retried &&
+        } else if (rebuilds_left > 0 &&
                    contract_.counterparty_client().latest_height() < cp_height) {
-          // One retry for transient failures (dropped transactions).
-          retried = true;
-          update_guest_client(cp_height, std::move(done));
+          // The pipeline dead-lettered the sequence (an outage or
+          // congestion window outlasted the per-tx budget).  Rebuild
+          // from a fresh staging buffer — the old one may hold a
+          // partial upload — and try again.
+          update_guest_client_attempt(cp_height, std::move(done), rebuilds_left - 1);
           return;
         }
         if (!queued_updates_.empty()) {
@@ -279,16 +267,23 @@ void RelayerAgent::deliver_packet_to_guest(const ibc::Packet& packet,
   auto txs = chunked_call(payload.out(), guest::ix::receive_packet(0), &buffer_id,
                           "recv-packet");
   txs.back().instructions[0] = guest::ix::receive_packet(buffer_id);
-  submit_sequence(std::move(txs),
-                  [this, packet, done = std::move(done)](const SequenceOutcome& out) {
-                    if (out.ok) {
-                      ++to_guest_packets_;
-                      recv_txs_.add(out.txs);
-                      recv_costs_.add(out.cost_usd);
-                      guest_acks_pending_.push_back(packet);
-                    }
-                    if (done) done(out);
-                  });
+  submit_sequence(
+      std::move(txs),
+      [this, packet, proof_height, done = std::move(done)](const SequenceOutcome& out) {
+        if (out.ok) {
+          ++to_guest_packets_;
+          recv_txs_.add(out.txs);
+          recv_costs_.add(out.cost_usd);
+          guest_acks_pending_.push_back(packet);
+        } else if (!contract_.ibc().packet_received(packet.dest_port,
+                                                    packet.dest_channel,
+                                                    packet.sequence)) {
+          // Dead-lettered but still undelivered (and no other relayer
+          // got it in): requeue so the next cp block pumps it again.
+          cp_outgoing_.emplace_back(packet, proof_height);
+        }
+        if (done) done(out);
+      });
 }
 
 void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
@@ -304,7 +299,19 @@ void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
   auto txs = chunked_call(payload.out(), guest::ix::acknowledge_packet(0), &buffer_id,
                           "ack-packet");
   txs.back().instructions[0] = guest::ix::acknowledge_packet(buffer_id);
-  submit_sequence(std::move(txs), std::move(done));
+  submit_sequence(
+      std::move(txs),
+      [this, packet, ack, proof_height, done = std::move(done)](
+          const SequenceOutcome& out) {
+        if (!out.ok && contract_.ibc().packet_pending(packet.source_port,
+                                                      packet.source_channel,
+                                                      packet.sequence)) {
+          // The guest still holds the commitment, so the ack has not
+          // landed through any path: requeue it for the next pump.
+          cp_acks_.emplace_back(packet, ack, proof_height);
+        }
+        if (done) done(out);
+      });
 }
 
 void RelayerAgent::deliver_timeout_to_guest(const ibc::Packet& packet,

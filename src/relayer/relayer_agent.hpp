@@ -18,6 +18,7 @@
 #include "counterparty/chain.hpp"
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
+#include "relayer/tx_pipeline.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bmg::relayer {
@@ -35,6 +36,15 @@ struct RelayerConfig {
   std::size_t host_max_tx_size = host::kMaxTransactionSize;
   /// Network latency for calls into the counterparty chain.
   double counterparty_latency_s = 0.5;
+  /// Retry/backoff/fee-escalation policy of the submission pipeline.
+  PipelineConfig pipeline;
+  /// Seed for the pipeline's backoff-jitter stream (mixed with the
+  /// payer key so co-deployed relayers draw independent streams).
+  std::uint64_t pipeline_seed = 0x5EED'0F'9E3779B9ull;
+  /// How many times update_guest_client rebuilds a failed update
+  /// sequence from scratch (fresh staging buffer) after the pipeline
+  /// dead-letters it.
+  int update_retry_budget = 8;
 };
 
 class RelayerAgent {
@@ -62,18 +72,19 @@ class RelayerAgent {
 
   [[nodiscard]] const crypto::PublicKey& payer() const { return payer_; }
 
-  // --- building blocks (also used by Deployment for the handshake) --------
-  struct SequenceOutcome {
-    bool ok = false;
-    int txs = 0;
-    double started_at = 0;  ///< execution time of the first transaction
-    double finished_at = 0;
-    double cost_usd = 0;
-  };
-  using SequenceDone = std::function<void(const SequenceOutcome&)>;
+  /// Structured relay-error log (bounded ring; replaces the old
+  /// unbounded error string) and full pipeline state.
+  [[nodiscard]] const ErrorLog& relay_errors() const { return pipeline_.errors(); }
+  [[nodiscard]] const TxPipeline& pipeline() const { return pipeline_; }
+  [[nodiscard]] TxPipeline& pipeline() { return pipeline_; }
 
-  /// Submits transactions strictly one after another (each waits for
-  /// the previous result), reporting aggregate cost and timing.
+  // --- building blocks (also used by Deployment for the handshake) --------
+  using SequenceOutcome = relayer::SequenceOutcome;
+  using SequenceDone = relayer::SequenceDone;
+
+  /// Submits transactions strictly one after another through the
+  /// resilient pipeline (per-tx deadlines, backoff, fee escalation,
+  /// mid-sequence resumption), reporting aggregate cost and timing.
   void submit_sequence(std::vector<host::Transaction> txs, SequenceDone done);
 
   /// Chunk-uploads `payload` into a fresh staging buffer and appends
@@ -111,6 +122,9 @@ class RelayerAgent {
   void on_guest_block_finalised(ibc::Height height);
   void on_cp_block(ibc::Height height);
   void pump_cp_to_guest();
+  void update_guest_client_attempt(ibc::Height cp_height, std::function<void()> done,
+                                   int rebuilds_left);
+  void note_cp_reject(const std::string& label, const std::string& what);
 
   sim::Simulation& sim_;
   host::Chain& host_;
@@ -139,10 +153,8 @@ class RelayerAgent {
   Series recv_txs_, recv_costs_;
   std::uint64_t failed_sequences_ = 0;
 
- public:
-  std::string last_relay_error_;
+  TxPipeline pipeline_;
 
- private:
   std::uint64_t to_cp_packets_ = 0;
   std::uint64_t to_guest_packets_ = 0;
 };

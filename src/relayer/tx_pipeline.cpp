@@ -1,0 +1,217 @@
+#include "relayer/tx_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bmg::relayer {
+
+const char* to_string(RelayErrorKind kind) {
+  switch (kind) {
+    case RelayErrorKind::kDropped:
+      return "dropped";
+    case RelayErrorKind::kExecFailed:
+      return "exec-failed";
+    case RelayErrorKind::kTimeout:
+      return "timeout";
+    case RelayErrorKind::kBudgetExhausted:
+      return "budget-exhausted";
+    case RelayErrorKind::kCounterpartyReject:
+      return "counterparty-reject";
+    default:
+      return "unknown";
+  }
+}
+
+// --- ErrorLog ---------------------------------------------------------------
+
+ErrorLog::ErrorLog(std::size_t capacity) : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void ErrorLog::push(RelayError e) {
+  ++total_;
+  ++kind_totals_[static_cast<std::size_t>(e.kind)];
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+}
+
+void ErrorLog::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+std::uint64_t ErrorLog::total_of(RelayErrorKind kind) const {
+  return kind_totals_[static_cast<std::size_t>(kind)];
+}
+
+const RelayError& ErrorLog::at(std::size_t i) const {
+  // Oldest retained entry sits `size_` slots behind the write head.
+  const std::size_t idx = (head_ + ring_.size() - size_ + i) % ring_.size();
+  return ring_[idx];
+}
+
+std::vector<RelayError> ErrorLog::snapshot() const {
+  std::vector<RelayError> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+// --- retry policy -----------------------------------------------------------
+
+double backoff_delay(const PipelineConfig& cfg, int attempt, double u) {
+  const int exp = std::max(attempt - 1, 0);
+  double d = cfg.backoff_base_s * std::pow(2.0, static_cast<double>(exp));
+  d = std::min(d, cfg.backoff_max_s);
+  return d * (1.0 + cfg.backoff_jitter * (2.0 * u - 1.0));
+}
+
+host::FeePolicy escalate_fee(const host::FeePolicy& original, int attempt) {
+  using Kind = host::FeePolicy::Kind;
+  if (attempt <= 0) return original;
+
+  // Doubling cap keeps lamport arithmetic far from overflow.
+  const auto doubled = [](std::uint64_t base, int times) {
+    return base << static_cast<unsigned>(std::min(times, 12));
+  };
+
+  switch (original.kind) {
+    case Kind::kBase:
+      // base -> priority -> bundle, then double the tip.
+      if (attempt == 1) return host::FeePolicy::priority(200'000);
+      return host::FeePolicy::bundle(
+          doubled(host::usd_to_lamports(0.002), attempt - 2));
+    case Kind::kPriority: {
+      if (attempt == 1)
+        return host::FeePolicy::priority(
+            std::max<std::uint64_t>(original.cu_price_microlamports * 4, 200'000));
+      const std::uint64_t floor_tip = host::usd_to_lamports(0.002);
+      return host::FeePolicy::bundle(doubled(floor_tip, attempt - 2));
+    }
+    case Kind::kBundle:
+    default:
+      return host::FeePolicy::bundle(
+          doubled(std::max<std::uint64_t>(original.tip_lamports, 1), attempt));
+  }
+}
+
+// --- TxPipeline -------------------------------------------------------------
+
+TxPipeline::TxPipeline(sim::Simulation& sim, host::Chain& host, Rng rng,
+                       PipelineConfig cfg)
+    : sim_(sim), host_(host), rng_(rng), cfg_(cfg), errors_(cfg.error_log_capacity) {}
+
+void TxPipeline::submit_sequence(std::vector<host::Transaction> txs, SequenceDone done,
+                                 std::string label) {
+  auto s = std::make_shared<Seq>();
+  if (label.empty() && !txs.empty()) label = txs.back().label;
+  s->label = std::move(label);
+  s->txs = std::move(txs);
+  s->outcome.txs = static_cast<int>(s->txs.size());
+  s->done = std::move(done);
+  ++in_flight_;
+  if (s->txs.empty()) {
+    finish(s, true);
+    return;
+  }
+  submit_current(s);
+}
+
+void TxPipeline::submit_current(const std::shared_ptr<Seq>& s) {
+  host::Transaction tx = s->txs[s->next];  // copy: retries need the original
+  if (s->attempt > 0 && cfg_.escalate_fees) {
+    tx.fee = escalate_fee(tx.fee, s->attempt);
+    ++escalations_total_;
+  }
+  const std::uint64_t id = ++s->attempt_id;
+  if (cfg_.tx_deadline_s > 0) {
+    s->deadline = sim_.after_cancellable(cfg_.tx_deadline_s,
+                                         [this, s, id] { on_deadline(s, id); });
+  }
+  host_.submit(std::move(tx),
+               [this, s, id](const host::TxResult& res) { on_result(s, id, res); });
+}
+
+void TxPipeline::on_result(const std::shared_ptr<Seq>& s, std::uint64_t id,
+                           const host::TxResult& res) {
+  // Stale: a deadline or retry superseded this attempt, or the sequence
+  // was already dead-lettered.
+  if (s->finished || id != s->attempt_id) return;
+  sim_.cancel(s->deadline);
+  s->deadline = 0;
+
+  if (res.executed && res.success) {
+    if (!s->outcome.started_at) s->outcome.started_at = res.time;
+    s->outcome.finished_at = res.time;
+    s->outcome.cost_usd += res.fee.usd();
+    s->attempt = 0;
+    ++s->next;
+    if (s->next >= s->txs.size()) {
+      finish(s, true);
+      return;
+    }
+    // Same-event-turn submission: on the all-success path this is
+    // byte-identical to the naive sequential submitter.
+    submit_current(s);
+    return;
+  }
+
+  retry(s, res.executed ? RelayErrorKind::kExecFailed : RelayErrorKind::kDropped,
+        res.error);
+}
+
+void TxPipeline::on_deadline(const std::shared_ptr<Seq>& s, std::uint64_t id) {
+  if (s->finished || id != s->attempt_id) return;
+  ++timeouts_total_;
+  retry(s, RelayErrorKind::kTimeout, "no result within deadline");
+}
+
+void TxPipeline::retry(const std::shared_ptr<Seq>& s, RelayErrorKind kind,
+                       std::string detail) {
+  errors_.push(RelayError{kind, s->label + "#" + std::to_string(s->next),
+                          std::move(detail), sim_.now(), s->attempt});
+
+  ++s->attempt;
+  s->outcome.retries += 1;
+  ++retries_total_;
+
+  const int limit = kind == RelayErrorKind::kExecFailed ? cfg_.max_exec_failures
+                                                        : cfg_.max_attempts_per_tx;
+  if (s->attempt >= limit || s->outcome.retries > cfg_.max_retries_per_sequence) {
+    DeadLetter dl;
+    dl.label = s->label;
+    dl.failed_index = s->next;
+    dl.total_txs = s->txs.size();
+    dl.attempts = s->attempt;
+    dl.last_error = RelayError{kind, s->label + "#" + std::to_string(s->next),
+                               "retry budget exhausted", sim_.now(), s->attempt};
+    dead_letters_.push_back(std::move(dl));
+    errors_.push(RelayError{RelayErrorKind::kBudgetExhausted,
+                            s->label + "#" + std::to_string(s->next),
+                            "sequence dead-lettered", sim_.now(), s->attempt});
+    finish(s, false);
+    return;
+  }
+
+  // Bump the generation so a late result for the abandoned attempt
+  // cannot race the resubmission.
+  const std::uint64_t rid = ++s->attempt_id;
+  const double delay = backoff_delay(cfg_, s->attempt, rng_.uniform());
+  sim_.after(delay, [this, s, rid] {
+    if (s->finished || s->attempt_id != rid) return;
+    submit_current(s);
+  });
+}
+
+void TxPipeline::finish(const std::shared_ptr<Seq>& s, bool ok) {
+  s->finished = true;
+  s->outcome.ok = ok;
+  if (!ok || !s->outcome.started_at) s->outcome.finished_at = sim_.now();
+  if (ok)
+    ++sequences_ok_;
+  else
+    ++sequences_failed_;
+  --in_flight_;
+  if (s->done) s->done(s->outcome);
+}
+
+}  // namespace bmg::relayer

@@ -5,11 +5,28 @@
 namespace bmg::sim {
 
 void Simulation::at(SimTime t, std::function<void()> fn) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), 0});
 }
 
 void Simulation::after(SimTime delay, std::function<void()> fn) {
   at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+Simulation::TimerId Simulation::at_cancellable(SimTime t, std::function<void()> fn) {
+  const TimerId id = ++next_timer_id_;
+  pending_timers_.insert(id);
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), id});
+  return id;
+}
+
+Simulation::TimerId Simulation::after_cancellable(SimTime delay,
+                                                 std::function<void()> fn) {
+  return at_cancellable(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulation::cancel(TimerId id) {
+  if (id == 0) return false;
+  return pending_timers_.erase(id) > 0;
 }
 
 bool Simulation::step() {
@@ -19,6 +36,10 @@ bool Simulation::step() {
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.time;
+  if (ev.timer != 0 && pending_timers_.erase(ev.timer) == 0) {
+    // Cancelled timer: consume the queue slot without running it.
+    return true;
+  }
   ++processed_;
   ev.fn();
   return true;

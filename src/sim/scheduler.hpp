@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace bmg::sim {
@@ -18,6 +19,9 @@ using SimTime = double;
 
 class Simulation {
  public:
+  /// Handle for a cancellable timer; 0 is never a valid id.
+  using TimerId = std::uint64_t;
+
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -30,6 +34,22 @@ class Simulation {
   /// Schedules `fn` after `delay` seconds (clamped to >= 0).
   void after(SimTime delay, std::function<void()> fn);
 
+  /// Like at()/after(), but returns a handle that cancel() accepts.
+  /// Cancelled events stay in the queue and pop as no-ops (they do not
+  /// count as processed and never invoke `fn`).
+  TimerId at_cancellable(SimTime t, std::function<void()> fn);
+  TimerId after_cancellable(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending timer.  Returns true if the timer had not fired
+  /// (or been cancelled) yet; false for already-fired, already-
+  /// cancelled or unknown ids.  Safe to call with id 0 (no-op).
+  bool cancel(TimerId id);
+
+  /// Whether a cancellable timer is scheduled and not yet fired.
+  [[nodiscard]] bool timer_pending(TimerId id) const {
+    return id != 0 && pending_timers_.count(id) > 0;
+  }
+
   /// Runs the next event.  Returns false when the queue is empty.
   bool step();
 
@@ -40,6 +60,7 @@ class Simulation {
   void run();
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  /// Queue length, including cancelled-but-not-yet-popped timers.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
  private:
@@ -47,6 +68,7 @@ class Simulation {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
+    TimerId timer = 0;  ///< 0 for plain (non-cancellable) events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -56,8 +78,10 @@ class Simulation {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<TimerId> pending_timers_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_timer_id_ = 0;
   std::uint64_t processed_ = 0;
 };
 

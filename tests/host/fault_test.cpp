@@ -1,0 +1,232 @@
+#include "host/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "host/chain.hpp"
+#include "host/constants.hpp"
+
+namespace bmg::host {
+namespace {
+
+using crypto::PrivateKey;
+using crypto::PublicKey;
+
+// --- FaultPlan query semantics (pure, no chain) ------------------------------
+
+TEST(FaultPlan, EmptyPlanIsNeutral) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(1.0, "x"), 1.0);
+  EXPECT_FALSE(plan.in_outage(1.0));
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, "x"), 0.0);
+  EXPECT_DOUBLE_EQ(plan.duplicate_probability(1.0, "x"), 0.0);
+  EXPECT_DOUBLE_EQ(plan.fee_multiplier(1.0), 1.0);
+}
+
+TEST(FaultPlan, WindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.outage(2.0, 5.0);
+  EXPECT_FALSE(plan.in_outage(1.999));
+  EXPECT_TRUE(plan.in_outage(2.0));
+  EXPECT_TRUE(plan.in_outage(4.999));
+  EXPECT_FALSE(plan.in_outage(5.0));
+}
+
+TEST(FaultPlan, CongestionSeveritiesMultiply) {
+  FaultPlan plan;
+  plan.congestion(0.0, 10.0, 0.5).congestion(5.0, 20.0, 0.4);
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(1.0, ""), 0.5);
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(7.0, ""), 0.2);
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(15.0, ""), 0.4);
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(25.0, ""), 1.0);
+}
+
+TEST(FaultPlan, BlackholeProbabilitiesCombineIndependently) {
+  FaultPlan plan;
+  plan.blackhole(0.0, 10.0, 0.5).blackhole(0.0, 10.0, 0.5);
+  // 1 - (1 - 0.5)(1 - 0.5) = 0.75
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(3.0, ""), 0.75);
+}
+
+TEST(FaultPlan, LabelPrefixFilters) {
+  FaultPlan plan;
+  plan.blackhole(0.0, 10.0, 1.0, "relay");
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, "relay:update"), 1.0);
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, "relay"), 1.0);
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, "fisherman"), 0.0);
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, ""), 0.0);
+}
+
+// --- Chain behaviour under faults --------------------------------------------
+
+class CounterProgram : public Program {
+ public:
+  void execute(TxContext&, ByteView) override { ++count; }
+  int count = 0;
+};
+
+class FaultChainTest : public ::testing::Test {
+ protected:
+  void make_chain(FaultPlan plan) {
+    ChainConfig cfg;
+    cfg.fault = std::move(plan);
+    chain_ = std::make_unique<Chain>(sim_, Rng(1234), cfg);
+    chain_->register_program("test", std::make_unique<CounterProgram>());
+    chain_->airdrop(payer_, 100 * kLamportsPerSol);
+    chain_->start();
+  }
+
+  Transaction make_tx(std::string label, FeePolicy fee = FeePolicy::base()) {
+    Transaction tx;
+    tx.payer = payer_;
+    tx.label = std::move(label);
+    tx.instructions.push_back(Instruction{"test", Bytes{}});
+    tx.fee = fee;
+    return tx;
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<Chain> chain_;
+  PublicKey payer_ = PrivateKey::from_label("payer").public_key();
+};
+
+TEST_F(FaultChainTest, BlackholeSwallowsResultHandler) {
+  FaultPlan plan;
+  plan.blackhole(0.0, 10.0, 1.0);
+  make_chain(std::move(plan));
+  bool fired = false;
+  chain_->submit(make_tx("doomed"), [&](const TxResult&) { fired = true; });
+  sim_.run_until(300.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(chain_->fault_counters().blackholed, 1u);
+  EXPECT_EQ(chain_->executed_count(), 0u);
+}
+
+TEST_F(FaultChainTest, BlackholeRespectsLabelFilter) {
+  FaultPlan plan;
+  plan.blackhole(0.0, 10.0, 1.0, "relay");
+  make_chain(std::move(plan));
+  bool relay_fired = false, other_fired = false;
+  chain_->submit(make_tx("relay:update"), [&](const TxResult&) { relay_fired = true; });
+  chain_->submit(make_tx("fisherman"), [&](const TxResult& r) {
+    other_fired = true;
+    EXPECT_TRUE(r.executed);
+  });
+  sim_.run_until(300.0);
+  EXPECT_FALSE(relay_fired);
+  EXPECT_TRUE(other_fired);
+}
+
+TEST_F(FaultChainTest, OutageDefersInclusionUntilWindowEnds) {
+  FaultPlan plan;
+  plan.outage(0.0, 20.0);
+  make_chain(std::move(plan));
+  TxResult res;
+  bool fired = false;
+  chain_->submit(make_tx("patient", FeePolicy::bundle(10'000)), [&](const TxResult& r) {
+    res = r;
+    fired = true;
+  });
+  sim_.run_until(300.0);
+  ASSERT_TRUE(fired);
+  EXPECT_TRUE(res.executed);
+  EXPECT_GE(res.time, 20.0);  // nothing lands inside the outage
+  EXPECT_GT(chain_->fault_counters().outage_deferred, 0u);
+}
+
+TEST_F(FaultChainTest, OutageLongerThanExpiryDropsTx) {
+  FaultPlan plan;
+  // kTxExpirySlots * kSlotSeconds ~ 60s; a 90s outage outlives it.
+  plan.outage(0.0, 90.0);
+  make_chain(std::move(plan));
+  TxResult res;
+  bool fired = false;
+  chain_->submit(make_tx("expired", FeePolicy::bundle(10'000)), [&](const TxResult& r) {
+    res = r;
+    fired = true;
+  });
+  sim_.run_until(300.0);
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(res.executed);  // dropped, not executed
+  EXPECT_GT(chain_->fault_counters().outage_expired, 0u);
+}
+
+TEST_F(FaultChainTest, TotalCongestionDropsBaseFeeTx) {
+  FaultPlan plan;
+  plan.congestion(0.0, 300.0, 0.0);  // severity 0: inclusion impossible
+  make_chain(std::move(plan));
+  TxResult res;
+  bool fired = false;
+  chain_->submit(make_tx("squeezed"), [&](const TxResult& r) {
+    res = r;
+    fired = true;
+  });
+  sim_.run_until(300.0);
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(res.executed);
+  EXPECT_GT(chain_->fault_counters().congestion_delayed, 0u);
+}
+
+TEST_F(FaultChainTest, DuplicateWindowReplaysExecution) {
+  FaultPlan plan;
+  plan.duplicate(0.0, 30.0, 1.0);
+  make_chain(std::move(plan));
+  int results = 0;
+  chain_->submit(make_tx("replayed", FeePolicy::bundle(10'000)),
+                 [&](const TxResult&) { ++results; });
+  sim_.run_until(300.0);
+  EXPECT_EQ(results, 1);  // submitter hears exactly one result
+  EXPECT_EQ(chain_->fault_counters().duplicated, 1u);
+  // ...but the program ran twice (ghost replay).
+  EXPECT_EQ(chain_->program_as<CounterProgram>("test").count, 2);
+}
+
+TEST_F(FaultChainTest, FeeSpikeInflatesMarketComponents) {
+  FaultPlan plan;
+  plan.fee_spike(0.0, 300.0, 10.0);
+  make_chain(std::move(plan));
+  TxResult res;
+  bool fired = false;
+  chain_->submit(make_tx("gouged", FeePolicy::bundle(10'000)), [&](const TxResult& r) {
+    res = r;
+    fired = true;
+  });
+  sim_.run_until(300.0);
+  ASSERT_TRUE(fired);
+  ASSERT_TRUE(res.executed);
+  EXPECT_EQ(res.fee.tip_lamports, 100'000u);  // 10'000 * 10
+  EXPECT_EQ(chain_->fault_counters().fee_spiked, 1u);
+}
+
+TEST_F(FaultChainTest, SameSeedReproducesIdenticalTrace) {
+  const auto run_once = [] {
+    sim::Simulation sim;
+    ChainConfig cfg;
+    cfg.fault.congestion(0.0, 60.0, 0.3).blackhole(10.0, 30.0, 0.5).outage(40.0, 50.0);
+    Chain chain(sim, Rng(99), cfg);
+    chain.register_program("test", std::make_unique<CounterProgram>());
+    const PublicKey payer = PrivateKey::from_label("payer").public_key();
+    chain.airdrop(payer, 100 * kLamportsPerSol);
+    chain.start();
+    std::vector<double> times;
+    for (int i = 0; i < 20; ++i) {
+      sim.after(i * 3.0, [&, i] {
+        Transaction tx;
+        tx.payer = payer;
+        tx.label = "t" + std::to_string(i);
+        tx.instructions.push_back(Instruction{"test", Bytes{}});
+        chain.submit(std::move(tx), [&](const TxResult& r) { times.push_back(r.time); });
+      });
+    }
+    sim.run_until(400.0);
+    return std::make_pair(times, sim.events_processed());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace bmg::host

@@ -1,0 +1,281 @@
+#include "relayer/tx_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/chain.hpp"
+#include "host/constants.hpp"
+
+namespace bmg::relayer {
+namespace {
+
+using crypto::PrivateKey;
+using crypto::PublicKey;
+
+// --- backoff policy (pure) ---------------------------------------------------
+
+TEST(BackoffDelay, GrowsExponentiallyAndCaps) {
+  PipelineConfig cfg;
+  cfg.backoff_base_s = 1.0;
+  cfg.backoff_max_s = 8.0;
+  cfg.backoff_jitter = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 2, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 3, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 4, 0.5), 8.0);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 10, 0.5), 8.0);  // capped
+}
+
+TEST(BackoffDelay, JitterIsBoundedAndDeterministic) {
+  PipelineConfig cfg;
+  cfg.backoff_base_s = 2.0;
+  cfg.backoff_jitter = 0.2;
+  // u = 0 -> -20%, u = 1 -> +20%, same u -> same delay.
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 1, 0.0), 1.6);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 1, 1.0), 2.4);
+  EXPECT_DOUBLE_EQ(backoff_delay(cfg, 1, 0.37), backoff_delay(cfg, 1, 0.37));
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const double d = backoff_delay(cfg, 3, u);
+    EXPECT_GE(d, 8.0 * 0.8);
+    EXPECT_LE(d, 8.0 * 1.2);
+  }
+}
+
+TEST(BackoffDelay, SameSeedSameSchedule) {
+  PipelineConfig cfg;
+  Rng a(42), b(42);
+  for (int attempt = 1; attempt <= 6; ++attempt)
+    EXPECT_DOUBLE_EQ(backoff_delay(cfg, attempt, a.uniform()),
+                     backoff_delay(cfg, attempt, b.uniform()));
+}
+
+// --- fee escalation (pure) ---------------------------------------------------
+
+TEST(EscalateFee, ClimbsTheLadderFromBase) {
+  const auto original = host::FeePolicy::base();
+  EXPECT_EQ(escalate_fee(original, 0).kind, host::FeePolicy::Kind::kBase);
+  const auto a1 = escalate_fee(original, 1);
+  EXPECT_EQ(a1.kind, host::FeePolicy::Kind::kPriority);
+  const auto a2 = escalate_fee(original, 2);
+  EXPECT_EQ(a2.kind, host::FeePolicy::Kind::kBundle);
+  const auto a3 = escalate_fee(original, 3);
+  EXPECT_EQ(a3.kind, host::FeePolicy::Kind::kBundle);
+  EXPECT_EQ(a3.tip_lamports, 2 * a2.tip_lamports);  // doubling bids
+}
+
+TEST(EscalateFee, PriorityQuadruplesThenBundles) {
+  const auto original = host::FeePolicy::priority(100'000);
+  const auto a1 = escalate_fee(original, 1);
+  EXPECT_EQ(a1.kind, host::FeePolicy::Kind::kPriority);
+  EXPECT_GE(a1.cu_price_microlamports, 4 * original.cu_price_microlamports);
+  EXPECT_EQ(escalate_fee(original, 2).kind, host::FeePolicy::Kind::kBundle);
+}
+
+TEST(EscalateFee, BundleDoublingIsOverflowSafe) {
+  const auto original = host::FeePolicy::bundle(1'000);
+  std::uint64_t prev = 0;
+  for (int attempt = 1; attempt < 40; ++attempt) {
+    const auto f = escalate_fee(original, attempt);
+    EXPECT_EQ(f.kind, host::FeePolicy::Kind::kBundle);
+    EXPECT_GE(f.tip_lamports, prev);  // monotone, capped shift never wraps
+    prev = f.tip_lamports;
+  }
+}
+
+// --- ErrorLog ----------------------------------------------------------------
+
+TEST(ErrorLog, RingIsBoundedButTotalsKeepCounting) {
+  ErrorLog log(4);
+  for (int i = 0; i < 10; ++i)
+    log.push(RelayError{RelayErrorKind::kDropped, "tx#" + std::to_string(i), "", 0, 0});
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.total_of(RelayErrorKind::kDropped), 10u);
+  EXPECT_EQ(log.total_of(RelayErrorKind::kTimeout), 0u);
+  // Oldest retained entry is #6 (0..5 were overwritten).
+  EXPECT_EQ(log.at(0).label, "tx#6");
+  EXPECT_EQ(log.at(3).label, "tx#9");
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().label, "tx#6");
+  EXPECT_EQ(snap.back().label, "tx#9");
+}
+
+// --- TxPipeline against a faulty chain ---------------------------------------
+
+class FlakyProgram : public host::Program {
+ public:
+  void execute(host::TxContext&, ByteView data) override {
+    if (!data.empty() && data[0] == 1) throw host::TxError("deterministic failure");
+    ++count;
+  }
+  int count = 0;
+};
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void make_chain(host::FaultPlan plan) {
+    host::ChainConfig cfg;
+    cfg.fault = std::move(plan);
+    chain_ = std::make_unique<host::Chain>(sim_, Rng(77), cfg);
+    chain_->register_program("flaky", std::make_unique<FlakyProgram>());
+    chain_->airdrop(payer_, 100 * host::kLamportsPerSol);
+    chain_->start();
+  }
+
+  host::Transaction make_tx(std::string label, bool fail = false) {
+    host::Transaction tx;
+    tx.payer = payer_;
+    tx.label = std::move(label);
+    tx.instructions.push_back(
+        host::Instruction{"flaky", fail ? Bytes{1} : Bytes{}});
+    return tx;
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<host::Chain> chain_;
+  PublicKey payer_ = PrivateKey::from_label("payer").public_key();
+};
+
+TEST_F(PipelineTest, DroppedTxIsRetriedWithEscalatedFeeUntilSuccess) {
+  host::FaultPlan plan;
+  plan.congestion(0.0, 100.0, 0.0);  // nothing lands before t = 100
+  make_chain(std::move(plan));
+  TxPipeline pipe(sim_, *chain_, Rng(1));
+
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({make_tx("stubborn")}, [&](const SequenceOutcome& o) {
+    out = o;
+    done = true;
+  });
+  sim_.run_until(400.0);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(out.ok);
+  EXPECT_GE(out.retries, 1);  // the base-fee attempt expired at ~60 s
+  EXPECT_GE(pipe.retries_total(), 1u);
+  EXPECT_GE(pipe.escalations_total(), 1u);
+  EXPECT_GE(pipe.errors().total_of(RelayErrorKind::kDropped), 1u);
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  ASSERT_TRUE(out.started_at.has_value());
+  EXPECT_GE(*out.started_at, 100.0);
+}
+
+TEST_F(PipelineTest, BlackholeFiresDeadlineAndRetries) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 10.0, 1.0);
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  TxPipeline pipe(sim_, *chain_, Rng(2), cfg);
+
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({make_tx("ghosted")}, [&](const SequenceOutcome& o) {
+    out = o;
+    done = true;
+  });
+  sim_.run_until(200.0);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(out.ok);
+  EXPECT_GE(pipe.timeouts_total(), 1u);
+  EXPECT_GE(pipe.errors().total_of(RelayErrorKind::kTimeout), 1u);
+  EXPECT_GE(chain_->fault_counters().blackholed, 1u);
+}
+
+TEST_F(PipelineTest, BudgetExhaustionDeadLetters) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 10'000.0, 1.0);  // swallows everything, forever
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  cfg.max_attempts_per_tx = 3;
+  TxPipeline pipe(sim_, *chain_, Rng(3), cfg);
+
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({make_tx("doomed")},
+                       [&](const SequenceOutcome& o) {
+                         out = o;
+                         done = true;
+                       },
+                       "doomed-seq");
+  sim_.run_until(200.0);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(out.ok);
+  EXPECT_FALSE(out.started_at.has_value());  // nothing ever executed
+  ASSERT_EQ(pipe.dead_letters().size(), 1u);
+  EXPECT_EQ(pipe.dead_letters()[0].label, "doomed-seq");
+  EXPECT_EQ(pipe.dead_letters()[0].failed_index, 0u);
+  EXPECT_GE(pipe.errors().total_of(RelayErrorKind::kBudgetExhausted), 1u);
+  EXPECT_EQ(pipe.sequences_failed(), 1u);
+  EXPECT_EQ(pipe.in_flight(), 0u);
+}
+
+TEST_F(PipelineTest, DeterministicExecFailureStopsAfterFewAttempts) {
+  make_chain(host::FaultPlan{}.congestion(0.0, 0.1, 1.0));  // non-empty, neutral
+  TxPipeline pipe(sim_, *chain_, Rng(4));
+
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({make_tx("ok"), make_tx("bad", /*fail=*/true)},
+                       [&](const SequenceOutcome& o) {
+                         out = o;
+                         done = true;
+                       });
+  sim_.run_until(200.0);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(out.ok);
+  // Deterministic failures are capped well below the drop budget.
+  EXPECT_EQ(pipe.errors().total_of(RelayErrorKind::kExecFailed),
+            static_cast<std::uint64_t>(pipe.config().max_exec_failures));
+  ASSERT_EQ(pipe.dead_letters().size(), 1u);
+  EXPECT_EQ(pipe.dead_letters()[0].failed_index, 1u);  // tx #0 landed
+}
+
+TEST_F(PipelineTest, MidSequenceResumptionRetriesOnlyTheFailedTx) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 30.0, 1.0, "mid");  // only the middle tx vanishes
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  TxPipeline pipe(sim_, *chain_, Rng(5), cfg);
+
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({make_tx("head"), make_tx("mid"), make_tx("tail")},
+                       [&](const SequenceOutcome& o) {
+                         out = o;
+                         done = true;
+                       });
+  sim_.run_until(400.0);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(out.ok);
+  EXPECT_GE(out.retries, 1);
+  // Each of the three transactions executed exactly once: the retries
+  // resubmitted only the blackholed one, never the whole sequence.
+  EXPECT_EQ(chain_->program_as<FlakyProgram>("flaky").count, 3);
+  EXPECT_EQ(chain_->executed_count(), 3u);
+}
+
+TEST_F(PipelineTest, EmptySequenceCompletesImmediately) {
+  make_chain(host::FaultPlan{});
+  TxPipeline pipe(sim_, *chain_, Rng(6));
+  SequenceOutcome out;
+  bool done = false;
+  pipe.submit_sequence({}, [&](const SequenceOutcome& o) {
+    out = o;
+    done = true;
+  });
+  EXPECT_TRUE(done);  // synchronous: no txs, nothing to wait for
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.txs, 0);
+  EXPECT_FALSE(out.started_at.has_value());
+  EXPECT_EQ(pipe.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace bmg::relayer

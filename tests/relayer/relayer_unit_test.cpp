@@ -50,7 +50,8 @@ TEST_F(RelayerUnit, SubmitSequenceRunsInOrderAndAggregates) {
   ASSERT_TRUE(d_.run_until([&] { return done; }, 120.0));
   EXPECT_TRUE(outcome.ok);
   EXPECT_EQ(outcome.txs, 5);
-  EXPECT_GT(outcome.finished_at, outcome.started_at);
+  ASSERT_TRUE(outcome.started_at.has_value());
+  EXPECT_GT(outcome.finished_at, *outcome.started_at);
   // 5 base-fee transactions at 0.1 cents each.
   EXPECT_NEAR(outcome.cost_usd, 0.005, 1e-9);
 }

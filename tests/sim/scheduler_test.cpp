@@ -90,6 +90,68 @@ TEST(Simulation, SelfReschedulingChain) {
   EXPECT_NEAR(s.now(), 40.0, 1e-9);
 }
 
+TEST(Simulation, CancellableTimerFiresWhenNotCancelled) {
+  Simulation s;
+  double fired_at = -1;
+  const Simulation::TimerId id = s.after_cancellable(2.5, [&] { fired_at = s.now(); });
+  EXPECT_NE(id, 0u);
+  EXPECT_TRUE(s.timer_pending(id));
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+  EXPECT_FALSE(s.timer_pending(id));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation s;
+  bool fired = false;
+  const Simulation::TimerId id = s.after_cancellable(2.0, [&] { fired = true; });
+  s.at(1.0, [&] { EXPECT_TRUE(s.cancel(id)); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(s.timer_pending(id));
+  // The cancelled slot drains from the queue but is not "processed":
+  // only the at(1.0) event counts.
+  EXPECT_EQ(s.events_processed(), 1u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);  // time still advances past the slot
+}
+
+TEST(Simulation, CancelAfterFireReturnsFalse) {
+  Simulation s;
+  const Simulation::TimerId id = s.after_cancellable(1.0, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulation, CancelIsIdempotentAndZeroIsNoop) {
+  Simulation s;
+  const Simulation::TimerId id = s.at_cancellable(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel: already gone
+  EXPECT_FALSE(s.cancel(0));   // the null timer id
+  s.run();
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(Simulation, CancelledAndLiveTimersInterleave) {
+  Simulation s;
+  std::vector<int> order;
+  const Simulation::TimerId a = s.at_cancellable(1.0, [&] { order.push_back(1); });
+  s.at_cancellable(2.0, [&] { order.push_back(2); });
+  const Simulation::TimerId c = s.at_cancellable(3.0, [&] { order.push_back(3); });
+  s.cancel(a);
+  s.cancel(c);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(Simulation, TimerIdsAreUnique) {
+  Simulation s;
+  const Simulation::TimerId a = s.after_cancellable(1.0, [] {});
+  const Simulation::TimerId b = s.after_cancellable(1.0, [] {});
+  EXPECT_NE(a, b);
+  s.run();
+}
+
 TEST(LatencyProfile, QuantileFitRecoversMedianAndQ3) {
   const LatencyProfile p = LatencyProfile::from_quantiles(4.0, 6.0, 1.0);
   Rng rng(77);
