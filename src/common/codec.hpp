@@ -24,6 +24,17 @@ class CodecError : public std::runtime_error {
 class Encoder {
  public:
   Encoder() = default;
+  /// Pre-sizes the buffer for `size_hint` bytes of output.  The hot
+  /// fixed-shape encoders (trie nodes, headers, packet commitments)
+  /// know their exact size arithmetically; passing it here turns the
+  /// repeated push_back reallocation into a single allocation.
+  explicit Encoder(std::size_t size_hint) { buf_.reserve(size_hint); }
+
+  /// Ensures `n` more bytes can be appended without reallocation.
+  Encoder& reserve(std::size_t n) {
+    buf_.reserve(buf_.size() + n);
+    return *this;
+  }
 
   Encoder& u8(std::uint8_t v);
   Encoder& u16(std::uint16_t v);

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/parallel.hpp"
 #include "crypto/sha512.hpp"
 
 namespace bmg::crypto::ed25519 {
@@ -852,9 +853,19 @@ bool verify(const PublicKeyBytes& pub, ByteView msg, const SignatureBytes& sig) 
   return check_equation(d, sig.data());
 }
 
-std::vector<bool> verify_batch(std::span<const VerifyItem> items) {
-  std::vector<bool> ok(items.size(), false);
-  if (items.empty()) return ok;
+namespace {
+
+/// The random-linear-combination batch check over one contiguous run
+/// of items, writing 0/1 verdicts into `ok[0..items.size())`.  This is
+/// the whole pre-executor verify_batch body; the public entry point
+/// shards large batches into independent runs of this.  A run's
+/// verdicts equal per-item `verify` results whether the combined
+/// equation passes (all candidates valid) or fails (per-item
+/// fallback), so the bitmap does not depend on where run boundaries
+/// fall.
+void verify_batch_range(std::span<const VerifyItem> items, std::uint8_t* ok) {
+  for (std::size_t i = 0; i < items.size(); ++i) ok[i] = 0;
+  if (items.empty()) return;
 
   // Pre-checks: canonical S, canonical point encodings, k derivation.
   // Items failing here are definitively invalid and excluded from the
@@ -870,10 +881,10 @@ std::vector<bool> verify_batch(std::span<const VerifyItem> items) {
     if (decode_for_verify(items[i].pub, items[i].msg, items[i].sig, d))
       cand.push_back({i, d});
   }
-  if (cand.empty()) return ok;
+  if (cand.empty()) return;
   if (cand.size() == 1) {
-    ok[cand[0].idx] = check_equation(cand[0].d, items[cand[0].idx].sig.data());
-    return ok;
+    ok[cand[0].idx] = check_equation(cand[0].d, items[cand[0].idx].sig.data()) ? 1 : 0;
+    return;
   }
 
   // Fiat–Shamir coefficients: z_i = 128 bits of SHA512(transcript, i).
@@ -926,14 +937,41 @@ std::vector<bool> verify_batch(std::span<const VerifyItem> items) {
   std::uint8_t b_bytes[32];
   sc_to_bytes(b_bytes, b_comb);
   if (ge_is_identity(ge_multi_scalarmult(b_bytes, entries))) {
-    for (const Candidate& c : cand) ok[c.idx] = true;
-    return ok;
+    for (const Candidate& c : cand) ok[c.idx] = 1;
+    return;
   }
 
   // At least one signature is bad: fall back to per-item verification
   // so the caller learns which.
   for (const Candidate& c : cand)
-    ok[c.idx] = check_equation(c.d, items[c.idx].sig.data());
+    ok[c.idx] = check_equation(c.d, items[c.idx].sig.data()) ? 1 : 0;
+}
+
+/// Below this, one combined equation on one core beats the fork-join
+/// dispatch plus the per-shard doubling chains.
+constexpr std::size_t kParallelVerifyMin = 16;
+
+}  // namespace
+
+std::vector<bool> verify_batch(std::span<const VerifyItem> items) {
+  const std::size_t n = items.size();
+  // Shards write disjoint byte ranges of `flags` (vector<bool> is
+  // bit-packed and would race); the final conversion is index-ordered.
+  std::vector<std::uint8_t> flags(n, 0);
+  if (n < kParallelVerifyMin) {
+    verify_batch_range(items, flags.data());
+  } else {
+    // Static contiguous shards, each running the full RLC batch check
+    // with its per-shard fallback preserved.  With one thread the
+    // executor runs a single shard inline — the exact serial path.
+    parallel::parallel_for(n, kParallelVerifyMin,
+                           [&](std::size_t begin, std::size_t end, std::size_t) {
+                             verify_batch_range(items.subspan(begin, end - begin),
+                                                flags.data() + begin);
+                           });
+  }
+  std::vector<bool> ok(n);
+  for (std::size_t i = 0; i < n; ++i) ok[i] = flags[i] != 0;
   return ok;
 }
 

@@ -7,7 +7,7 @@ namespace bmg::guest {
 std::uint64_t GuestBlock::signed_stake() const {
   std::uint64_t sum = 0;
   for (const auto& [key, sig] : signers) {
-    if (const auto stake = signing_set.stake_of(key)) sum += *stake;
+    if (const auto stake = signing_set->stake_of(key)) sum += *stake;
   }
   return sum;
 }
@@ -23,20 +23,28 @@ ibc::SignedQuorumHeader GuestBlock::to_signed_header() const {
 GuestBlock GuestBlock::make(const std::string& chain_id, ibc::Height height,
                             double timestamp, const Hash32& state_root,
                             const Hash32& prev_hash, std::uint64_t host_height,
-                            const ibc::ValidatorSet& signing_set) {
+                            std::shared_ptr<const ibc::ValidatorSet> signing_set) {
   GuestBlock b;
   b.header.chain_id = chain_id;
   b.header.height = height;
   b.header.timestamp = timestamp;
   b.header.state_root = state_root;
-  b.header.validator_set_hash = signing_set.hash();
-  Encoder extra;
+  b.header.validator_set_hash = signing_set->hash();
+  Encoder extra(32 + 8);
   extra.hash(prev_hash).u64(host_height);
   b.header.extra = extra.take();
   b.prev_hash = prev_hash;
   b.host_height = host_height;
-  b.signing_set = signing_set;
+  b.signing_set = std::move(signing_set);
   return b;
+}
+
+GuestBlock GuestBlock::make(const std::string& chain_id, ibc::Height height,
+                            double timestamp, const Hash32& state_root,
+                            const Hash32& prev_hash, std::uint64_t host_height,
+                            const ibc::ValidatorSet& signing_set) {
+  return make(chain_id, height, timestamp, state_root, prev_hash, host_height,
+              std::make_shared<const ibc::ValidatorSet>(signing_set));
 }
 
 std::size_t GuestBlock::byte_size() const {

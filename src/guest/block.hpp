@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,7 +26,9 @@ struct GuestBlock {
   std::optional<ibc::ValidatorSet> next_validators;
 
   /// The set whose quorum finalises this block (the epoch's set).
-  ibc::ValidatorSet signing_set;
+  /// Shared with the contract's epoch state — blocks of one epoch all
+  /// point at the same immutable set instead of each holding a copy.
+  std::shared_ptr<const ibc::ValidatorSet> signing_set;
 
   /// Collected validator signatures (Sign procedure of Alg. 1).
   std::map<crypto::PublicKey, crypto::Signature> signers;
@@ -42,7 +45,17 @@ struct GuestBlock {
   /// Light-client update payload for this (finalised) block.
   [[nodiscard]] ibc::SignedQuorumHeader to_signed_header() const;
 
-  /// Builds a block; packs prev/host_height into header.extra.
+  /// Builds a block; packs prev/host_height into header.extra.  The
+  /// shared_ptr overload is the hot path — the contract hands every
+  /// block the epoch set without copying it.
+  [[nodiscard]] static GuestBlock make(const std::string& chain_id, ibc::Height height,
+                                       double timestamp, const Hash32& state_root,
+                                       const Hash32& prev_hash,
+                                       std::uint64_t host_height,
+                                       std::shared_ptr<const ibc::ValidatorSet> signing_set);
+
+  /// Convenience overload for callers holding a plain set (tests,
+  /// examples); copies it once into a shared_ptr.
   [[nodiscard]] static GuestBlock make(const std::string& chain_id, ibc::Height height,
                                        double timestamp, const Hash32& state_root,
                                        const Hash32& prev_hash,

@@ -28,12 +28,12 @@ GuestContract::GuestContract(GuestConfig cfg,
                                                          std::move(counterparty_validators));
   counterparty_client_ = client.get();
   counterparty_client_id_ = module_.add_client(std::move(client));
-  module_.set_self_identity(cfg_.chain_id, [this] { return epoch_.hash(); });
+  module_.set_self_identity(cfg_.chain_id, [this] { return epoch_->hash(); });
 
   // Genesis validators are pre-staked candidates.
   for (const auto& v : genesis_validators) candidates_[v.key] = Candidate{v.stake};
-  epoch_ = select_validators();
-  if (epoch_.empty())
+  epoch_ = std::make_shared<const ibc::ValidatorSet>(select_validators());
+  if (epoch_->empty())
     throw std::invalid_argument("guest contract: empty genesis validator set");
 
   // Genesis block: height 0, finalised by construction.
@@ -126,8 +126,8 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
                                       ctx.time(), store_.root_hash(), head_block.hash(),
                                       ctx.slot(), epoch_);
   if (epoch_due) {
-    const ibc::ValidatorSet next = select_validators();
-    if (!next.empty()) block.next_validators = next;
+    ibc::ValidatorSet next = select_validators();
+    if (!next.empty()) block.next_validators = std::move(next);
   }
   block.packets = std::move(pending_packets_);
   pending_packets_.clear();
@@ -158,7 +158,7 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
 void GuestContract::finalise_block(host::TxContext& ctx, GuestBlock& block) {
   block.finalised = true;
   if (block.next_validators) {
-    epoch_ = *block.next_validators;
+    epoch_ = std::make_shared<const ibc::ValidatorSet>(*block.next_validators);
     epoch_start_host_slot_ = block.host_height;
   }
 
@@ -172,7 +172,7 @@ void GuestContract::finalise_block(host::TxContext& ctx, GuestBlock& block) {
     const std::uint64_t signed_stake = block.signed_stake();
     if (pool > 0 && signed_stake > 0) {
       for (const auto& [key, sig] : block.signers) {
-        const auto stake = block.signing_set.stake_of(key);
+        const auto stake = block.signing_set->stake_of(key);
         if (!stake) continue;
         const std::uint64_t share = pool * *stake / signed_stake;
         if (share > 0) {
@@ -200,7 +200,7 @@ void GuestContract::op_sign(host::TxContext& ctx, Decoder& d) {
   if (height < pruned_below_) throw host::TxError("sign: block record pruned");
   GuestBlock& block = blocks_[height];
 
-  if (!block.signing_set.contains(pubkey))
+  if (!block.signing_set->contains(pubkey))
     throw host::TxError("sign: not an active validator");
   if (banned_.count(pubkey) > 0) throw host::TxError("sign: validator banned");
   if (block.signers.count(pubkey) > 0) throw host::TxError("sign: already signed");
@@ -219,7 +219,7 @@ void GuestContract::op_sign(host::TxContext& ctx, Decoder& d) {
   if (found == nullptr) throw host::TxError("sign: no verified signature for block");
 
   block.signers.emplace(pubkey, *found);
-  if (!block.finalised && block.signed_stake() >= block.signing_set.quorum_stake())
+  if (!block.finalised && block.signed_stake() >= block.signing_set->quorum_stake())
     finalise_block(ctx, block);
 }
 

@@ -85,7 +85,7 @@ class GuestContract final : public host::Program {
   [[nodiscard]] const trie::SealableTrie& store() const noexcept { return store_; }
 
   [[nodiscard]] const ibc::ValidatorSet& epoch_validators() const noexcept {
-    return epoch_;
+    return *epoch_;
   }
   [[nodiscard]] const ibc::ClientId& counterparty_client_id() const noexcept {
     return counterparty_client_id_;
@@ -181,7 +181,10 @@ class GuestContract final : public host::Program {
   std::map<ibc::Height, trie::SealableTrie> snapshots_;
   std::vector<ibc::Packet> pending_packets_;
 
-  ibc::ValidatorSet epoch_;
+  /// The active epoch's validator set, shared (not copied) into every
+  /// block it finalises.  Immutable once published; epoch rotation
+  /// swaps in a fresh shared_ptr.
+  std::shared_ptr<const ibc::ValidatorSet> epoch_;
   std::uint64_t epoch_start_host_slot_ = 0;
 
   std::map<crypto::PublicKey, Candidate> candidates_;

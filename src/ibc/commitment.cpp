@@ -8,7 +8,7 @@ namespace bmg::ibc {
 namespace {
 Bytes make_key(ByteView domain, KeyKind kind, std::uint64_t sequence) {
   const Hash32 tag = crypto::Sha256::digest(domain);
-  Encoder e;
+  Encoder e(8 + 1 + 8);
   e.raw(ByteView{tag.bytes.data(), 8});
   e.u8(static_cast<std::uint8_t>(kind));
   e.u64(sequence);

@@ -6,7 +6,9 @@
 namespace bmg::ibc {
 
 Bytes Packet::encode() const {
-  Encoder e;
+  Encoder e(8 + (4 + source_port.size()) + (4 + source_channel.size()) +
+            (4 + dest_port.size()) + (4 + dest_channel.size()) + (4 + data.size()) +
+            8 + 8);
   e.u64(sequence)
       .str(source_port)
       .str(source_channel)
@@ -35,7 +37,7 @@ Packet Packet::decode(ByteView wire) {
 
 Hash32 Packet::commitment() const {
   const Hash32 data_hash = crypto::Sha256::digest(data);
-  Encoder e;
+  Encoder e(8 + 8 + 32);
   e.u64(timeout_height)
       .u64(static_cast<std::uint64_t>(timeout_timestamp * 1e6 + 0.5))
       .hash(data_hash);

@@ -54,7 +54,7 @@ bool ValidatorSet::contains(const crypto::PublicKey& key) const {
 }
 
 Bytes ValidatorSet::encode() const {
-  Encoder e;
+  Encoder e(byte_size());
   e.u32(static_cast<std::uint32_t>(validators_.size()));
   for (const auto& v : validators_) {
     e.raw(v.key.view());
@@ -94,7 +94,7 @@ std::size_t ValidatorSet::byte_size() const noexcept {
 }
 
 Bytes QuorumHeader::encode() const {
-  Encoder e;
+  Encoder e(byte_size());
   e.str(chain_id)
       .u64(height)
       .u64(static_cast<std::uint64_t>(timestamp * 1e6 + 0.5))
@@ -125,7 +125,7 @@ std::size_t QuorumHeader::byte_size() const noexcept {
 }
 
 Bytes SignedQuorumHeader::encode() const {
-  Encoder e;
+  Encoder e(byte_size());
   e.bytes(header.encode());
   e.u32(static_cast<std::uint32_t>(signatures.size()));
   for (const auto& [key, sig] : signatures) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/parallel.hpp"
 #include "crypto/sha256.hpp"
 
 namespace bmg::trie {
@@ -345,6 +346,13 @@ void SealableTrie::commit() {
   std::stable_sort(dirty.begin(), dirty.end(),
                    [](const Item& a, const Item& b) { return a.depth > b.depth; });
 
+  // Nodes within one level are independent — siblings or cousins — so
+  // a level can be hashed as one multi-lane SHA-256 batch, and a wide
+  // level can further shard preimage building + hashing across the
+  // fork-join workers.  Shards write disjoint Ref objects, and every
+  // node's hash depends only on its own (already final) children, so
+  // the committed hashes are byte-identical for any thread count.
+  constexpr std::size_t kParallelLevelMin = 64;
   Bytes scratch;
   std::vector<std::pair<std::size_t, std::size_t>> spans;
   std::vector<ByteView> views;
@@ -360,6 +368,30 @@ void SealableTrie::commit() {
       Ref& r = *dirty[lo].ref;
       r.hash = node_hash(r.node);
       r.dirty = false;
+    } else if (n >= kParallelLevelMin && parallel::thread_count() > 1 &&
+               !parallel::in_parallel_region()) {
+      parallel::parallel_for(
+          n, kParallelLevelMin,
+          [&](std::size_t begin, std::size_t end, std::size_t) {
+            // Per-shard scratch; the nested sha256_batch serializes.
+            Bytes pre;
+            std::vector<std::pair<std::size_t, std::size_t>> offs;
+            offs.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::size_t off = pre.size();
+              append_node_preimage(pre, dirty[lo + i].ref->node);
+              offs.emplace_back(off, pre.size() - off);
+            }
+            std::vector<ByteView> v(end - begin);
+            std::vector<Hash32> h(end - begin);
+            for (std::size_t i = 0; i < v.size(); ++i)
+              v[i] = ByteView{pre.data() + offs[i].first, offs[i].second};
+            crypto::sha256_batch(v.data(), v.size(), h.data());
+            for (std::size_t i = 0; i < v.size(); ++i) {
+              dirty[lo + begin + i].ref->hash = h[i];
+              dirty[lo + begin + i].ref->dirty = false;
+            }
+          });
     } else {
       scratch.clear();
       spans.clear();

@@ -186,7 +186,7 @@ TEST_P(SoakTest, InvariantsHoldUnderRandomTraffic) {
   for (ibc::Height h = 1; h < d.guest().block_count(); ++h) {
     const auto& blk = d.guest().block_at(h);
     if (!blk.finalised) continue;
-    EXPECT_GE(blk.signed_stake(), blk.signing_set.quorum_stake()) << h;
+    EXPECT_GE(blk.signed_stake(), blk.signing_set->quorum_stake()) << h;
     const Hash32 digest = blk.hash();
     for (const auto& [key, sig] : blk.signers)
       EXPECT_TRUE(crypto::verify(key, digest.view(), sig)) << h;

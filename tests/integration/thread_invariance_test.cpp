@@ -1,0 +1,178 @@
+// PR 4 determinism contract: every public result — trie root hashes,
+// quorum verify bitmaps, end-to-end simulation transcripts — must be
+// byte-identical for any BMG_THREADS value.  Each test computes its
+// artifact at thread counts 1, 2 and 8 and compares.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "ibc/quorum.hpp"
+#include "relayer/deployment.hpp"
+#include "trie/trie.hpp"
+
+namespace bmg {
+namespace {
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+class ThreadInvarianceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { parallel::set_thread_count(0); }
+};
+
+Bytes key_of(const std::string& s) {
+  const Hash32 h = crypto::Sha256::digest(bytes_of(s));
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+
+TEST_F(ThreadInvarianceTest, TrieRootsIdenticalAcrossThreadCounts) {
+  // Large enough that commit levels cross the parallel threshold.
+  std::vector<Hash32> roots;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    trie::SealableTrie t;
+    for (int i = 0; i < 3000; ++i)
+      t.set(key_of("k" + std::to_string(i)),
+            crypto::Sha256::digest(bytes_of("v" + std::to_string(i))));
+    t.commit();
+    const Hash32 r1 = t.root_hash();
+    // A second wave of overwrites exercises the dirty-sibling path.
+    for (int i = 0; i < 3000; i += 3)
+      t.set(key_of("k" + std::to_string(i)),
+            crypto::Sha256::digest(bytes_of("w" + std::to_string(i))));
+    t.commit();
+    const Hash32 r2 = t.root_hash();
+    EXPECT_NE(r1, r2);
+    if (roots.empty()) {
+      roots = {r1, r2};
+    } else {
+      EXPECT_EQ(roots[0], r1) << "threads=" << threads;
+      EXPECT_EQ(roots[1], r2) << "threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ThreadInvarianceTest, Sha256BatchIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kN = 1000;
+  std::vector<Bytes> msgs(kN);
+  std::vector<ByteView> views(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    msgs[i] = bytes_of("msg-" + std::to_string(i));
+    views[i] = msgs[i];
+  }
+  std::vector<std::vector<Hash32>> all;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    std::vector<Hash32> out(kN);
+    crypto::sha256_batch(views.data(), kN, out.data());
+    all.push_back(std::move(out));
+  }
+  EXPECT_EQ(all[0], all[1]);
+  EXPECT_EQ(all[0], all[2]);
+}
+
+TEST_F(ThreadInvarianceTest, VerifyBitmapIdenticalAcrossThreadCounts) {
+  // A batch with scattered corruptions: the bitmap must be the ground
+  // truth regardless of how shards split the batch (each shard falls
+  // back from the combined RLC equation to per-item checks on its own).
+  constexpr int kN = 200;
+  std::vector<crypto::PrivateKey> keys;
+  std::vector<Hash32> digests;
+  std::vector<crypto::Signature> sigs;
+  for (int i = 0; i < kN; ++i) {
+    keys.push_back(crypto::PrivateKey::from_label("inv-" + std::to_string(i)));
+    digests.push_back(crypto::Sha256::digest(bytes_of("m" + std::to_string(i))));
+    sigs.push_back(keys.back().sign(digests.back().view()));
+  }
+  // Corrupt every 17th signature.
+  for (int i = 0; i < kN; i += 17) {
+    auto raw = sigs[i].raw();
+    raw[5] ^= 0x40;
+    sigs[i] = crypto::Signature(raw);
+  }
+  std::vector<std::vector<bool>> bitmaps;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    std::vector<crypto::ed25519::VerifyItem> items;
+    for (int i = 0; i < kN; ++i)
+      items.push_back({keys[i].public_key().raw(), digests[i].view(), sigs[i].raw()});
+    bitmaps.push_back(crypto::ed25519::verify_batch(items));
+  }
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(bitmaps[0][i], i % 17 != 0) << i;  // ground truth at threads=1
+  }
+  EXPECT_EQ(bitmaps[0], bitmaps[1]);
+  EXPECT_EQ(bitmaps[0], bitmaps[2]);
+}
+
+TEST_F(ThreadInvarianceTest, QuorumVerifyIdenticalAcrossThreadCounts) {
+  ibc::ValidatorSet set;
+  std::vector<crypto::PrivateKey> keys;
+  for (int i = 0; i < 96; ++i) {
+    keys.push_back(crypto::PrivateKey::from_label("qinv-" + std::to_string(i)));
+    set.add(keys.back().public_key(), 10 + static_cast<std::uint64_t>(i));
+  }
+  ibc::QuorumHeader hd;
+  hd.chain_id = "inv-chain";
+  hd.height = 7;
+  hd.timestamp = 70.0;
+  hd.validator_set_hash = set.hash();
+  ibc::SignedQuorumHeader sh;
+  sh.header = hd;
+  const Hash32 digest = hd.signing_digest();
+  for (const auto& k : keys) sh.signatures.emplace_back(k.public_key(), k.sign(digest.view()));
+
+  std::vector<std::uint64_t> powers;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    powers.push_back(ibc::QuorumLightClient::verify_signatures(sh, set));
+  }
+  EXPECT_EQ(powers[0], powers[1]);
+  EXPECT_EQ(powers[0], powers[2]);
+}
+
+relayer::DeploymentConfig sim_config() {
+  relayer::DeploymentConfig cfg;
+  cfg.seed = 1234;
+  cfg.guest.delta_seconds = 60.0;
+  for (int i = 0; i < 4; ++i) {
+    relayer::ValidatorProfile p;
+    p.name = "inv-val-" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(2.0, 3.0, 0.4);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 12;
+  cfg.counterparty.block_interval_s = 6.0;
+  return cfg;
+}
+
+TEST_F(ThreadInvarianceTest, EndToEndSimTranscriptIdentical) {
+  // One full-stack sim per thread count; the transcript (every block
+  // hash plus the final committed state root) must match exactly.
+  std::vector<std::string> transcripts;
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::set_thread_count(threads);
+    relayer::Deployment d(sim_config());
+    d.open_ibc();
+    for (int i = 0; i < 3; ++i)
+      (void)d.send_transfer_from_guest(50, host::FeePolicy::priority(1'000'000));
+    d.run_for(400.0);
+    std::string tr;
+    for (std::size_t h = 0; h < d.guest().block_count(); ++h)
+      tr += d.guest().block_at(h).hash().hex() + "\n";
+    tr += "root:" + d.guest().store().root_hash().hex() + "\n";
+    transcripts.push_back(std::move(tr));
+  }
+  EXPECT_EQ(transcripts[0], transcripts[1]);
+  EXPECT_EQ(transcripts[0], transcripts[2]);
+}
+
+}  // namespace
+}  // namespace bmg
