@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -35,18 +36,30 @@ struct Scenario {
 
 struct Row {
   std::string csv;
+  std::string audit;  ///< empty when every invariant held
 };
 
 Row run_scenario(const Scenario& sc, double days) {
   relayer::DeploymentConfig cfg = bench::paper_config(sc.seed);
   cfg.guest.delta_seconds = sc.delta_seconds;
   relayer::Deployment d(cfg);
+  // The auditor re-checks conservation / sequence / commit-root /
+  // client-height invariants after every block.  It runs inline inside
+  // existing event handlers, so the CSV (including the state root) is
+  // byte-identical with or without it; violations go to stderr and
+  // flip the exit code.
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
   d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
 
   const double until = d.sim().now() + days * 86400.0;
   bench::GuestSendWorkload guest_load(d, 120.0, until);
   bench::CpSendWorkload cp_load(d, 300.0, until);
   d.run_for(days * 86400.0 + 2.0 * cfg.guest.delta_seconds);
+  auditor.check_now("final");
 
   Series latency;
   int finalised = 0;
@@ -62,7 +75,11 @@ Row run_scenario(const Scenario& sc, double days) {
                 d.guest().block_count(), guest_load.records().size(), finalised,
                 cp_load.sent(), latency.count() > 0 ? latency.mean() : 0.0,
                 d.guest().store().root_hash().hex().c_str());
-  return Row{buf};
+  Row row{buf, {}};
+  if (!auditor.clean()) {
+    row.audit = "seed " + std::to_string(sc.seed) + ": " + auditor.report();
+  }
+  return row;
 }
 
 }  // namespace
@@ -104,5 +121,14 @@ int main(int argc, char** argv) {
   const double wall =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
   std::fprintf(stderr, "scenario_runner: wall=%.3fs\n", wall);
-  return 0;
+
+  // Invariant violations are not part of the CSV artifact: report on
+  // stderr and fail the run.
+  bool clean = true;
+  for (const Row& r : rows) {
+    if (r.audit.empty()) continue;
+    clean = false;
+    std::fprintf(stderr, "scenario_runner: AUDIT %s\n", r.audit.c_str());
+  }
+  return clean ? 0 : 1;
 }

@@ -715,6 +715,46 @@ std::optional<ibc::Acknowledgement> GuestContract::ack_log(
   return ibc::Acknowledgement::decode(it->second);
 }
 
+ibc::Height GuestContract::last_finalised_height() const {
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it)
+    if (it->finalised) return it->header.height;
+  return 0;
+}
+
+std::optional<GuestContract::PendingUpdateInfo> GuestContract::pending_update_info()
+    const {
+  if (!pending_update_) return std::nullopt;
+  PendingUpdateInfo info;
+  info.height = pending_update_->header.height;
+  info.verified_power = pending_update_->verified_power;
+  info.seen.assign(pending_update_->seen.begin(), pending_update_->seen.end());
+  return info;
+}
+
+std::vector<std::uint64_t> GuestContract::staging_buffers_of(
+    const crypto::PublicKey& payer) const {
+  std::vector<std::uint64_t> out;
+  const std::string hex = payer.hex();
+  for (auto it = buffers_.lower_bound({hex, 0}); it != buffers_.end(); ++it) {
+    if (it->first.first != hex) break;
+    out.push_back(it->first.second);
+  }
+  return out;
+}
+
+std::optional<std::size_t> GuestContract::staging_buffer_size(
+    const crypto::PublicKey& payer, std::uint64_t buffer_id) const {
+  const auto it = buffers_.find({payer.hex(), buffer_id});
+  if (it == buffers_.end()) return std::nullopt;
+  return it->second.size();
+}
+
+std::optional<Hash32> GuestContract::snapshot_root_at(ibc::Height h) const {
+  const auto it = snapshots_.find(h);
+  if (it == snapshots_.end()) return std::nullopt;
+  return it->second.root_hash();
+}
+
 std::uint64_t GuestContract::stake_of(const crypto::PublicKey& validator) const {
   const auto it = candidates_.find(validator);
   return it == candidates_.end() ? 0 : it->second.stake;

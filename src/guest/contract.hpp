@@ -106,6 +106,39 @@ class GuestContract final : public host::Program {
   /// §VI-A: true once the contract has self-destructed.
   [[nodiscard]] bool terminated() const noexcept { return terminated_; }
 
+  // --- crash-restart resync surface -----------------------------------
+  // Everything a relayer needs to rebuild its in-memory state after a
+  // process crash is an account read away; these expose the contract
+  // accounts a restarted process scans.
+
+  /// Height of the newest *finalised* guest block (0 = genesis only).
+  [[nodiscard]] ibc::Height last_finalised_height() const;
+
+  /// The in-progress chunked light-client update, if any: which
+  /// counterparty height it targets and which validator signatures
+  /// have already been verified on-chain.  A restarted relayer resumes
+  /// from here instead of re-uploading the whole update.
+  struct PendingUpdateInfo {
+    ibc::Height height = 0;
+    std::uint64_t verified_power = 0;
+    std::vector<crypto::PublicKey> seen;
+  };
+  [[nodiscard]] std::optional<PendingUpdateInfo> pending_update_info() const;
+
+  /// Ids of staging buffers `payer` has uploaded chunks into but not
+  /// yet consumed, in increasing id order.
+  [[nodiscard]] std::vector<std::uint64_t> staging_buffers_of(
+      const crypto::PublicKey& payer) const;
+  /// Bytes uploaded so far into one staging buffer (chunks are strictly
+  /// sequential, so size == next expected offset); nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> staging_buffer_size(
+      const crypto::PublicKey& payer, std::uint64_t buffer_id) const;
+
+  /// Root of the retained state snapshot for height `h` (what prove_at
+  /// proves against); nullopt once pruned.  The auditor cross-checks
+  /// this against the root committed in the block header.
+  [[nodiscard]] std::optional<Hash32> snapshot_root_at(ibc::Height h) const;
+
   [[nodiscard]] std::uint64_t stake_of(const crypto::PublicKey& validator) const;
   [[nodiscard]] bool is_banned(const crypto::PublicKey& validator) const;
   [[nodiscard]] std::uint64_t fees_collected() const noexcept { return fees_collected_; }

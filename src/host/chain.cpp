@@ -108,7 +108,7 @@ void Chain::submit(Transaction tx, ResultHandler on_result) {
   const auto first_slot =
       static_cast<std::uint64_t>(std::ceil(visible_at / cfg_.slot_seconds));
 
-  if (!cfg_.fault.empty()) {
+  if (cfg_.fault.has_chain_faults()) {
     submit_with_faults(std::move(tx), std::move(on_result), first_slot);
     return;
   }
@@ -208,7 +208,7 @@ void Chain::submit_with_faults(Transaction tx, ResultHandler on_result,
 void Chain::on_slot() {
   ++slot_;
 
-  if (!cfg_.fault.empty() && cfg_.fault.in_outage(sim_.now())) {
+  if (cfg_.fault.has_chain_faults() && cfg_.fault.in_outage(sim_.now())) {
     // Outage slot: produced, but includes nothing.  Defer everything to
     // the next slot, expiring transactions whose blockhash aged out.
     const auto it = pending_.find(slot_);
@@ -330,7 +330,7 @@ void Chain::execute_tx(PendingTx& ptx) {
   res.cu_used = ctx.cu_used();
   res.fee = compute_fee(tx, ctx.cu_used());
 
-  if (!cfg_.fault.empty()) {
+  if (cfg_.fault.has_chain_faults()) {
     // Fee spike: the market components (priority fee, bundle tip) cost
     // a multiple of their quoted price; the protocol base fee is fixed.
     const double m = cfg_.fault.fee_multiplier(sim_.now());

@@ -14,6 +14,7 @@ bool active(const FaultWindow& w, double t) { return t >= w.start && t < w.end; 
 }  // namespace
 
 FaultPlan& FaultPlan::add(FaultWindow w) {
+  if (w.kind != FaultKind::kCrash) ++chain_windows_;
   windows_.push_back(std::move(w));
   return *this;
 }
@@ -42,6 +43,17 @@ FaultPlan& FaultPlan::duplicate(double start, double end, double probability,
 
 FaultPlan& FaultPlan::fee_spike(double start, double end, double multiplier) {
   return add({FaultKind::kFeeSpike, start, end, multiplier, 1.0, {}});
+}
+
+FaultPlan& FaultPlan::crash(double start, double end, std::string agent) {
+  return add({FaultKind::kCrash, start, end, 1.0, 1.0, std::move(agent)});
+}
+
+std::vector<FaultWindow> FaultPlan::crash_windows() const {
+  std::vector<FaultWindow> out;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kCrash) out.push_back(w);
+  return out;
 }
 
 double FaultPlan::congestion_multiplier(double t, const std::string& label) const {

@@ -13,8 +13,12 @@
 //
 // All randomness is drawn from a dedicated RNG stream owned by the
 // chain (never the inclusion stream), and every fault query is gated
-// on `empty()` — an empty plan leaves the chain bit-identical to a
-// chain built without one.
+// on `has_chain_faults()` — a plan with no chain-level windows leaves
+// the chain bit-identical to a chain built without one.  Crash windows
+// (kCrash) are *not* chain faults: they kill and restart agent
+// processes (see sim::CrashableAgent / relayer::CrashController) and
+// never touch the chain's fault RNG stream, so a crash-only plan keeps
+// the chains byte-identical to a faultless run.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kBlackhole,   ///< tx vanishes; its result handler never fires
   kDuplicate,   ///< tx executes a second time (ghost replay)
   kFeeSpike,    ///< market fee components multiplied by `severity`
+  kCrash,       ///< agent process killed at `start`, restarted at `end`
 };
 
 /// One scheduled fault over the half-open sim-time window [start, end).
@@ -43,7 +48,8 @@ struct FaultWindow {
   double probability = 1.0;
   /// Restricts the fault to transactions whose label starts with this
   /// prefix; empty matches everything.  Outages ignore the filter
-  /// (blocks are empty for everyone).
+  /// (blocks are empty for everyone).  For kCrash the prefix matches
+  /// agent names instead (empty = every registered agent).
   std::string label_prefix;
 };
 
@@ -74,13 +80,25 @@ class FaultPlan {
   FaultPlan& duplicate(double start, double end, double probability,
                        std::string label_prefix = {});
   FaultPlan& fee_spike(double start, double end, double multiplier);
+  /// Kills agents whose name starts with `agent` at `start` and
+  /// restarts them at `end` (empty prefix = every registered agent).
+  FaultPlan& crash(double start, double end, std::string agent = {});
 
-  void clear() { windows_.clear(); }
+  void clear() {
+    windows_.clear();
+    chain_windows_ = 0;
+  }
   [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return windows_.size(); }
+  /// Whether any window targets the *chain* (everything but kCrash).
+  /// The chain gates its fault machinery — and its fault RNG draws —
+  /// on this, so crash-only plans stay byte-identical to no plan.
+  [[nodiscard]] bool has_chain_faults() const noexcept { return chain_windows_ > 0; }
   [[nodiscard]] const std::vector<FaultWindow>& windows() const noexcept {
     return windows_;
   }
+  /// The kCrash windows only (consumed by relayer::CrashController).
+  [[nodiscard]] std::vector<FaultWindow> crash_windows() const;
 
   // --- queries (evaluated by the chain) --------------------------------
   /// Product of active congestion severities for a tx labelled `label`.
@@ -94,6 +112,7 @@ class FaultPlan {
 
  private:
   std::vector<FaultWindow> windows_;
+  std::size_t chain_windows_ = 0;  ///< count of non-kCrash windows
 };
 
 }  // namespace bmg::host

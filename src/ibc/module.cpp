@@ -376,6 +376,9 @@ Packet IbcModule::send_packet(const PortId& port, const ChannelId& channel_id,
 
   store_.set(packet_key(KeyKind::kPacketCommitment, port, channel_id, packet.sequence),
              packet.commitment());
+  // Keep the body queryable until the commitment resolves — the replay
+  // source for any relayer (re)building its queues from chain state.
+  sent_packets_.emplace(std::make_tuple(port, channel_id, packet.sequence), packet);
   if (packet_listener_) packet_listener_(packet);
   return packet;
 }
@@ -444,6 +447,8 @@ Acknowledgement IbcModule::recv_packet(const Packet& packet, Height proof_height
   store_.set(packet_key(KeyKind::kPacketAck, packet.dest_port, packet.dest_channel,
                         packet.sequence),
              ack.commitment());
+  ack_log_[std::make_tuple(packet.dest_port, packet.dest_channel, packet.sequence)] =
+      ack;
   rec.receipts.mark(packet.sequence);
   if (!ordered) {
     for (const std::uint64_t seq : rec.receipts.drain_sealable())
@@ -490,6 +495,8 @@ void IbcModule::acknowledge_packet(const Packet& packet, const Acknowledgement& 
 
   rec.resolved_commitments.mark(packet.sequence);
   seal_resolved(packet.source_port, packet.source_channel, rec);
+  sent_packets_.erase(
+      std::make_tuple(packet.source_port, packet.source_channel, packet.sequence));
   app_for(packet.source_port).on_acknowledge(packet, ack);
 }
 
@@ -525,6 +532,8 @@ void IbcModule::timeout_packet(const Packet& packet, Height proof_height,
 
   rec.resolved_commitments.mark(packet.sequence);
   seal_resolved(packet.source_port, packet.source_channel, rec);
+  sent_packets_.erase(
+      std::make_tuple(packet.source_port, packet.source_channel, packet.sequence));
   app_for(packet.source_port).on_timeout(packet);
 }
 
@@ -567,6 +576,8 @@ void IbcModule::timeout_packet_ordered(const Packet& packet,
 
   rec.resolved_commitments.mark(packet.sequence);
   seal_resolved(packet.source_port, packet.source_channel, rec);
+  sent_packets_.erase(
+      std::make_tuple(packet.source_port, packet.source_channel, packet.sequence));
   // ICS-4: a timed-out ordered channel closes.
   ChannelEnd end = rec.end;
   end.state = ChannelState::kClosed;
@@ -633,6 +644,54 @@ bool IbcModule::packet_pending(const PortId& port, const ChannelId& channel,
   if (rec.resolved_commitments.is_marked(seq)) return false;
   return store_.get(packet_key(KeyKind::kPacketCommitment, port, channel, seq)) ==
          trie::SealableTrie::Lookup::kFound;
+}
+
+std::vector<std::pair<PortId, ChannelId>> IbcModule::channels() const {
+  std::vector<std::pair<PortId, ChannelId>> out;
+  out.reserve(channels_.size());
+  for (const auto& [key, rec] : channels_) out.push_back(key);
+  return out;
+}
+
+std::vector<std::uint64_t> IbcModule::pending_send_sequences(
+    const PortId& port, const ChannelId& channel) const {
+  // sent_packets_ holds exactly the unresolved outgoing packets (pruned
+  // on ack / timeout), so the pending set is a key-range scan — no walk
+  // over 1..next_send.
+  std::vector<std::uint64_t> out;
+  auto it = sent_packets_.lower_bound(std::make_tuple(port, channel, std::uint64_t{0}));
+  for (; it != sent_packets_.end(); ++it) {
+    const auto& [p, c, seq] = it->first;
+    if (p != port || c != channel) break;
+    out.push_back(seq);
+  }
+  return out;
+}
+
+const Packet* IbcModule::sent_packet(const PortId& port, const ChannelId& channel,
+                                     std::uint64_t seq) const {
+  const auto it = sent_packets_.find(std::make_tuple(port, channel, seq));
+  return it == sent_packets_.end() ? nullptr : &it->second;
+}
+
+std::optional<Acknowledgement> IbcModule::ack_for(const PortId& port,
+                                                  const ChannelId& channel,
+                                                  std::uint64_t seq) const {
+  const auto it = ack_log_.find(std::make_tuple(port, channel, seq));
+  if (it == ack_log_.end()) return std::nullopt;
+  return it->second;
+}
+
+IbcModule::ChannelSequences IbcModule::sequences(const PortId& port,
+                                                 const ChannelId& channel) const {
+  const ChannelRecord& rec = channel_record(port, channel);
+  ChannelSequences s;
+  s.next_send = rec.next_send;
+  s.next_recv = rec.next_recv;
+  s.resolved_watermark = rec.resolved_commitments.watermark();
+  s.receipts_watermark = rec.receipts.watermark();
+  s.acks_watermark = rec.acks.watermark();
+  return s;
 }
 
 }  // namespace bmg::ibc

@@ -13,7 +13,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "ibc/client.hpp"
@@ -191,6 +194,45 @@ class IbcModule {
   [[nodiscard]] bool packet_pending(const PortId& port, const ChannelId& channel,
                                     std::uint64_t seq) const;
 
+  // -- resync / audit surface ---------------------------------------------
+  // A crash-restarted relayer rebuilds its in-memory queues from these
+  // queries alone (the "scan on-chain state" half of IBC's
+  // any-party-can-relay guarantee); the invariant auditor walks the
+  // same surface every block.
+
+  /// Every (port, channel) pair this module has channel state for.
+  [[nodiscard]] std::vector<std::pair<PortId, ChannelId>> channels() const;
+
+  /// Outgoing sequences whose commitment is still unresolved (sent,
+  /// not yet acked or timed out), in increasing sequence order.
+  [[nodiscard]] std::vector<std::uint64_t> pending_send_sequences(
+      const PortId& port, const ChannelId& channel) const;
+
+  /// Full packet body for an unresolved outgoing sequence (the
+  /// event-log lookup a restarted relayer replays; entries are pruned
+  /// once the packet is acked or timed out).  Null when resolved or
+  /// never sent.
+  [[nodiscard]] const Packet* sent_packet(const PortId& port, const ChannelId& channel,
+                                          std::uint64_t seq) const;
+
+  /// The acknowledgement this chain wrote when it delivered (port,
+  /// channel, seq); nullopt if not delivered yet.
+  [[nodiscard]] std::optional<Acknowledgement> ack_for(const PortId& port,
+                                                       const ChannelId& channel,
+                                                       std::uint64_t seq) const;
+
+  /// Per-channel sequence counters and seq-tracker watermarks (the
+  /// auditor's monotonicity surface).
+  struct ChannelSequences {
+    std::uint64_t next_send = 1;
+    std::uint64_t next_recv = 1;
+    std::uint64_t resolved_watermark = 0;
+    std::uint64_t receipts_watermark = 0;
+    std::uint64_t acks_watermark = 0;
+  };
+  [[nodiscard]] ChannelSequences sequences(const PortId& port,
+                                           const ChannelId& channel) const;
+
  private:
   struct ChannelRecord {
     ChannelEnd end;
@@ -240,6 +282,10 @@ class IbcModule {
   std::map<ClientId, std::unique_ptr<LightClient>> clients_;
   std::map<ConnectionId, ConnectionEnd> connections_;
   std::map<std::pair<PortId, ChannelId>, ChannelRecord> channels_;
+  /// Unresolved outgoing packet bodies (pruned on ack / timeout) and
+  /// written acknowledgements, keyed by (port, channel, seq).
+  std::map<std::tuple<PortId, ChannelId, std::uint64_t>, Packet> sent_packets_;
+  std::map<std::tuple<PortId, ChannelId, std::uint64_t>, Acknowledgement> ack_log_;
   std::map<PortId, IbcApp*> apps_;
   std::uint64_t next_client_ = 0;
   std::uint64_t next_connection_ = 0;

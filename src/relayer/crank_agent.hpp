@@ -8,28 +8,58 @@
 // is due.
 #pragma once
 
+#include <string>
+
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
+#include "sim/agent.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bmg::relayer {
 
-class CrankAgent {
+class CrankAgent final : public sim::CrashableAgent {
  public:
   CrankAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
              crypto::PublicKey payer)
-      : sim_(sim), host_(host), contract_(contract), payer_(std::move(payer)) {}
+      : sim_(sim), host_(host), contract_(contract), payer_(std::move(payer)) {
+    timer_owner_ = sim_.register_agent();
+  }
 
   void start() { schedule_poll(); }
+
+  // --- crash-restart (sim::CrashableAgent) ------------------------------
+  [[nodiscard]] const std::string& agent_name() const override { return name_; }
+  [[nodiscard]] bool running() const override { return running_; }
+  void crash() override {
+    if (!running_) return;
+    running_ = false;
+    ++crash_count_;
+    ++incarnation_;  // a GenerateBlock tx in flight still lands; its
+                     // result handler is stale-guarded below
+    sim_.cancel_agent(timer_owner_);
+  }
+  /// The crank is stateless beyond its poll loop: restart just starts
+  /// polling again.  A pre-crash submission may still land, so the
+  /// worst case is one duplicate GenerateBlock the contract rejects.
+  void restart() override {
+    if (running_) return;
+    running_ = true;
+    in_flight_ = false;
+    schedule_poll();
+  }
+  [[nodiscard]] std::uint64_t crash_count() const noexcept { return crash_count_; }
 
   [[nodiscard]] std::uint64_t blocks_triggered() const { return triggered_; }
 
  private:
   void schedule_poll() {
-    sim_.after(host::kSlotSeconds, [this] {
-      poll();
-      schedule_poll();
-    });
+    sim_.after_cancellable(
+        host::kSlotSeconds,
+        [this] {
+          poll();
+          schedule_poll();
+        },
+        timer_owner_);
   }
 
   void poll() {
@@ -47,7 +77,9 @@ class CrankAgent {
     tx.payer = payer_;
     tx.label = "generate-block";
     tx.instructions.push_back(guest::ix::generate_block());
-    host_.submit(std::move(tx), [this](const host::TxResult& res) {
+    const std::uint64_t inc = incarnation_;
+    host_.submit(std::move(tx), [this, inc](const host::TxResult& res) {
+      if (inc != incarnation_) return;  // process died meanwhile
       in_flight_ = false;
       if (res.executed && res.success) ++triggered_;
     });
@@ -64,6 +96,11 @@ class CrankAgent {
   host::Chain& host_;
   guest::GuestContract& contract_;
   crypto::PublicKey payer_;
+  std::string name_ = "crank";
+  bool running_ = true;
+  std::uint64_t crash_count_ = 0;
+  std::uint64_t incarnation_ = 0;  ///< guards stale host result handlers
+  sim::Simulation::AgentId timer_owner_ = 0;
   bool in_flight_ = false;
   std::uint64_t triggered_ = 0;
   double delta_override_ = 3600.0;

@@ -1,0 +1,37 @@
+#include "relayer/crash_controller.hpp"
+
+namespace bmg::relayer {
+
+std::size_t CrashController::schedule(const host::FaultPlan& plan) {
+  std::size_t armed = 0;
+  const auto& windows = plan.windows();
+  for (; cursor_ < windows.size(); ++cursor_) {
+    const host::FaultWindow& w = windows[cursor_];
+    if (w.kind != host::FaultKind::kCrash) continue;
+    if (w.start < sim_.now()) continue;
+    arm(w);
+    ++armed;
+  }
+  return armed;
+}
+
+void CrashController::arm(const host::FaultWindow& w) {
+  // Copy what the deferred events need; the plan may mutate later.
+  const std::string prefix = w.label_prefix;
+  sim_.at(w.start, [this, prefix] {
+    for (sim::CrashableAgent* a : agents_) {
+      if (!matches(prefix, a->agent_name()) || !a->running()) continue;
+      a->crash();
+      ++crashes_;
+    }
+  });
+  sim_.at(w.end, [this, prefix] {
+    for (sim::CrashableAgent* a : agents_) {
+      if (!matches(prefix, a->agent_name()) || a->running()) continue;
+      a->restart();
+      ++restarts_;
+    }
+  });
+}
+
+}  // namespace bmg::relayer

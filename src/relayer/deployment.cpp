@@ -158,6 +158,10 @@ void Deployment::start() {
   for (auto& v : validators_) v->start();
   crank_->start();
   relayer_->start();
+  for (auto& v : validators_) crash_ctl_.add(*v);
+  crash_ctl_.add(*crank_);
+  crash_ctl_.add(*relayer_);
+  schedule_crashes();
 }
 
 void Deployment::run_for(double seconds) { sim_.run_until(sim_.now() + seconds); }

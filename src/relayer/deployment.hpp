@@ -15,6 +15,7 @@
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
 #include "relayer/crank_agent.hpp"
+#include "relayer/crash_controller.hpp"
 #include "relayer/relayer_agent.hpp"
 #include "relayer/validator_agent.hpp"
 
@@ -70,6 +71,12 @@ class Deployment {
   [[nodiscard]] std::vector<std::unique_ptr<ValidatorAgent>>& validators() noexcept {
     return validators_;
   }
+  /// Crash-window executor; relayer, crank and validators register in
+  /// start().  Tests can add() further agents (e.g. fishermen).
+  [[nodiscard]] CrashController& crash_controller() noexcept { return crash_ctl_; }
+  /// Arms any kCrash windows appended to host().fault_plan() since the
+  /// last call (start() arms the initial plan automatically).
+  std::size_t schedule_crashes() { return crash_ctl_.schedule(host_.fault_plan()); }
   [[nodiscard]] const ibc::ChannelId& guest_channel() const noexcept {
     return guest_channel_;
   }
@@ -127,6 +134,7 @@ class Deployment {
   std::vector<std::unique_ptr<ValidatorAgent>> validators_;
   std::unique_ptr<CrankAgent> crank_;
   std::unique_ptr<RelayerAgent> relayer_;
+  CrashController crash_ctl_{sim_};
 
   ibc::ClientId guest_client_on_cp_;
   ibc::ConnectionId guest_conn_, cp_conn_;

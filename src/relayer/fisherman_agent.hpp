@@ -11,11 +11,14 @@
 
 #include <functional>
 #include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
 #include "relayer/tx_pipeline.hpp"
+#include "sim/agent.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bmg::relayer {
@@ -42,7 +45,7 @@ class GossipBus {
   std::vector<Handler> handlers_;
 };
 
-class FishermanAgent {
+class FishermanAgent final : public sim::CrashableAgent {
  public:
   FishermanAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
                  GossipBus& bus, crypto::PublicKey payer, PipelineConfig pipeline_cfg = {})
@@ -54,8 +57,31 @@ class FishermanAgent {
         pipeline_(sim, host, Rng(fold_payer_seed(payer_)), pipeline_cfg) {}
 
   void start() {
-    bus_.subscribe([this](const SignatureGossip& g) { on_gossip(g); });
+    bus_.subscribe([this](const SignatureGossip& g) {
+      if (running_) on_gossip(g);
+    });
   }
+
+  // --- crash-restart (sim::CrashableAgent) ------------------------------
+  [[nodiscard]] const std::string& agent_name() const override { return name_; }
+  [[nodiscard]] bool running() const override { return running_; }
+  /// Observation memory is ephemeral by design: it dies with the
+  /// process.  Equivocations gossiped while down are missed (a real
+  /// fisherman has the same blind spot), but the on-chain ban set is
+  /// durable, so successfully prosecuted offenders stay prosecuted.
+  void crash() override {
+    if (!running_) return;
+    running_ = false;
+    ++crash_count_;
+    pipeline_.reset();
+    observations_.clear();
+    prosecuted_.clear();
+  }
+  void restart() override {
+    if (running_) return;
+    running_ = true;
+  }
+  [[nodiscard]] std::uint64_t crash_count() const noexcept { return crash_count_; }
 
   [[nodiscard]] std::uint64_t evidence_submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t evidence_accepted() const { return accepted_; }
@@ -85,13 +111,18 @@ class FishermanAgent {
                contract_.block_at(gossip.header.height).hash()) {
       bogus = true;
     }
-    if (bogus && prosecuted_.insert(gossip.validator).second) {
+    if (bogus && !contract_.is_banned(gossip.validator) &&
+        prosecuted_.insert(gossip.validator).second) {
       submit_single_header(gossip);
     }
     seen.push_back(gossip);
   }
 
   void submit_double_sign(const SignatureGossip& a, const SignatureGossip& b) {
+    // The in-memory prosecuted_ set dies on crash; the chain's ban set
+    // is the durable record, so check it first to avoid re-submitting
+    // evidence for an offender a previous incarnation already slashed.
+    if (contract_.is_banned(a.validator)) return;
     if (!prosecuted_.insert(a.validator).second) return;
     Encoder ev;
     ev.raw(a.validator.view());
@@ -162,6 +193,9 @@ class FishermanAgent {
   guest::GuestContract& contract_;
   GossipBus& bus_;
   crypto::PublicKey payer_;
+  std::string name_ = "fisherman";
+  bool running_ = true;
+  std::uint64_t crash_count_ = 0;
 
   TxPipeline pipeline_;
 

@@ -1,6 +1,8 @@
 #include "relayer/relayer_agent.hpp"
 
+#include <algorithm>
 #include <memory>
+#include <set>
 
 namespace bmg::relayer {
 
@@ -26,23 +28,165 @@ RelayerAgent::RelayerAgent(sim::Simulation& sim, host::Chain& host,
       guest_client_on_cp_(std::move(guest_client_on_cp)),
       payer_(std::move(payer)),
       cfg_(cfg),
-      pipeline_(sim, host, Rng(mix_seed(cfg.pipeline_seed, payer_)), cfg.pipeline) {}
+      pipeline_(sim, host, Rng(mix_seed(cfg.pipeline_seed, payer_)), cfg.pipeline) {
+  timer_owner_ = sim_.register_agent();
+}
 
 void RelayerAgent::start() {
+  // Subscriptions are append-only (they live as long as the chains),
+  // so they are registered once and gated on running_: a crashed
+  // process simply misses the events fired while it is down.
   host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
+    if (!running_) return;
     if (ev.name != guest::GuestContract::kEvFinalisedBlock) return;
     Decoder d(ev.data);
     const ibc::Height height = d.u64();
-    sim_.after(cfg_.poll_latency_s, [this, height] { on_guest_block_finalised(height); });
+    sim_.after_cancellable(
+        cfg_.poll_latency_s, [this, height] { on_guest_block_finalised(height); },
+        timer_owner_);
   });
   // Counterparty-sent packets enter the relay queue at the next cp
   // block (when they become provable).
   cp_.ibc().set_packet_listener([this](const ibc::Packet& packet) {
+    if (!running_) return;
     cp_outgoing_.emplace_back(packet, cp_.height() + 1);
   });
   cp_.on_new_block([this](ibc::Height height) {
-    sim_.after(cfg_.poll_latency_s, [this, height] { on_cp_block(height); });
+    if (!running_) return;
+    sim_.after_cancellable(
+        cfg_.poll_latency_s, [this, height] { on_cp_block(height); }, timer_owner_);
   });
+}
+
+// --- crash-restart ------------------------------------------------------------
+
+void RelayerAgent::crash() {
+  if (!running_) return;
+  running_ = false;
+  ++crash_count_;
+  // Every in-memory structure is ephemeral: timers die with the
+  // process, in-flight pipeline sequences never call back, queues drop.
+  sim_.cancel_agent(timer_owner_);
+  pipeline_.reset();
+  cp_outgoing_.clear();
+  cp_acks_.clear();
+  guest_acks_pending_.clear();
+  queued_updates_.clear();
+  guest_update_in_flight_ = false;
+  next_buffer_id_ = 1;
+  pipeline_.errors().push(RelayError{RelayErrorKind::kCrashRestart,
+                                     "agent:" + cfg_.name, "process killed",
+                                     sim_.now(), 0});
+}
+
+void RelayerAgent::restart() {
+  if (running_) return;
+  running_ = true;
+  pipeline_.errors().push(RelayError{RelayErrorKind::kCrashRestart,
+                                     "agent:" + cfg_.name, "process restarted",
+                                     sim_.now(), 0});
+  resync();
+}
+
+ibc::Height RelayerAgent::cp_ready_height(const Bytes& key) const {
+  const ibc::Height h = cp_.height();
+  if (h == 0) return 1;
+  try {
+    const trie::Proof proof = cp_.prove_at(h, key);
+    if (trie::verify_proof(cp_.header_at(h).header.state_root, key, proof).kind ==
+        trie::VerifyOutcome::Kind::kFound)
+      return h;
+  } catch (const std::exception&) {
+  }
+  return h + 1;
+}
+
+void RelayerAgent::redeliver_guest_packet_to_cp(const ibc::Packet& packet,
+                                                ibc::Height gh) {
+  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
+                                    packet.source_channel, packet.sequence);
+  bool provable = false;
+  try {
+    const trie::Proof proof = contract_.prove_at(gh, key);
+    provable = trie::verify_proof(contract_.block_at(gh).header.state_root, key,
+                                  proof).kind == trie::VerifyOutcome::Kind::kFound;
+  } catch (const std::exception&) {
+  }
+  // Not yet committed in a finalised block: the normal FinalisedBlock
+  // path will relay it once the block containing it finalises.
+  if (!provable) return;
+  push_guest_header_to_cp(gh, [this, gh, packet] {
+    const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment,
+                                      packet.source_port, packet.source_channel,
+                                      packet.sequence);
+    try {
+      const trie::Proof proof = contract_.prove_at(gh, key);
+      const ibc::Acknowledgement ack =
+          cp_.ibc().recv_packet(packet, gh, proof, cp_.height(), cp_.now());
+      ++to_cp_packets_;
+      cp_acks_.emplace_back(packet, ack, cp_.height() + 1);
+    } catch (const std::exception& e) {
+      note_cp_reject("resync-recv#" + std::to_string(packet.sequence), e.what());
+    }
+  });
+}
+
+void RelayerAgent::resync() {
+  // Durable state lives on-chain; rebuild the in-memory queues from it
+  // (the "anyone can resume relaying" property IBC's delivery
+  // guarantees rest on).
+
+  // 1. Skip past any staging buffers a previous life left behind so
+  //    fresh uploads never collide with half-uploaded ones.
+  for (const std::uint64_t id : contract_.staging_buffers_of(payer_))
+    next_buffer_id_ = std::max(next_buffer_id_, id + 1);
+
+  // 2. Counterparty -> guest: every unresolved cp commitment is either
+  //    undelivered (relay the packet) or delivered but not yet acked
+  //    back (relay the ack).
+  for (const auto& [port, chan] : cp_.ibc().channels()) {
+    for (const std::uint64_t seq : cp_.ibc().pending_send_sequences(port, chan)) {
+      const ibc::Packet* p = cp_.ibc().sent_packet(port, chan, seq);
+      if (p == nullptr) continue;
+      if (contract_.ibc().packet_received(p->dest_port, p->dest_channel, seq)) {
+        guest_acks_pending_.push_back(*p);
+      } else {
+        const Bytes key =
+            ibc::packet_key(ibc::KeyKind::kPacketCommitment, port, chan, seq);
+        cp_outgoing_.emplace_back(*p, cp_ready_height(key));
+      }
+    }
+  }
+
+  // 3. Guest -> counterparty: unresolved guest commitments whose
+  //    packets never reached the cp are re-delivered against the latest
+  //    finalised block; delivered ones re-enter the ack queue.
+  const ibc::Height gh = contract_.last_finalised_height();
+  for (const auto& [port, chan] : contract_.ibc().channels()) {
+    for (const std::uint64_t seq : contract_.ibc().pending_send_sequences(port, chan)) {
+      const ibc::Packet* p = contract_.ibc().sent_packet(port, chan, seq);
+      if (p == nullptr) continue;
+      if (cp_.ibc().packet_received(p->dest_port, p->dest_channel, seq)) {
+        if (const auto ack = cp_.ibc().ack_for(p->dest_port, p->dest_channel, seq)) {
+          const Bytes key =
+              ibc::packet_key(ibc::KeyKind::kPacketAck, p->dest_port, p->dest_channel,
+                              seq);
+          cp_acks_.emplace_back(*p, *ack, cp_ready_height(key));
+        }
+      } else if (gh > 0) {
+        redeliver_guest_packet_to_cp(*p, gh);
+      }
+    }
+  }
+
+  // 4. Guest-side acks already provable in the latest finalised block
+  //    flow back to the cp immediately (re-using the FinalisedBlock
+  //    path); the rest wait for the next finalisation.
+  if (gh > 0 && !guest_acks_pending_.empty()) on_guest_block_finalised(gh);
+
+  // 5. Kick the cp->guest pump; a half-verified pending update is
+  //    picked up inside update_guest_client_attempt.
+  pump_cp_to_guest();
 }
 
 // --- transaction sequencing ---------------------------------------------------
@@ -129,21 +273,66 @@ std::vector<host::Transaction> RelayerAgent::build_update_sequence(
   return txs;
 }
 
+std::vector<host::Transaction> RelayerAgent::build_update_resume_sequence(
+    const ibc::SignedQuorumHeader& sh,
+    const guest::GuestContract::PendingUpdateInfo& pending) {
+  // The contract dedups signatures against its pending-update `seen`
+  // set and rejects a tx whose signatures are *all* duplicates, so a
+  // resume must submit only the not-yet-verified ones.
+  const std::set<crypto::PublicKey> seen(pending.seen.begin(), pending.seen.end());
+  const Hash32 digest = sh.header.signing_digest();
+  const Bytes digest_bytes(digest.bytes.begin(), digest.bytes.end());
+
+  std::vector<host::Transaction> txs;
+  host::Transaction cur;
+  for (const auto& [pubkey, sig] : sh.signatures) {
+    if (seen.count(pubkey) > 0) continue;
+    cur.sig_verifies.push_back(host::SigVerify{pubkey, digest_bytes, sig});
+    if (cur.sig_verifies.size() >= static_cast<std::size_t>(cfg_.sigs_per_update_tx)) {
+      cur.payer = payer_;
+      cur.fee = cfg_.fee;
+      cur.label = "lc-update:sigs";
+      cur.instructions.push_back(guest::ix::verify_update_signatures());
+      txs.push_back(std::move(cur));
+      cur = {};
+    }
+  }
+  if (!cur.sig_verifies.empty()) {
+    cur.payer = payer_;
+    cur.fee = cfg_.fee;
+    cur.label = "lc-update:sigs";
+    cur.instructions.push_back(guest::ix::verify_update_signatures());
+    txs.push_back(std::move(cur));
+  }
+
+  host::Transaction fin;
+  fin.payer = payer_;
+  fin.fee = cfg_.fee;
+  fin.label = "lc-update:finish";
+  fin.instructions.push_back(guest::ix::finish_client_update());
+  txs.push_back(std::move(fin));
+  return txs;
+}
+
 // --- guest -> counterparty ------------------------------------------------------
 
 void RelayerAgent::push_guest_header_to_cp(ibc::Height guest_height,
                                            std::function<void()> done) {
-  sim_.after(cfg_.counterparty_latency_s, [this, guest_height, done = std::move(done)] {
-    try {
-      const guest::GuestBlock& block = contract_.block_at(guest_height);
-      cp_.ibc().update_client(guest_client_on_cp_, block.to_signed_header().encode());
-    } catch (const ibc::IbcError& e) {
-      // Another relayer (or an explicit handshake push) already
-      // submitted this height; duplicates are harmless.
-      note_cp_reject("push#" + std::to_string(guest_height), e.what());
-    }
-    if (done) done();
-  });
+  sim_.after_cancellable(
+      cfg_.counterparty_latency_s,
+      [this, guest_height, done = std::move(done)] {
+        try {
+          const guest::GuestBlock& block = contract_.block_at(guest_height);
+          cp_.ibc().update_client(guest_client_on_cp_,
+                                  block.to_signed_header().encode());
+        } catch (const ibc::IbcError& e) {
+          // Another relayer (or an explicit handshake push) already
+          // submitted this height; duplicates are harmless.
+          note_cp_reject("push#" + std::to_string(guest_height), e.what());
+        }
+        if (done) done();
+      },
+      timer_owner_);
 }
 
 void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
@@ -226,9 +415,20 @@ void RelayerAgent::update_guest_client_attempt(ibc::Height cp_height,
     return;
   }
   const ibc::SignedQuorumHeader& sh = cp_.header_at(cp_height);
+  // Resume a half-verified update the contract already holds for this
+  // exact height (left behind by a crash or a dead-lettered sequence)
+  // instead of re-uploading chunks and resetting verified signatures.
+  // With no crashes and no dead letters the pending slot is always
+  // empty here, so the steady-state tx stream is unchanged.
+  std::vector<host::Transaction> txs;
+  const auto pending = contract_.pending_update_info();
+  if (pending && pending->height == cp_height)
+    txs = build_update_resume_sequence(sh, *pending);
+  else
+    txs = build_update_sequence(sh);
   guest_update_in_flight_ = true;
   submit_sequence(
-      build_update_sequence(sh),
+      std::move(txs),
       [this, cp_height, done = std::move(done), rebuilds_left](
           const SequenceOutcome& out) mutable {
         guest_update_in_flight_ = false;

@@ -19,6 +19,7 @@
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
 #include "relayer/tx_pipeline.hpp"
+#include "sim/agent.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bmg::relayer {
@@ -45,9 +46,11 @@ struct RelayerConfig {
   /// sequence from scratch (fresh staging buffer) after the pipeline
   /// dead-letters it.
   int update_retry_budget = 8;
+  /// Agent name matched (by prefix) against FaultPlan crash windows.
+  std::string name = "relayer";
 };
 
-class RelayerAgent {
+class RelayerAgent final : public sim::CrashableAgent {
  public:
   RelayerAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
                counterparty::CounterpartyChain& cp, ibc::ClientId guest_client_on_cp,
@@ -57,6 +60,24 @@ class RelayerAgent {
   /// relaying.  The IBC handshake (Deployment::open_ibc) must finish
   /// before packets flow, but start() can be called first.
   void start();
+
+  // --- crash-restart (sim::CrashableAgent) -------------------------------
+  [[nodiscard]] const std::string& agent_name() const override { return cfg_.name; }
+  [[nodiscard]] bool running() const override { return running_; }
+  /// Kills the process: every in-memory queue, in-flight pipeline
+  /// sequence and timer is dropped on the floor.  Subscriptions stay
+  /// registered but their handlers no-op while down (missed events).
+  void crash() override;
+  /// Boots a fresh process and resyncs from on-chain state alone.
+  void restart() override;
+  [[nodiscard]] std::uint64_t crash_count() const noexcept { return crash_count_; }
+
+  /// Rebuilds the relay queues from authoritative chain state: pending
+  /// packet commitments and missing receipts/acks on both chains (via
+  /// each module's seq-tracker surface), the contract's staged buffers
+  /// and half-verified pending update.  Public so tests can exercise
+  /// resync without a crash.
+  void resync();
 
   // --- metrics -----------------------------------------------------------
   /// Per light-client update pushed into the guest (Figs. 4 and 5).
@@ -99,6 +120,14 @@ class RelayerAgent {
   [[nodiscard]] std::vector<host::Transaction> build_update_sequence(
       const ibc::SignedQuorumHeader& sh);
 
+  /// Builds the tail of an update the contract already holds in its
+  /// pending slot: sig-verify txs for the not-yet-seen signatures plus
+  /// the finish — no chunk re-upload, no begin.  How a restarted
+  /// relayer resumes a half-verified update instead of starting over.
+  [[nodiscard]] std::vector<host::Transaction> build_update_resume_sequence(
+      const ibc::SignedQuorumHeader& sh,
+      const guest::GuestContract::PendingUpdateInfo& pending);
+
   /// Pushes a finalised guest header into the counterparty's guest
   /// light client (direct chain call after network latency).
   void push_guest_header_to_cp(ibc::Height guest_height,
@@ -125,6 +154,12 @@ class RelayerAgent {
   void update_guest_client_attempt(ibc::Height cp_height, std::function<void()> done,
                                    int rebuilds_left);
   void note_cp_reject(const std::string& label, const std::string& what);
+  /// First cp height whose snapshot proves `key`: the latest block if
+  /// it already does, else the next one.
+  [[nodiscard]] ibc::Height cp_ready_height(const Bytes& key) const;
+  /// Re-delivers a guest-sent packet whose FinalisedBlock event was
+  /// missed while down, proving against the latest finalised block.
+  void redeliver_guest_packet_to_cp(const ibc::Packet& packet, ibc::Height gh);
 
   sim::Simulation& sim_;
   host::Chain& host_;
@@ -133,6 +168,12 @@ class RelayerAgent {
   ibc::ClientId guest_client_on_cp_;
   crypto::PublicKey payer_;
   RelayerConfig cfg_;
+
+  /// Process liveness.  Ephemeral state below dies with crash();
+  /// everything else the agent needs is reconstructed by resync().
+  bool running_ = true;
+  std::uint64_t crash_count_ = 0;
+  sim::Simulation::AgentId timer_owner_ = 0;
 
   std::uint64_t next_buffer_id_ = 1;
 

@@ -17,6 +17,8 @@ const char* to_string(RelayErrorKind kind) {
       return "budget-exhausted";
     case RelayErrorKind::kCounterpartyReject:
       return "counterparty-reject";
+    case RelayErrorKind::kCrashRestart:
+      return "crash-restart";
     default:
       return "unknown";
   }
@@ -102,18 +104,64 @@ TxPipeline::TxPipeline(sim::Simulation& sim, host::Chain& host, Rng rng,
 
 void TxPipeline::submit_sequence(std::vector<host::Transaction> txs, SequenceDone done,
                                  std::string label) {
+  submit_sequence_carrying(std::move(txs), std::move(done), std::move(label), 0, 0.0,
+                           std::nullopt);
+}
+
+void TxPipeline::submit_sequence_carrying(std::vector<host::Transaction> txs,
+                                          SequenceDone done, std::string label,
+                                          int carried_retries, double carried_cost,
+                                          std::optional<double> carried_start) {
   auto s = std::make_shared<Seq>();
   if (label.empty() && !txs.empty()) label = txs.back().label;
   s->label = std::move(label);
   s->txs = std::move(txs);
   s->outcome.txs = static_cast<int>(s->txs.size());
+  s->outcome.retries = carried_retries;
+  s->outcome.cost_usd = carried_cost;
+  s->outcome.started_at = carried_start;
   s->done = std::move(done);
   ++in_flight_;
   if (s->txs.empty()) {
     finish(s, true);
     return;
   }
+  // Track for reset(); prune stale entries before they accumulate.
+  if (live_.size() >= 64)
+    std::erase_if(live_, [](const std::weak_ptr<Seq>& w) {
+      const auto sp = w.lock();
+      return !sp || sp->finished;
+    });
+  live_.push_back(s);
   submit_current(s);
+}
+
+void TxPipeline::reset() {
+  for (const auto& w : live_) {
+    const auto s = w.lock();
+    if (!s || s->finished) continue;
+    // Mark finished so pending host results, backoff timers and
+    // deadlines for this sequence all no-op; the done callback is
+    // deliberately *not* invoked — the process that owned it is gone.
+    s->finished = true;
+    sim_.cancel(s->deadline);
+    s->deadline = 0;
+    --in_flight_;
+    ++sequences_reset_;
+  }
+  live_.clear();
+  dead_letters_.clear();
+}
+
+std::size_t TxPipeline::redrive(SequenceDone done) {
+  std::vector<DeadLetter> dead = std::move(dead_letters_);
+  dead_letters_.clear();
+  for (DeadLetter& dl : dead) {
+    ++redriven_total_;
+    submit_sequence_carrying(std::move(dl.remaining), done, dl.label + ":redrive",
+                             dl.retries_spent, dl.cost_usd, dl.started_at);
+  }
+  return dead.size();
 }
 
 void TxPipeline::submit_current(const std::shared_ptr<Seq>& s) {
@@ -184,6 +232,11 @@ void TxPipeline::retry(const std::shared_ptr<Seq>& s, RelayErrorKind kind,
     dl.attempts = s->attempt;
     dl.last_error = RelayError{kind, s->label + "#" + std::to_string(s->next),
                                "retry budget exhausted", sim_.now(), s->attempt};
+    dl.remaining.assign(s->txs.begin() + static_cast<std::ptrdiff_t>(s->next),
+                        s->txs.end());
+    dl.retries_spent = s->outcome.retries;
+    dl.cost_usd = s->outcome.cost_usd;
+    dl.started_at = s->outcome.started_at;
     dead_letters_.push_back(std::move(dl));
     errors_.push(RelayError{RelayErrorKind::kBudgetExhausted,
                             s->label + "#" + std::to_string(s->next),

@@ -55,6 +55,7 @@ enum class RelayErrorKind : std::uint8_t {
   kTimeout,            ///< no result within the per-tx deadline
   kBudgetExhausted,    ///< retry budget spent; sequence dead-lettered
   kCounterpartyReject, ///< a direct counterparty call was refused
+  kCrashRestart,       ///< agent process killed / restarted (chaos)
   kCount_,             // sentinel
 };
 [[nodiscard]] const char* to_string(RelayErrorKind kind);
@@ -95,13 +96,21 @@ class ErrorLog {
       kind_totals_{};
 };
 
-/// A sequence that exhausted its retry budget.
+/// A sequence that exhausted its retry budget.  Carries everything
+/// redrive() needs to resume from the failed transaction: the
+/// undelivered tail and the spend so far (so the redriven outcome's
+/// `retries`/`cost_usd` account for the whole sequence, not just the
+/// second life).
 struct DeadLetter {
   std::string label;
   std::size_t failed_index = 0;  ///< tx index that could not be delivered
   std::size_t total_txs = 0;
   int attempts = 0;              ///< attempts spent on the failed tx
   RelayError last_error;
+  std::vector<host::Transaction> remaining;  ///< txs[failed_index..]
+  int retries_spent = 0;                     ///< sequence retries at death
+  double cost_usd = 0;                       ///< fees burned before death
+  std::optional<double> started_at;
 };
 
 struct PipelineConfig {
@@ -145,6 +154,21 @@ class TxPipeline {
   void submit_sequence(std::vector<host::Transaction> txs, SequenceDone done,
                        std::string label = {});
 
+  // --- crash-restart ---------------------------------------------------
+  /// Drops every in-flight sequence *without* invoking its completion
+  /// callback (the process holding those continuations is dead),
+  /// cancels their deadline timers and clears the dead-letter queue.
+  /// The pipeline is immediately reusable — this models a process
+  /// restart, not a graceful shutdown.
+  void reset();
+
+  /// Re-queues every dead-lettered sequence from its failed
+  /// transaction onward with a fresh retry budget.  Redriven outcomes
+  /// carry the retries/cost already spent before dead-lettering, so
+  /// `SequenceOutcome::retries` reflects the sequence's whole life.
+  /// Returns the number of sequences redriven.
+  std::size_t redrive(SequenceDone done = {});
+
   // --- observability ---------------------------------------------------
   [[nodiscard]] const ErrorLog& errors() const noexcept { return errors_; }
   [[nodiscard]] ErrorLog& errors() noexcept { return errors_; }
@@ -162,6 +186,14 @@ class TxPipeline {
   }
   /// Sequences submitted but not yet finished (0 == nothing stalled).
   [[nodiscard]] std::uint64_t in_flight() const noexcept { return in_flight_; }
+  /// Sequences killed mid-flight by reset() (crash injection).
+  [[nodiscard]] std::uint64_t sequences_reset() const noexcept {
+    return sequences_reset_;
+  }
+  /// Dead-lettered sequences given a second life by redrive().
+  [[nodiscard]] std::uint64_t redriven_total() const noexcept {
+    return redriven_total_;
+  }
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
@@ -178,6 +210,10 @@ class TxPipeline {
     bool finished = false;
   };
 
+  void submit_sequence_carrying(std::vector<host::Transaction> txs, SequenceDone done,
+                                std::string label, int carried_retries,
+                                double carried_cost,
+                                std::optional<double> carried_start);
   void submit_current(const std::shared_ptr<Seq>& s);
   void on_result(const std::shared_ptr<Seq>& s, std::uint64_t id,
                  const host::TxResult& res);
@@ -192,12 +228,17 @@ class TxPipeline {
 
   ErrorLog errors_;
   std::vector<DeadLetter> dead_letters_;
+  /// In-flight sequences, so reset() can find and kill them.  Entries
+  /// go stale when a sequence finishes and are pruned lazily.
+  std::vector<std::weak_ptr<Seq>> live_;
   std::uint64_t retries_total_ = 0;
   std::uint64_t timeouts_total_ = 0;
   std::uint64_t escalations_total_ = 0;
   std::uint64_t sequences_ok_ = 0;
   std::uint64_t sequences_failed_ = 0;
   std::uint64_t in_flight_ = 0;
+  std::uint64_t sequences_reset_ = 0;
+  std::uint64_t redriven_total_ = 0;
 };
 
 }  // namespace bmg::relayer

@@ -10,10 +10,13 @@ ValidatorAgent::ValidatorAgent(sim::Simulation& sim, host::Chain& host,
       contract_(contract),
       key_(std::move(key)),
       profile_(std::move(profile)),
-      rng_(rng) {}
+      rng_(rng) {
+  timer_owner_ = sim_.register_agent();
+}
 
 void ValidatorAgent::start() {
   host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
+    if (!running_) return;
     if (ev.name != guest::GuestContract::kEvNewBlock) return;
     Decoder d(ev.data);
     const ibc::Height height = d.u64();
@@ -21,28 +24,58 @@ void ValidatorAgent::start() {
   });
 }
 
+void ValidatorAgent::crash() {
+  if (!running_) return;
+  running_ = false;
+  ++crash_count_;
+  ++incarnation_;
+  // Pending signing delays die with the process; a Sign tx already
+  // submitted to the host still lands (the chain has it), but its
+  // result handler is stale-guarded so a dead process records nothing.
+  sim_.cancel_agent(timer_owner_);
+}
+
+void ValidatorAgent::restart() {
+  if (running_) return;
+  running_ = true;
+  if (!profile_.active) return;
+  if (!contract_.epoch_validators().contains(pubkey())) return;
+  // Durable state is entirely on-chain: if the head block is still
+  // collecting signatures and ours is not among them, sign it now —
+  // NewBlock events fired while down are gone for good.
+  const guest::GuestBlock& head = contract_.head();
+  if (!head.finalised && head.signers.count(pubkey()) == 0)
+    on_new_block(head.header.height, sim_.now());
+}
+
 void ValidatorAgent::on_new_block(ibc::Height height, double announced_at) {
   if (!profile_.active) return;
   if (!contract_.epoch_validators().contains(pubkey())) return;
 
   const double delay = profile_.latency.sample(rng_);
-  sim_.after(delay, [this, height, announced_at] {
-    // Read the block digest from the contract account and sign it.
-    const Hash32 digest = contract_.block_at(height).hash();
-    host::Transaction tx;
-    tx.payer = pubkey();
-    tx.label = "sign:" + profile_.name;
-    tx.fee = profile_.fee;
-    tx.instructions.push_back(guest::ix::sign_block(height, pubkey()));
-    tx.sig_verifies.push_back(host::SigVerify{
-        pubkey(), Bytes(digest.bytes.begin(), digest.bytes.end()),
-        key_.sign(digest.view())});
-    host_.submit(std::move(tx), [this, announced_at](const host::TxResult& res) {
-      if (!res.executed || !res.success) return;
-      ++sigs_;
-      latency_.add(res.time - announced_at);
-    });
-  });
+  sim_.after_cancellable(
+      delay,
+      [this, height, announced_at] {
+        // Read the block digest from the contract account and sign it.
+        const Hash32 digest = contract_.block_at(height).hash();
+        host::Transaction tx;
+        tx.payer = pubkey();
+        tx.label = "sign:" + profile_.name;
+        tx.fee = profile_.fee;
+        tx.instructions.push_back(guest::ix::sign_block(height, pubkey()));
+        tx.sig_verifies.push_back(host::SigVerify{
+            pubkey(), Bytes(digest.bytes.begin(), digest.bytes.end()),
+            key_.sign(digest.view())});
+        const std::uint64_t inc = incarnation_;
+        host_.submit(std::move(tx),
+                     [this, announced_at, inc](const host::TxResult& res) {
+                       if (inc != incarnation_) return;  // process died meanwhile
+                       if (!res.executed || !res.success) return;
+                       ++sigs_;
+                       latency_.add(res.time - announced_at);
+                     });
+      },
+      timer_owner_);
 }
 
 }  // namespace bmg::relayer

@@ -12,6 +12,7 @@
 #include "common/stats.hpp"
 #include "guest/contract.hpp"
 #include "host/chain.hpp"
+#include "sim/agent.hpp"
 #include "sim/latency.hpp"
 #include "sim/scheduler.hpp"
 
@@ -26,13 +27,25 @@ struct ValidatorProfile {
   bool active = true;
 };
 
-class ValidatorAgent {
+class ValidatorAgent final : public sim::CrashableAgent {
  public:
   ValidatorAgent(sim::Simulation& sim, host::Chain& host, guest::GuestContract& contract,
                  crypto::PrivateKey key, ValidatorProfile profile, Rng rng);
 
   /// Subscribes to NewBlock events; call once after host setup.
   void start();
+
+  // --- crash-restart (sim::CrashableAgent) ------------------------------
+  [[nodiscard]] const std::string& agent_name() const override {
+    return profile_.name;
+  }
+  [[nodiscard]] bool running() const override { return running_; }
+  void crash() override;
+  /// Resync: the only durable obligation is a signature on the current
+  /// unfinalised head — sign it unless the contract already records
+  /// ours (the pre-crash submission may have landed).
+  void restart() override;
+  [[nodiscard]] std::uint64_t crash_count() const noexcept { return crash_count_; }
 
   [[nodiscard]] const crypto::PublicKey& pubkey() const { return key_.public_key(); }
   [[nodiscard]] const ValidatorProfile& profile() const { return profile_; }
@@ -54,6 +67,11 @@ class ValidatorAgent {
   crypto::PrivateKey key_;
   ValidatorProfile profile_;
   Rng rng_;
+
+  bool running_ = true;
+  std::uint64_t crash_count_ = 0;
+  std::uint64_t incarnation_ = 0;  ///< guards stale host result handlers
+  sim::Simulation::AgentId timer_owner_ = 0;
 
   std::uint64_t sigs_ = 0;
   Series latency_;

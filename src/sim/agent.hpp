@@ -1,0 +1,46 @@
+// Crash-restart contract for simulated agent processes.
+//
+// The paper's deployment model assumes permissionless, unreliable
+// relayers: delivery guarantees hold because *any* process can resume
+// relaying from authoritative on-chain state (client heights, staged
+// update chunks, unresolved packet commitments), not because any one
+// process stays alive.  An agent implementing this interface splits
+// its state accordingly:
+//
+//  - *ephemeral* state (in-flight pipeline sequences, backoff and
+//    poll timers, in-memory queues) dies with crash() — the scheduler
+//    bulk-cancels the agent's owned timers and nothing is flushed;
+//  - *durable* state is whatever restart() can reconstruct by querying
+//    the chains.  restart() must converge back to steady-state
+//    operation with at-least-once semantics and no double-spend.
+//
+// Subscriptions (host events, counterparty block callbacks, gossip)
+// are append-only in this codebase, so they persist for the object's
+// lifetime; implementations gate their handlers on running() to model
+// events missed while the process is down.
+#pragma once
+
+#include <string>
+
+namespace bmg::sim {
+
+class CrashableAgent {
+ public:
+  virtual ~CrashableAgent() = default;
+
+  /// Stable name used to match FaultPlan crash windows (by prefix).
+  [[nodiscard]] virtual const std::string& agent_name() const = 0;
+
+  /// Whether the simulated process is currently alive.
+  [[nodiscard]] virtual bool running() const = 0;
+
+  /// Kills the process: drops ephemeral state, cancels owned timers.
+  /// No-op when already crashed.
+  virtual void crash() = 0;
+
+  /// Boots a fresh process: resyncs durable state from the chains and
+  /// resumes operation.  No-op when already running.
+  virtual void restart() = 0;
+};
+
+}  // namespace bmg::sim

@@ -12,21 +12,34 @@ void Simulation::after(SimTime delay, std::function<void()> fn) {
   at(now_ + std::max(delay, 0.0), std::move(fn));
 }
 
-Simulation::TimerId Simulation::at_cancellable(SimTime t, std::function<void()> fn) {
+Simulation::TimerId Simulation::at_cancellable(SimTime t, std::function<void()> fn,
+                                               AgentId owner) {
   const TimerId id = ++next_timer_id_;
-  pending_timers_.insert(id);
+  pending_timers_.emplace(id, owner);
+  if (owner != 0) owned_[owner].push_back(id);
   queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), id});
   return id;
 }
 
 Simulation::TimerId Simulation::after_cancellable(SimTime delay,
-                                                 std::function<void()> fn) {
-  return at_cancellable(now_ + std::max(delay, 0.0), std::move(fn));
+                                                 std::function<void()> fn,
+                                                 AgentId owner) {
+  return at_cancellable(now_ + std::max(delay, 0.0), std::move(fn), owner);
 }
 
 bool Simulation::cancel(TimerId id) {
   if (id == 0) return false;
   return pending_timers_.erase(id) > 0;
+}
+
+std::size_t Simulation::cancel_agent(AgentId owner) {
+  if (owner == 0) return 0;
+  const auto it = owned_.find(owner);
+  if (it == owned_.end()) return 0;
+  std::size_t cancelled = 0;
+  for (const TimerId id : it->second) cancelled += pending_timers_.erase(id);
+  it->second.clear();
+  return cancelled;
 }
 
 bool Simulation::step() {

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 namespace bmg::sim {
@@ -21,6 +21,11 @@ class Simulation {
  public:
   /// Handle for a cancellable timer; 0 is never a valid id.
   using TimerId = std::uint64_t;
+
+  /// Handle for a timer-owning agent; 0 means "unowned".  Owned timers
+  /// can be bulk-cancelled with cancel_agent() when the agent's
+  /// process is killed (crash injection).
+  using AgentId = std::uint64_t;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -36,14 +41,24 @@ class Simulation {
 
   /// Like at()/after(), but returns a handle that cancel() accepts.
   /// Cancelled events stay in the queue and pop as no-ops (they do not
-  /// count as processed and never invoke `fn`).
-  TimerId at_cancellable(SimTime t, std::function<void()> fn);
-  TimerId after_cancellable(SimTime delay, std::function<void()> fn);
+  /// count as processed and never invoke `fn`).  Passing an `owner`
+  /// obtained from register_agent() additionally makes the timer
+  /// eligible for cancel_agent(owner).
+  TimerId at_cancellable(SimTime t, std::function<void()> fn, AgentId owner = 0);
+  TimerId after_cancellable(SimTime delay, std::function<void()> fn, AgentId owner = 0);
 
   /// Cancels a pending timer.  Returns true if the timer had not fired
   /// (or been cancelled) yet; false for already-fired, already-
   /// cancelled or unknown ids.  Safe to call with id 0 (no-op).
   bool cancel(TimerId id);
+
+  /// Allocates a fresh timer-owner handle for one agent.
+  [[nodiscard]] AgentId register_agent() { return ++next_agent_id_; }
+
+  /// Cancels every pending timer owned by `owner` (the sim half of a
+  /// process kill: in-memory timers die with the process).  Returns
+  /// the number of timers actually cancelled.  Id 0 is a no-op.
+  std::size_t cancel_agent(AgentId owner);
 
   /// Whether a cancellable timer is scheduled and not yet fired.
   [[nodiscard]] bool timer_pending(TimerId id) const {
@@ -78,10 +93,16 @@ class Simulation {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<TimerId> pending_timers_;
+  /// Pending (not fired, not cancelled) timers, mapped to their owner
+  /// (0 for unowned).
+  std::unordered_map<TimerId, AgentId> pending_timers_;
+  /// Owner -> timers it ever scheduled; entries may be stale (already
+  /// fired or cancelled) and are dropped lazily by cancel_agent().
+  std::unordered_map<AgentId, std::vector<TimerId>> owned_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 0;
+  std::uint64_t next_agent_id_ = 0;
   std::uint64_t processed_ = 0;
 };
 

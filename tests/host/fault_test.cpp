@@ -58,6 +58,36 @@ TEST(FaultPlan, LabelPrefixFilters) {
   EXPECT_DOUBLE_EQ(plan.blackhole_probability(1.0, ""), 0.0);
 }
 
+// --- crash windows (agent-level, never chain-level) --------------------------
+
+TEST(FaultPlan, CrashWindowsAreNotChainFaults) {
+  FaultPlan plan;
+  plan.crash(10.0, 20.0, "relayer");
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.size(), 1u);
+  EXPECT_FALSE(plan.has_chain_faults());
+  ASSERT_EQ(plan.crash_windows().size(), 1u);
+  EXPECT_EQ(plan.crash_windows()[0].label_prefix, "relayer");
+  // Chain-level queries ignore crash windows entirely.
+  EXPECT_DOUBLE_EQ(plan.congestion_multiplier(15.0, "relayer"), 1.0);
+  EXPECT_FALSE(plan.in_outage(15.0));
+  EXPECT_DOUBLE_EQ(plan.blackhole_probability(15.0, "relayer"), 0.0);
+  EXPECT_DOUBLE_EQ(plan.duplicate_probability(15.0, "relayer"), 0.0);
+  EXPECT_DOUBLE_EQ(plan.fee_multiplier(15.0), 1.0);
+}
+
+TEST(FaultPlan, MixedPlanSeparatesCrashFromChainWindows) {
+  FaultPlan plan;
+  plan.crash(0.0, 5.0).congestion(0.0, 10.0, 0.5).crash(20.0, 30.0, "crank");
+  EXPECT_TRUE(plan.has_chain_faults());
+  EXPECT_EQ(plan.size(), 3u);
+  ASSERT_EQ(plan.crash_windows().size(), 2u);
+  EXPECT_EQ(plan.crash_windows()[1].label_prefix, "crank");
+  plan.clear();
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.has_chain_faults());
+}
+
 // --- Chain behaviour under faults --------------------------------------------
 
 class CounterProgram : public Program {
@@ -226,6 +256,39 @@ TEST_F(FaultChainTest, SameSeedReproducesIdenticalTrace) {
   const auto b = run_once();
   EXPECT_EQ(a.first, b.first);
   EXPECT_EQ(a.second, b.second);
+}
+
+TEST_F(FaultChainTest, CrashOnlyPlanLeavesChainByteIdentical) {
+  // A plan holding nothing but crash windows must not flip the chain
+  // into its fault path (which draws from the fault RNG and would
+  // perturb every subsequent timing decision).
+  const auto run_once = [](bool with_crash_windows) {
+    sim::Simulation sim;
+    ChainConfig cfg;
+    if (with_crash_windows)
+      cfg.fault.crash(5.0, 15.0, "relayer").crash(20.0, 25.0);
+    Chain chain(sim, Rng(99), cfg);
+    chain.register_program("test", std::make_unique<CounterProgram>());
+    const PublicKey payer = PrivateKey::from_label("payer").public_key();
+    chain.airdrop(payer, 100 * kLamportsPerSol);
+    chain.start();
+    std::vector<double> times;
+    for (int i = 0; i < 20; ++i) {
+      sim.after(i * 3.0, [&, i] {
+        Transaction tx;
+        tx.payer = payer;
+        tx.label = "t" + std::to_string(i);
+        tx.instructions.push_back(Instruction{"test", Bytes{}});
+        chain.submit(std::move(tx), [&](const TxResult& r) { times.push_back(r.time); });
+      });
+    }
+    sim.run_until(400.0);
+    return std::make_pair(times, sim.events_processed());
+  };
+  const auto with = run_once(true);
+  const auto without = run_once(false);
+  EXPECT_EQ(with.first, without.first);
+  EXPECT_EQ(with.second, without.second);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 
+#include "audit/auditor.hpp"
 #include "relayer/deployment.hpp"
 #include "relayer/fisherman_agent.hpp"
 
@@ -60,7 +61,14 @@ std::uint64_t total_faults(const host::FaultCounters& c) {
 
 TEST(Chaos, EventualDeliveryUnderComposedFaults) {
   Deployment d(chaos_config(chaos_seed()));
+  // The invariant auditor re-checks conservation / sequences / commit
+  // roots / client heights after every block while the faults fire.
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
   d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
   install_chaos_plan(d.host(), d.sim().now());
 
   // Three counterparty->guest transfers (the direction that crosses
@@ -109,6 +117,11 @@ TEST(Chaos, EventualDeliveryUnderComposedFaults) {
   EXPECT_EQ(pipe.in_flight(), 0u);
   EXPECT_LT(pipe.retries_total(), 300u);  // bounded, not runaway
   EXPECT_EQ(d.relayer().failed_sequences(), pipe.sequences_failed());
+
+  // Every invariant held at every block throughout the fault schedule.
+  auditor.check_now("final");
+  EXPECT_GT(auditor.checks_run(), 0u);
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
 }
 
 TEST(Chaos, SameSeedReproducesIdenticalTrace) {

@@ -277,5 +277,114 @@ TEST_F(PipelineTest, EmptySequenceCompletesImmediately) {
   EXPECT_EQ(pipe.in_flight(), 0u);
 }
 
+// --- crash-restart surface: redrive() / reset() ------------------------------
+
+TEST_F(PipelineTest, RedriveResumesDeadLetterWhereItFailed) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 60.0, 1.0, "mid");  // the middle tx vanishes until t = 60
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  cfg.max_attempts_per_tx = 3;  // exhausts well inside the blackhole window
+  TxPipeline pipe(sim_, *chain_, Rng(7), cfg);
+
+  bool first_done = false;
+  pipe.submit_sequence({make_tx("head"), make_tx("mid"), make_tx("tail")},
+                       [&](const SequenceOutcome&) { first_done = true; },
+                       "update");
+  sim_.run_until(50.0);
+  ASSERT_TRUE(first_done);
+  ASSERT_EQ(pipe.dead_letters().size(), 1u);
+  const DeadLetter& dl = pipe.dead_letters()[0];
+  EXPECT_EQ(dl.label, "update");
+  EXPECT_EQ(dl.failed_index, 1u);  // "head" landed, "mid" did not
+  ASSERT_EQ(dl.remaining.size(), 2u);
+  EXPECT_EQ(dl.remaining[0].label, "mid");
+  const int spent = dl.retries_spent;
+  EXPECT_GE(spent, 1);
+
+  SequenceOutcome out;
+  bool done = false;
+  EXPECT_EQ(pipe.redrive([&](const SequenceOutcome& o) {
+              out = o;
+              done = true;
+            }),
+            1u);
+  EXPECT_TRUE(pipe.dead_letters().empty());
+  sim_.run_until(400.0);  // blackhole lifts at t = 60; redrive succeeds
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(out.ok);
+  // The redriven outcome accounts for the sequence's whole life, not
+  // just its second one.
+  EXPECT_GE(out.retries, spent);
+  EXPECT_EQ(pipe.redriven_total(), 1u);
+  // Each of the three txs executed exactly once: redrive resumed from
+  // the failed index instead of replaying the delivered head.
+  EXPECT_EQ(chain_->program_as<FlakyProgram>("flaky").count, 3);
+}
+
+TEST_F(PipelineTest, ResetDropsInFlightWorkWithoutCallbacks) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 1000.0, 1.0);  // nothing lands for a long while
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  TxPipeline pipe(sim_, *chain_, Rng(8), cfg);
+
+  bool done = false;
+  pipe.submit_sequence({make_tx("orphaned")},
+                       [&](const SequenceOutcome&) { done = true; }, "orphaned");
+  sim_.run_until(7.0);
+  EXPECT_EQ(pipe.in_flight(), 1u);
+
+  pipe.reset();  // the "process" died mid-flight
+  EXPECT_EQ(pipe.in_flight(), 0u);
+  EXPECT_EQ(pipe.sequences_reset(), 1u);
+
+  sim_.run_until(2000.0);
+  // The dead incarnation's continuation must never fire, even after
+  // the blackhole lifts and any straggler results come back.
+  EXPECT_FALSE(done);
+  EXPECT_EQ(pipe.sequences_ok() + pipe.sequences_failed(), 0u);
+
+  // The pipeline is immediately reusable by the next incarnation.
+  SequenceOutcome out;
+  bool done2 = false;
+  pipe.submit_sequence({make_tx("reborn")}, [&](const SequenceOutcome& o) {
+    out = o;
+    done2 = true;
+  });
+  sim_.run_until(2400.0);
+  ASSERT_TRUE(done2);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(pipe.in_flight(), 0u);
+}
+
+TEST_F(PipelineTest, ResetClearsDeadLetters) {
+  host::FaultPlan plan;
+  plan.blackhole(0.0, 10'000.0, 1.0);
+  make_chain(std::move(plan));
+  PipelineConfig cfg;
+  cfg.tx_deadline_s = 5.0;
+  cfg.backoff_base_s = 1.0;
+  cfg.max_attempts_per_tx = 2;
+  TxPipeline pipe(sim_, *chain_, Rng(9), cfg);
+
+  pipe.submit_sequence({make_tx("doomed")}, [](const SequenceOutcome&) {});
+  sim_.run_until(100.0);
+  ASSERT_EQ(pipe.dead_letters().size(), 1u);
+  pipe.reset();
+  // A restarted agent rebuilds its work queue from on-chain state; the
+  // old incarnation's dead letters are not replayable.
+  EXPECT_TRUE(pipe.dead_letters().empty());
+  EXPECT_EQ(pipe.redrive(), 0u);
+}
+
+TEST(RelayErrorKindNames, CrashRestartHasAStableLabel) {
+  EXPECT_STREQ(to_string(RelayErrorKind::kCrashRestart), "crash-restart");
+}
+
 }  // namespace
 }  // namespace bmg::relayer

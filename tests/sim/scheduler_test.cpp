@@ -152,6 +152,69 @@ TEST(Simulation, TimerIdsAreUnique) {
   s.run();
 }
 
+// --- per-agent timer ownership (crash-restart support) -----------------------
+
+TEST(Simulation, CancelAgentKillsOnlyOwnedTimers) {
+  Simulation s;
+  const Simulation::AgentId alice = s.register_agent();
+  const Simulation::AgentId bob = s.register_agent();
+  EXPECT_NE(alice, 0u);
+  EXPECT_NE(alice, bob);
+
+  std::vector<int> fired;
+  s.after_cancellable(1.0, [&] { fired.push_back(1); }, alice);
+  s.after_cancellable(2.0, [&] { fired.push_back(2); }, bob);
+  s.after_cancellable(3.0, [&] { fired.push_back(3); }, alice);
+  s.after_cancellable(4.0, [&] { fired.push_back(4); });  // unowned
+
+  EXPECT_EQ(s.cancel_agent(alice), 2u);
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{2, 4}));
+  // Cancelled slots drain without counting as processed.
+  EXPECT_EQ(s.events_processed(), 2u);
+}
+
+TEST(Simulation, CancelAgentIsIdempotentAndSkipsFiredTimers) {
+  Simulation s;
+  const Simulation::AgentId agent = s.register_agent();
+  int fired = 0;
+  s.after_cancellable(1.0, [&] { ++fired; }, agent);
+  s.after_cancellable(5.0, [&] { ++fired; }, agent);
+  s.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  // Only the still-pending timer counts; the fired one is pruned.
+  EXPECT_EQ(s.cancel_agent(agent), 1u);
+  EXPECT_EQ(s.cancel_agent(agent), 0u);
+  EXPECT_EQ(s.cancel_agent(0), 0u);  // the unowned pseudo-agent
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, OwnedTimerStillCancellableIndividually) {
+  Simulation s;
+  const Simulation::AgentId agent = s.register_agent();
+  bool fired = false;
+  const Simulation::TimerId id = s.at_cancellable(1.0, [&] { fired = true; }, agent);
+  EXPECT_TRUE(s.cancel(id));
+  // Individually-cancelled timers no longer count against the agent.
+  EXPECT_EQ(s.cancel_agent(agent), 0u);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, AgentCanRearmTimersAfterCancelAgent) {
+  Simulation s;
+  const Simulation::AgentId agent = s.register_agent();
+  std::vector<int> fired;
+  s.after_cancellable(1.0, [&] { fired.push_back(1); }, agent);
+  s.cancel_agent(agent);
+  // A "restarted" agent reuses its id; new timers must be live.
+  s.after_cancellable(2.0, [&] { fired.push_back(2); }, agent);
+  s.run();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  EXPECT_EQ(s.cancel_agent(agent), 0u);
+}
+
 TEST(LatencyProfile, QuantileFitRecoversMedianAndQ3) {
   const LatencyProfile p = LatencyProfile::from_quantiles(4.0, 6.0, 1.0);
   Rng rng(77);
