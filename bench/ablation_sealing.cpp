@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   std::printf("%10s %18s %18s %12s\n", "packets", "plain bytes", "sealed bytes",
               "ratio");
   for (std::size_t i = 1; i <= 100'000; ++i) {
-    const Bytes key =
+    const auto key =
         ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0", i);
     sealed.set(key, value);
     plain.set(key, value);

@@ -1,0 +1,154 @@
+// Allocation-accounting harness (PR 6): runs the full-stack relay
+// loop in steady state and reports heap allocations and bytes copied
+// per delivered packet, using the global counters behind
+// BMG_ALLOC_STATS.
+//
+// With --budget FILE, compares allocations/packet against the
+// checked-in budget and exits non-zero on regression — the CI leg that
+// keeps the zero-copy hot path from silently re-growing heap traffic.
+// In a default build (BMG_ALLOC_STATS=OFF) the counters read zero; the
+// harness says so and exits 0 so it is safe to run anywhere.
+//
+//   alloc_relay_loop [--days D] [--seed N] [--budget FILE]
+//
+// Budget file format: lines of `key value`, `#` comments.  Keys:
+//   allocs_per_packet_max   (required) ceiling on allocations/packet
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/alloc_stats.hpp"
+
+namespace {
+
+using namespace bmg;
+
+struct Budget {
+  double allocs_per_packet_max = 0;
+  bool loaded = false;
+};
+
+Budget load_budget(const char* path) {
+  Budget b;
+  std::FILE* f = std::fopen(path, "r");
+  if (!f) {
+    std::fprintf(stderr, "alloc_relay_loop: cannot open budget file '%s'\n", path);
+    std::exit(2);
+  }
+  char line[256];
+  while (std::fgets(line, sizeof(line), f)) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    char key[128];
+    double value = 0;
+    if (std::sscanf(line, "%127s %lf", key, &value) == 2 &&
+        std::strcmp(key, "allocs_per_packet_max") == 0) {
+      b.allocs_per_packet_max = value;
+      b.loaded = true;
+    }
+  }
+  std::fclose(f);
+  if (!b.loaded) {
+    std::fprintf(stderr,
+                 "alloc_relay_loop: budget file '%s' missing allocs_per_packet_max\n",
+                 path);
+    std::exit(2);
+  }
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = 0.10;
+  std::uint64_t seed = 42;
+  const char* budget_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      errno = 0;
+      days = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || errno == ERANGE || !(days > 0)) {
+        std::fprintf(stderr, "alloc_relay_loop: --days expects a positive number\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: alloc_relay_loop [--days D] [--seed N] [--budget FILE]\n");
+      return 2;
+    }
+  }
+
+  relayer::DeploymentConfig cfg = bench::paper_config(seed);
+  cfg.guest.delta_seconds = 60.0;  // tight Δ so packets finalise quickly
+  relayer::Deployment d(cfg);
+  d.open_ibc();
+
+  // Warm-up: one day of traffic so arenas, tries and caches reach
+  // steady state before the measured window opens.
+  {
+    const double warm_until = d.sim().now() + 0.02 * 86400.0;
+    bench::GuestSendWorkload warm_guest(d, 120.0, warm_until);
+    bench::CpSendWorkload warm_cp(d, 300.0, warm_until);
+    d.run_for(0.02 * 86400.0 + 2.0 * cfg.guest.delta_seconds);
+  }
+
+  const std::uint64_t packets_before =
+      d.relayer().packets_relayed_to_cp() + d.relayer().packets_relayed_to_guest();
+  const alloc_stats::Snapshot before = alloc_stats::snapshot();
+
+  const double until = d.sim().now() + days * 86400.0;
+  bench::GuestSendWorkload guest_load(d, 120.0, until);
+  bench::CpSendWorkload cp_load(d, 300.0, until);
+  d.run_for(days * 86400.0 + 2.0 * cfg.guest.delta_seconds);
+
+  const alloc_stats::Snapshot delta = alloc_stats::snapshot() - before;
+  const std::uint64_t packets =
+      d.relayer().packets_relayed_to_cp() + d.relayer().packets_relayed_to_guest() -
+      packets_before;
+
+  std::printf("alloc_relay_loop: seed=%llu days=%.3f\n",
+              static_cast<unsigned long long>(seed), days);
+  std::printf("packets_delivered      %llu\n",
+              static_cast<unsigned long long>(packets));
+  if (!alloc_stats::enabled()) {
+    std::printf("alloc stats DISABLED (configure with -DBMG_ALLOC_STATS=ON)\n");
+    return 0;
+  }
+  if (packets == 0) {
+    std::fprintf(stderr, "alloc_relay_loop: no packets delivered; run longer\n");
+    return 2;
+  }
+
+  const double allocs_per_packet =
+      static_cast<double>(delta.allocs) / static_cast<double>(packets);
+  const double alloc_bytes_per_packet =
+      static_cast<double>(delta.alloc_bytes) / static_cast<double>(packets);
+  const double copied_per_packet =
+      static_cast<double>(delta.bytes_copied) / static_cast<double>(packets);
+  std::printf("allocs_total           %llu\n",
+              static_cast<unsigned long long>(delta.allocs));
+  std::printf("allocs_per_packet      %.1f\n", allocs_per_packet);
+  std::printf("alloc_bytes_per_packet %.1f\n", alloc_bytes_per_packet);
+  std::printf("bytes_copied_per_packet %.1f\n", copied_per_packet);
+
+  if (budget_path != nullptr) {
+    const Budget budget = load_budget(budget_path);
+    if (allocs_per_packet > budget.allocs_per_packet_max) {
+      std::fprintf(stderr,
+                   "alloc_relay_loop: REGRESSION — %.1f allocs/packet exceeds "
+                   "budget %.1f (%s)\n",
+                   allocs_per_packet, budget.allocs_per_packet_max, budget_path);
+      return 1;
+    }
+    std::printf("budget_ok              %.1f <= %.1f\n", allocs_per_packet,
+                budget.allocs_per_packet_max);
+  }
+  return 0;
+}

@@ -14,8 +14,10 @@
 //   --seeds N    seeds 42..42+N-1 per Δ point (default 4)
 //   --days D     simulated days per scenario (default 0.05)
 //   --threads T  worker threads (default: BMG_THREADS or hardware)
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -82,18 +84,55 @@ Row run_scenario(const Scenario& sc, double days) {
   return row;
 }
 
+/// Parses a strictly positive integer option value; exits with a
+/// diagnostic on garbage, trailing junk, overflow or non-positive
+/// input (std::atoi would silently return 0 and corrupt the grid).
+long parse_positive_long(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v <= 0) {
+    std::fprintf(stderr, "scenario_runner: %s expects a positive integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Parses a strictly positive decimal option value with the same
+/// rejection rules as parse_positive_long.
+double parse_positive_double(const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0)) {
+    std::fprintf(stderr, "scenario_runner: %s expects a positive number, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int seeds = 4;
   double days = 0.05;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc)
-      seeds = std::atoi(argv[++i]);
-    else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc)
-      days = std::atof(argv[++i]);
-    else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
-      parallel::set_thread_count(static_cast<std::size_t>(std::atoll(argv[++i])));
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = static_cast<int>(parse_positive_long("--seeds", argv[++i]));
+    } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      days = parse_positive_double("--days", argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      parallel::set_thread_count(
+          static_cast<std::size_t>(parse_positive_long("--threads", argv[++i])));
+    } else {
+      std::fprintf(stderr,
+                   "scenario_runner: unknown or incomplete option '%s'\n"
+                   "usage: scenario_runner [--seeds N] [--days D] [--threads T]\n",
+                   argv[i]);
+      return 2;
+    }
   }
 
   // Static grid: Δ points × seeds, in a fixed order that does not

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   value.bytes[0] = 1;
   std::size_t pairs = 0;
   while (true) {
-    const Bytes key =
+    const auto key =
         ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0", pairs);
     trie.set(key, value);
     ++pairs;

@@ -104,12 +104,10 @@ int main() {
   host::Transaction evtx;
   evtx.payer = fisherman.public_key();
   evtx.instructions.push_back(guest::ix::submit_evidence(1));
-  evtx.sig_verifies.push_back(host::SigVerify{
-      offender.public_key(), Bytes(da.bytes.begin(), da.bytes.end()),
-      offender.sign(da.view())});
-  evtx.sig_verifies.push_back(host::SigVerify{
-      offender.public_key(), Bytes(db.bytes.begin(), db.bytes.end()),
-      offender.sign(db.view())});
+  evtx.sig_verifies.push_back(
+      host::SigVerify{offender.public_key(), da, offender.sign(da.view())});
+  evtx.sig_verifies.push_back(
+      host::SigVerify{offender.public_key(), db, offender.sign(db.view())});
   const std::uint64_t fisherman_before = d.host().balance(fisherman.public_key());
   const auto res = submit_and_wait(d, std::move(evtx));
   std::printf("[%7.1fs] fisherman submits evidence: %s\n", d.sim().now(),

@@ -1,0 +1,91 @@
+#include "common/alloc_stats.hpp"
+
+#ifdef BMG_ALLOC_STATS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+// Relaxed is enough: counters are read only at quiescent points
+// (snapshot before/after a measured region), never used to order other
+// memory operations.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_bytes_copied{0};
+
+void* counted_alloc(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (n + align - 1) / align * align)
+                : std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+}  // namespace
+
+namespace bmg::alloc_stats {
+
+Snapshot snapshot() noexcept {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed),
+          g_bytes_copied.load(std::memory_order_relaxed)};
+}
+
+void count_copy(std::size_t n) noexcept {
+  g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace bmg::alloc_stats
+
+// Global replacement set.  malloc/free underneath keeps the
+// replacement interposable by sanitizers, though the alloc-stats CI
+// leg uses a plain build.
+void* operator new(std::size_t n) { return counted_alloc(n, 0); }
+void* operator new[](std::size_t n) { return counted_alloc(n, 0); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+
+#endif  // BMG_ALLOC_STATS

@@ -1,0 +1,53 @@
+// Allocation accounting for the perf harness.
+//
+// Built with -DBMG_ALLOC_STATS (CMake option BMG_ALLOC_STATS=ON) this
+// replaces global operator new/delete with counting versions, and the
+// codec charges every buffer copy to a bytes-copied counter.  The
+// bench binaries then report allocations/event and bytes-copied/event
+// as first-class columns, and CI enforces a checked-in budget on the
+// steady-state relay loop (bench/alloc_budget.txt).
+//
+// In the default build everything here compiles to nothing: snapshot()
+// returns zeros and count_copy() is an empty inline.  Keeping the
+// accounting out of the default build is what lets scenario_runner and
+// the figure benches stay byte-identical to the seed outputs.
+//
+// Counters are process-global relaxed atomics: cheap enough for a
+// measurement build, and exact as long as the measured region is
+// single-threaded (the recording methodology pins BMG_THREADS=1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bmg::alloc_stats {
+
+struct Snapshot {
+  std::uint64_t allocs = 0;        ///< operator new calls
+  std::uint64_t frees = 0;         ///< operator delete calls
+  std::uint64_t alloc_bytes = 0;   ///< bytes requested from operator new
+  std::uint64_t bytes_copied = 0;  ///< codec buffer bytes memcpy'd
+
+  friend Snapshot operator-(const Snapshot& a, const Snapshot& b) {
+    return {a.allocs - b.allocs, a.frees - b.frees,
+            a.alloc_bytes - b.alloc_bytes, a.bytes_copied - b.bytes_copied};
+  }
+};
+
+[[nodiscard]] constexpr bool enabled() noexcept {
+#ifdef BMG_ALLOC_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef BMG_ALLOC_STATS
+[[nodiscard]] Snapshot snapshot() noexcept;
+void count_copy(std::size_t n) noexcept;
+#else
+[[nodiscard]] inline Snapshot snapshot() noexcept { return {}; }
+inline void count_copy(std::size_t) noexcept {}
+#endif
+
+}  // namespace bmg::alloc_stats

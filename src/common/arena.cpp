@@ -1,0 +1,85 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bmg {
+
+namespace {
+[[nodiscard]] std::size_t align_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) & ~(align - 1);
+}
+}  // namespace
+
+void Arena::ensure_room(std::size_t n, std::size_t align) {
+  // Try the chunks we already own (reset() keeps them around).
+  while (active_ < chunks_.size()) {
+    const Chunk& c = chunks_[active_];
+    if (align_up(chunk_used_, align) + n <= c.size) return;
+    ++active_;
+    chunk_used_ = 0;
+  }
+  std::size_t want = std::max(next_chunk_bytes_, n);
+  chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(want), want});
+  // Geometric growth caps the number of chunks (and heap calls) at
+  // O(log total) for any workload.
+  next_chunk_bytes_ = next_chunk_bytes_ * 2;
+  active_ = chunks_.size() - 1;
+  chunk_used_ = 0;
+}
+
+void* Arena::allocate(std::size_t n, std::size_t align) {
+  ensure_room(n, align);
+  Chunk& c = chunks_[active_];
+  const std::size_t at = align_up(chunk_used_, align);
+  chunk_used_ = at + n;
+  return c.data.get() + at;
+}
+
+std::uint8_t* Arena::grow(std::uint8_t* p, std::size_t old_size,
+                          std::size_t new_size) {
+  if (new_size <= old_size) return p;
+  if (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    // In-place extension: p must be the latest allocation, i.e. end
+    // exactly at the bump pointer of the active chunk.
+    if (p + old_size == c.data.get() + chunk_used_ &&
+        (static_cast<std::size_t>(p - c.data.get()) + new_size) <= c.size) {
+      chunk_used_ += new_size - old_size;
+      return p;
+    }
+  }
+  auto* fresh = alloc_bytes(new_size);
+  if (old_size != 0) std::memcpy(fresh, p, old_size);
+  return fresh;
+}
+
+void Arena::reset() noexcept {
+  active_ = 0;
+  chunk_used_ = 0;
+}
+
+void Arena::rewind(Mark m) noexcept {
+  active_ = m.chunk;
+  chunk_used_ = m.used;
+}
+
+std::size_t Arena::bytes_used() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < active_ && i < chunks_.size(); ++i)
+    n += chunks_[i].size;
+  return n + chunk_used_;
+}
+
+std::size_t Arena::bytes_reserved() const noexcept {
+  std::size_t n = 0;
+  for (const Chunk& c : chunks_) n += c.size;
+  return n;
+}
+
+Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace bmg

@@ -1,32 +1,82 @@
 #include "common/codec.hpp"
 
+#include <cstring>
+
+#include "common/alloc_stats.hpp"
+#include "common/arena.hpp"
+
 namespace bmg {
 
+Encoder::Encoder(Arena& arena, std::size_t size_hint) : arena_(&arena) {
+  if (size_hint != 0) {
+    data_ = arena_->alloc_bytes(size_hint);
+    cap_ = size_hint;
+  }
+}
+
+void Encoder::ensure(std::size_t more) {
+  if (cap_ - size_ >= more) return;
+  std::size_t cap = cap_ < 16 ? 32 : cap_ * 2;
+  if (cap < size_ + more) cap = size_ + more;
+  if (arena_ != nullptr) {
+    data_ = arena_->grow(data_, cap_, cap);
+  } else {
+    // Owning mode, or caller-buffer mode spilling to the heap.  resize
+    // (not reserve) so data_ may legally point at [0, cap).
+    own_.resize(cap);
+    if (scratch_ != nullptr) {
+      std::memcpy(own_.data(), scratch_, size_);
+      scratch_ = nullptr;
+    }
+    data_ = own_.data();
+  }
+  cap_ = cap;
+}
+
+Bytes Encoder::take() {
+  if (arena_ == nullptr && scratch_ == nullptr) {
+    own_.resize(size_);
+    Bytes result = std::move(own_);
+    own_ = Bytes();
+    data_ = nullptr;
+    size_ = cap_ = 0;
+    return result;
+  }
+  return Bytes(data_, data_ + size_);
+}
+
 Encoder& Encoder::u8(std::uint8_t v) {
-  buf_.push_back(v);
+  *grip(1) = v;
   return *this;
 }
 
 Encoder& Encoder::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  std::uint8_t* p = grip(2);
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
   return *this;
 }
 
 Encoder& Encoder::u32(std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8)
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  std::uint8_t* p = grip(4);
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
   return *this;
 }
 
 Encoder& Encoder::u64(std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8)
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  std::uint8_t* p = grip(8);
+  for (int i = 0; i < 8; ++i)
+    p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
   return *this;
 }
 
 Encoder& Encoder::raw(ByteView data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  alloc_stats::count_copy(data.size());
+  std::uint8_t* p = grip(data.size());
+  if (!data.empty()) std::memcpy(p, data.data(), data.size());
   return *this;
 }
 
@@ -37,7 +87,9 @@ Encoder& Encoder::bytes(ByteView data) {
 
 Encoder& Encoder::str(std::string_view s) {
   u32(static_cast<std::uint32_t>(s.size()));
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  alloc_stats::count_copy(s.size());
+  std::uint8_t* p = grip(s.size());
+  if (!s.empty()) std::memcpy(p, s.data(), s.size());
   return *this;
 }
 
@@ -77,12 +129,27 @@ std::uint64_t Decoder::u64() {
   return v;
 }
 
-Bytes Decoder::raw(std::size_t n) {
+ByteView Decoder::view(std::size_t n) {
   need(n);
-  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  const ByteView out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
+}
+
+ByteView Decoder::bytes_view() {
+  const std::uint32_t n = u32();
+  return view(n);
+}
+
+std::string_view Decoder::str_view() {
+  const ByteView v = bytes_view();
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+Bytes Decoder::raw(std::size_t n) {
+  alloc_stats::count_copy(n);
+  const ByteView v = view(n);
+  return Bytes(v.begin(), v.end());
 }
 
 Bytes Decoder::bytes() {
@@ -91,19 +158,15 @@ Bytes Decoder::bytes() {
 }
 
 std::string Decoder::str() {
-  const std::uint32_t n = u32();
-  need(n);
-  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
-  pos_ += n;
-  return out;
+  const std::string_view v = str_view();
+  alloc_stats::count_copy(v.size());
+  return std::string(v);
 }
 
 Hash32 Decoder::hash() {
-  need(32);
+  const ByteView v = view(32);
   Hash32 h;
-  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + 32), h.bytes.begin());
-  pos_ += 32;
+  std::memcpy(h.bytes.data(), v.data(), 32);
   return h;
 }
 

@@ -4,9 +4,15 @@
 // counterparty headers, trie nodes) is serialized through this codec so
 // hashes are stable across runs.  Integers are big-endian; variable
 // length data is length-prefixed with a u32.
+//
+// The encoding is *fully canonical*: there is exactly one byte string
+// per value, so the digest of a wire blob equals the digest of its
+// re-encoding.  The zero-copy views in ibc/views.hpp lean on this to
+// hash borrowed wire bytes directly instead of re-encoding.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -15,24 +21,41 @@
 
 namespace bmg {
 
+class Arena;
+
 /// Thrown by Decoder on truncated or malformed input.
 class CodecError : public std::runtime_error {
  public:
   explicit CodecError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Append-only encoder with three storage modes:
+///  - owning (default): writes into an internal heap buffer; `take()`
+///    moves it out as `Bytes`.
+///  - arena-backed: writes into `Arena` memory; the output (`out()`)
+///    lives until the arena scope resets.  One pointer bump per
+///    growth, no heap traffic.
+///  - caller buffer: writes into a caller-provided span (typically
+///    stack storage); spills to an internal heap buffer only if the
+///    output outgrows it.
+/// The hot fixed-shape encoders (trie nodes, headers, packet
+/// commitments) know their exact size arithmetically; passing it as
+/// `size_hint` makes growth a non-event.
 class Encoder {
  public:
   Encoder() = default;
-  /// Pre-sizes the buffer for `size_hint` bytes of output.  The hot
-  /// fixed-shape encoders (trie nodes, headers, packet commitments)
-  /// know their exact size arithmetically; passing it here turns the
-  /// repeated push_back reallocation into a single allocation.
-  explicit Encoder(std::size_t size_hint) { buf_.reserve(size_hint); }
+  /// Owning mode, pre-sized for `size_hint` bytes of output.
+  explicit Encoder(std::size_t size_hint) { ensure(size_hint); }
+  /// Arena mode.  The encoder (and its `out()` view) must not outlive
+  /// the arena scope it was created under.
+  explicit Encoder(Arena& arena, std::size_t size_hint = 0);
+  /// Caller-buffer mode over `scratch`.
+  explicit Encoder(std::span<std::uint8_t> scratch)
+      : data_(scratch.data()), cap_(scratch.size()), scratch_(scratch.data()) {}
 
-  /// Ensures `n` more bytes can be appended without reallocation.
+  /// Ensures `n` more bytes can be appended without another growth.
   Encoder& reserve(std::size_t n) {
-    buf_.reserve(buf_.size() + n);
+    ensure(n);
     return *this;
   }
 
@@ -49,12 +72,31 @@ class Encoder {
   Encoder& hash(const Hash32& h);
   Encoder& boolean(bool v);
 
-  [[nodiscard]] const Bytes& out() const noexcept { return buf_; }
-  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  /// The encoded output.  Valid until the next append (growth may move
+  /// the buffer) and, in arena mode, until the arena scope resets.
+  [[nodiscard]] ByteView out() const noexcept { return {data_, size_}; }
+  /// Moves the output out as owning Bytes.  In owning mode this is the
+  /// no-copy move of the internal buffer; in arena/caller-buffer mode
+  /// it copies (prefer `out()` there).
+  [[nodiscard]] Bytes take();
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
  private:
-  Bytes buf_;
+  void ensure(std::size_t more);
+  /// Reserves and claims `n` bytes; returns the write cursor.
+  [[nodiscard]] std::uint8_t* grip(std::size_t n) {
+    if (cap_ - size_ < n) ensure(n);
+    std::uint8_t* p = data_ + size_;
+    size_ += n;
+    return p;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  Arena* arena_ = nullptr;            ///< arena mode
+  std::uint8_t* scratch_ = nullptr;   ///< caller-buffer mode
+  Bytes own_;                         ///< owning-mode / spill storage
 };
 
 class Decoder {
@@ -70,6 +112,13 @@ class Decoder {
   [[nodiscard]] std::string str();
   [[nodiscard]] Hash32 hash();
   [[nodiscard]] bool boolean();
+
+  // Zero-copy variants: the returned views borrow the decoder's input
+  // and are valid exactly as long as it is.  Bounds are checked the
+  // same way as the owning variants (CodecError on truncation).
+  [[nodiscard]] ByteView view(std::size_t n);
+  [[nodiscard]] ByteView bytes_view();
+  [[nodiscard]] std::string_view str_view();
 
   [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }

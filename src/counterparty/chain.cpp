@@ -1,5 +1,8 @@
 #include "counterparty/chain.hpp"
 
+#include <array>
+#include <span>
+
 #include "crypto/sha256.hpp"
 
 namespace bmg::counterparty {
@@ -18,9 +21,12 @@ CounterpartyChain::CounterpartyChain(sim::Simulation& sim, Rng rng, Config cfg)
 
   module_.set_self_identity(cfg_.chain_id, [this] { return validator_set_.hash(); });
 
-  // Seed application state so IBC proofs have realistic depth.
+  // Seed application state so IBC proofs have realistic depth.  The
+  // per-key preimage is tiny, so encode it into one reused stack
+  // buffer instead of a heap Encoder per key.
+  std::array<std::uint8_t, 128> key_buf;
   for (std::size_t i = 0; i < cfg_.background_state_keys; ++i) {
-    Encoder e;
+    Encoder e{std::span<std::uint8_t>(key_buf)};
     e.str(cfg_.chain_id).u64(i);
     const Hash32 key = crypto::Sha256::digest(e.out());
     store_.set(key.view(), crypto::Sha256::digest(key.view()));
@@ -41,22 +47,20 @@ void CounterpartyChain::produce_block() {
   // per block.
   store_.commit();
 
-  ibc::QuorumHeader header;
-  header.chain_id = cfg_.chain_id;
-  header.height = height_;
-  header.timestamp = sim_.now();
-  header.state_root = store_.root_hash();
-  header.validator_set_hash = validator_set_.hash();
-
   // Sample the commit: each validator participates with probability
   // `signature_participation`; top up deterministically if the sample
   // fell short of quorum (Tendermint commits always carry >2/3).
   PendingCommit commit;
-  commit.header = header;
+  commit.header.chain_id = cfg_.chain_id;
+  commit.header.height = height_;
+  commit.header.timestamp = sim_.now();
+  commit.header.state_root = store_.root_hash();
+  commit.header.validator_set_hash = validator_set_.hash();
   std::uint64_t power = 0;
   const double participation =
       rng_.uniform(cfg_.participation_min, cfg_.participation_max);
-  std::vector<bool> in_commit(validator_keys_.size(), false);
+  in_commit_scratch_.assign(validator_keys_.size(), false);
+  std::vector<bool>& in_commit = in_commit_scratch_;
   for (std::size_t i = 0; i < validator_keys_.size(); ++i) {
     if (rng_.chance(participation)) {
       in_commit[i] = true;
@@ -70,6 +74,7 @@ void CounterpartyChain::produce_block() {
       power += validator_set_.entries()[i].stake;
     }
   }
+  commit.signer_indices.reserve(validator_keys_.size());
   for (std::size_t i = 0; i < validator_keys_.size(); ++i)
     if (in_commit[i]) commit.signer_indices.push_back(i);
 

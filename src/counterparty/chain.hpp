@@ -110,6 +110,8 @@ class CounterpartyChain {
   std::map<ibc::Height, std::shared_ptr<const trie::SealableTrie>> snapshots_;
   std::shared_ptr<const trie::SealableTrie> last_snapshot_;
   std::vector<std::function<void(ibc::Height)>> block_callbacks_;
+  /// Per-block participation bitmap, reused across produce_block calls.
+  std::vector<bool> in_commit_scratch_;
   bool started_ = false;
 };
 

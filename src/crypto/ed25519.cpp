@@ -529,8 +529,13 @@ struct MsmEntry {
 Ge ge_multi_scalarmult(const std::uint8_t base_scalar[32],
                        const std::vector<MsmEntry>& entries) {
   const std::size_t n = entries.size();
-  std::vector<std::array<signed char, 257>> nafs(n);
-  std::vector<DynTable> tables(n);
+  // Reused per thread: one MSM runs per batch-verify shard, and the
+  // working set (NAF digits + per-point tables) would otherwise be two
+  // fresh heap blocks per call.
+  thread_local std::vector<std::array<signed char, 257>> nafs;
+  thread_local std::vector<DynTable> tables;
+  nafs.assign(n, {});
+  tables.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
     slide(nafs[j].data(), entries[j].scalar, kWindowDyn);
     tables[j] = ge_dyn_table(entries[j].point);
@@ -874,7 +879,8 @@ void verify_batch_range(std::span<const VerifyItem> items, std::uint8_t* ok) {
     std::size_t idx;
     DecodedSig d;
   };
-  std::vector<Candidate> cand;
+  thread_local std::vector<Candidate> cand;
+  cand.clear();
   cand.reserve(items.size());
   for (std::size_t i = 0; i < items.size(); ++i) {
     DecodedSig d;
@@ -907,7 +913,8 @@ void verify_batch_range(std::span<const VerifyItem> items, std::uint8_t* ok) {
   // Combined equation: [sum z_i S_i]B + sum [z_i](-R_i) + sum [z_i k_i](-A_i)
   // must be the identity.
   U256 b_comb = {{0, 0, 0, 0}};
-  std::vector<MsmEntry> entries;
+  thread_local std::vector<MsmEntry> entries;
+  entries.clear();
   entries.reserve(cand.size() * 2);
   for (std::size_t j = 0; j < cand.size(); ++j) {
     Sha512 zh;

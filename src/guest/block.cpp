@@ -48,10 +48,10 @@ GuestBlock GuestBlock::make(const std::string& chain_id, ibc::Height height,
 }
 
 std::size_t GuestBlock::byte_size() const {
-  std::size_t n = header.encode().size() + 64;  // header + bookkeeping
+  std::size_t n = header.byte_size() + 64;  // header + bookkeeping
   n += signers.size() * 96;
-  if (next_validators) n += next_validators->encode().size();
-  for (const auto& p : packets) n += p.encode().size();
+  if (next_validators) n += next_validators->byte_size();
+  for (const auto& p : packets) n += p.wire_size();
   return n;
 }
 

@@ -149,7 +149,7 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
     }
   }
 
-  Encoder ev;
+  Encoder ev(8);
   ev.u64(block.header.height);
   blocks_.push_back(std::move(block));
   ctx.emit_event(kEvNewBlock, ev.take());
@@ -183,7 +183,7 @@ void GuestContract::finalise_block(host::TxContext& ctx, GuestBlock& block) {
     }
   }
 
-  Encoder ev;
+  Encoder ev(8);
   ev.u64(block.header.height);
   ctx.emit_event(kEvFinalisedBlock, ev.take());
 }
@@ -210,8 +210,7 @@ void GuestContract::op_sign(host::TxContext& ctx, Decoder& d) {
   const Hash32 digest = block.hash();
   const crypto::Signature* found = nullptr;
   for (const auto& sv : ctx.verified_signatures()) {
-    if (sv.pubkey == pubkey && sv.message.size() == 32 &&
-        ct_equal(sv.message, digest.view())) {
+    if (sv.pubkey == pubkey && ct_equal(sv.message.view(), digest.view())) {
       found = &sv.signature;
       break;
     }
@@ -232,7 +231,7 @@ void GuestContract::collect_send_fee(host::TxContext& ctx) {
 
 void GuestContract::record_sent_packet(host::TxContext& ctx, const ibc::Packet& packet) {
   pending_packets_.push_back(packet);
-  Encoder ev;
+  Encoder ev(8);
   ev.u64(packet.sequence);
   ctx.emit_event(kEvPacketSent, ev.take());
 }
@@ -316,7 +315,7 @@ void GuestContract::op_receive_packet(host::TxContext& ctx, Decoder& d) {
   } catch (const trie::TrieError& e) {
     throw host::TxError(e.what());
   }
-  Encoder ev;
+  Encoder ev(8);
   ev.u64(packet.sequence);
   ctx.emit_event(kEvPacketReceived, ev.take());
 }
@@ -384,11 +383,13 @@ void GuestContract::op_verify_update_signatures(host::TxContext& ctx) {
   const ibc::ValidatorSet& set = counterparty_client_->validators();
   std::size_t matched = 0;
   for (const auto& sv : ctx.verified_signatures()) {
-    if (sv.message.size() != 32 || !ct_equal(sv.message, pending_update_->digest.view()))
-      continue;
+    if (!ct_equal(sv.message.view(), pending_update_->digest.view())) continue;
     const auto stake = set.stake_of(sv.pubkey);
     if (!stake) continue;
-    if (!pending_update_->seen.insert(sv.pubkey).second) continue;
+    const auto pos = std::lower_bound(pending_update_->seen.begin(),
+                                      pending_update_->seen.end(), sv.pubkey);
+    if (pos != pending_update_->seen.end() && *pos == sv.pubkey) continue;
+    pending_update_->seen.insert(pos, sv.pubkey);
     pending_update_->verified_power += *stake;
     ++matched;
   }
@@ -472,7 +473,7 @@ void GuestContract::slash(host::TxContext& ctx, const crypto::PublicKey& offende
     if (reward > 0) ctx.transfer(vault_, ctx.payer(), reward);
     if (backed > reward) ctx.transfer(vault_, burn_, backed - reward);
   }
-  Encoder ev;
+  Encoder ev(32);
   ev.raw(offender.view());
   ctx.emit_event(kEvSlashed, ev.take());
 }
@@ -501,8 +502,7 @@ void GuestContract::op_submit_evidence(host::TxContext& ctx, Decoder& d) {
     const Hash32 digest = header.signing_digest();
     bool found = false;
     for (const auto& sv : ctx.verified_signatures()) {
-      if (sv.pubkey == offender && sv.message.size() == 32 &&
-          ct_equal(sv.message, digest.view())) {
+      if (sv.pubkey == offender && ct_equal(sv.message.view(), digest.view())) {
         found = true;
         break;
       }
@@ -727,7 +727,7 @@ std::optional<GuestContract::PendingUpdateInfo> GuestContract::pending_update_in
   PendingUpdateInfo info;
   info.height = pending_update_->header.height;
   info.verified_power = pending_update_->verified_power;
-  info.seen.assign(pending_update_->seen.begin(), pending_update_->seen.end());
+  info.seen = pending_update_->seen;  // already sorted
   return info;
 }
 

@@ -169,7 +169,10 @@ class GuestContract final : public host::Program {
     std::optional<ibc::ValidatorSet> next_validators;
     Hash32 digest{};
     std::uint64_t verified_power = 0;
-    std::set<crypto::PublicKey> seen;
+    /// Validators already counted, kept sorted; binary-search insert
+    /// avoids the per-signer node allocation of a std::set on the
+    /// client-update hot path.
+    std::vector<crypto::PublicKey> seen;
   };
 
   // Instruction handlers.

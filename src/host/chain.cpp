@@ -307,7 +307,7 @@ void Chain::execute_tx(PendingTx& ptx) {
       std::vector<crypto::ed25519::VerifyItem> items;
       items.reserve(tx.sig_verifies.size());
       for (const auto& sv : tx.sig_verifies)
-        items.push_back({sv.pubkey.raw(), ByteView{sv.message}, sv.signature.raw()});
+        items.push_back({sv.pubkey.raw(), sv.message.view(), sv.signature.raw()});
       for (const bool good : crypto::ed25519::verify_batch(items))
         if (!good) throw TxError("ed25519 pre-compile: invalid signature");
     }

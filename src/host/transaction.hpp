@@ -37,11 +37,14 @@ struct FeePolicy {
 /// verifies these and the contract introspects the results.
 struct SigVerify {
   crypto::PublicKey pubkey;
-  Bytes message;
+  /// The signed message.  Every signature in this system covers a
+  /// 32-byte digest, so the message is stored flat — building a
+  /// verification request never touches the heap.
+  Hash32 message;
   crypto::Signature signature;
 
   [[nodiscard]] std::size_t wire_size() const {
-    return kSigVerifyBytesOverhead + message.size();
+    return kSigVerifyBytesOverhead + message.bytes.size();
   }
 };
 

@@ -10,7 +10,15 @@
 // subspace stays unsealed, inserting the next sequence number can
 // never route into a sealed subtree (interval property — see
 // DESIGN.md and trie tests).
+//
+// Keys are built per store access on the hot path, so they are a plain
+// 17-byte stack value (`CommitmentKey`, convertible to ByteView) and
+// the subspace tag — the one SHA-256 in the construction — is memoised
+// per (port, channel) in a thread-local cache.  Building a key for a
+// warm subspace touches no heap and hashes nothing.
 #pragma once
+
+#include <array>
 
 #include "common/bytes.hpp"
 #include "ibc/types.hpp"
@@ -27,17 +35,40 @@ enum class KeyKind : std::uint8_t {
   kClientState = 0x12,       ///< light client state commitment (seq = 0)
 };
 
+/// A fixed-width store key as a stack value.  Converts implicitly to
+/// ByteView, which every store/proof interface takes.
+class CommitmentKey {
+ public:
+  static constexpr std::size_t kSize = 8 + 1 + 8;
+
+  CommitmentKey() = default;
+  CommitmentKey(const Hash32& domain_tag, KeyKind kind, std::uint64_t sequence);
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return buf_.data(); }
+  [[nodiscard]] static constexpr std::size_t size() noexcept { return kSize; }
+  [[nodiscard]] ByteView view() const noexcept { return {buf_.data(), kSize}; }
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate — keys are views.
+  operator ByteView() const noexcept { return view(); }
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(buf_.begin(), buf_.end()); }
+
+  friend bool operator==(const CommitmentKey&, const CommitmentKey&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> buf_{};
+};
+
 /// Key for per-packet entries.
-[[nodiscard]] Bytes packet_key(KeyKind kind, const PortId& port, const ChannelId& channel,
-                               std::uint64_t sequence);
+[[nodiscard]] CommitmentKey packet_key(KeyKind kind, const PortId& port,
+                                       const ChannelId& channel,
+                                       std::uint64_t sequence);
 
 /// Key for a channel end commitment.
-[[nodiscard]] Bytes channel_key(const PortId& port, const ChannelId& channel);
+[[nodiscard]] CommitmentKey channel_key(const PortId& port, const ChannelId& channel);
 
 /// Key for a connection end commitment.
-[[nodiscard]] Bytes connection_key(const ConnectionId& connection);
+[[nodiscard]] CommitmentKey connection_key(const ConnectionId& connection);
 
 /// Key for a light client's state commitment.
-[[nodiscard]] Bytes client_key(const ClientId& client);
+[[nodiscard]] CommitmentKey client_key(const ClientId& client);
 
 }  // namespace bmg::ibc

@@ -1,5 +1,8 @@
 #include "ibc/module.hpp"
 
+#include <array>
+#include <span>
+
 #include "crypto/sha256.hpp"
 
 namespace bmg::ibc {
@@ -404,7 +407,7 @@ Acknowledgement IbcModule::recv_packet(const Packet& packet, Height proof_height
   // Double-delivery guard.  Unordered channels use the sealable-trie
   // receipt mechanism of §III-A (a sealed receipt is just as blocking
   // as a live one); ordered channels enforce strict sequencing.
-  const Bytes receipt_key = packet_key(KeyKind::kPacketReceipt, packet.dest_port,
+  const auto receipt_key = packet_key(KeyKind::kPacketReceipt, packet.dest_port,
                                        packet.dest_channel, packet.sequence);
   if (ordered) {
     if (packet.sequence != rec.next_recv)
@@ -421,7 +424,7 @@ Acknowledgement IbcModule::recv_packet(const Packet& packet, Height proof_height
   verify_membership(conn, proof_height, proof,
                     packet_key(KeyKind::kPacketCommitment, packet.source_port,
                                packet.source_channel, packet.sequence),
-                    packet.commitment(), "recv_packet");
+                    packet.compute_commitment(), "recv_packet");
 
   // Deliver to the application; app failures become error acks.
   Acknowledgement ack;
@@ -436,7 +439,8 @@ Acknowledgement IbcModule::recv_packet(const Packet& packet, Height proof_height
   // channels write a receipt and seal behind the watermark.
   if (ordered) {
     ++rec.next_recv;
-    Encoder nr;
+    std::array<std::uint8_t, 8> nr_buf;
+    Encoder nr{std::span<std::uint8_t>(nr_buf)};
     nr.u64(rec.next_recv);
     store_.set(packet_key(KeyKind::kNextSequenceRecv, packet.dest_port,
                           packet.dest_channel, 0),
@@ -477,12 +481,12 @@ void IbcModule::acknowledge_packet(const Packet& packet, const Acknowledgement& 
     throw IbcError("acknowledge_packet: channel not open");
 
   // The commitment must still be pending locally.
-  const Bytes ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
+  const auto ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
                                 packet.source_channel, packet.sequence);
   Hash32 committed;
   if (store_.get(ckey, &committed) != trie::SealableTrie::Lookup::kFound)
     throw IbcError("acknowledge_packet: no pending commitment");
-  if (committed != packet.commitment())
+  if (committed != packet.compute_commitment())
     throw IbcError("acknowledge_packet: packet does not match commitment");
   if (rec.resolved_commitments.is_marked(packet.sequence))
     throw IbcError("acknowledge_packet: already resolved");
@@ -506,12 +510,12 @@ void IbcModule::timeout_packet(const Packet& packet, Height proof_height,
   if (rec.end.order == ChannelOrder::kOrdered)
     throw IbcError("timeout_packet: use timeout_packet_ordered for ordered channels");
 
-  const Bytes ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
+  const auto ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
                                 packet.source_channel, packet.sequence);
   Hash32 committed;
   if (store_.get(ckey, &committed) != trie::SealableTrie::Lookup::kFound)
     throw IbcError("timeout_packet: no pending commitment");
-  if (committed != packet.commitment())
+  if (committed != packet.compute_commitment())
     throw IbcError("timeout_packet: packet does not match commitment");
   if (rec.resolved_commitments.is_marked(packet.sequence))
     throw IbcError("timeout_packet: already resolved");
@@ -544,12 +548,12 @@ void IbcModule::timeout_packet_ordered(const Packet& packet,
   if (rec.end.order != ChannelOrder::kOrdered)
     throw IbcError("timeout_packet_ordered: channel is unordered");
 
-  const Bytes ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
+  const auto ckey = packet_key(KeyKind::kPacketCommitment, packet.source_port,
                                 packet.source_channel, packet.sequence);
   Hash32 committed;
   if (store_.get(ckey, &committed) != trie::SealableTrie::Lookup::kFound)
     throw IbcError("timeout_packet_ordered: no pending commitment");
-  if (committed != packet.commitment())
+  if (committed != packet.compute_commitment())
     throw IbcError("timeout_packet_ordered: packet does not match commitment");
   if (rec.resolved_commitments.is_marked(packet.sequence))
     throw IbcError("timeout_packet_ordered: already resolved");
@@ -567,7 +571,8 @@ void IbcModule::timeout_packet_ordered(const Packet& packet,
 
   // The counterparty commits H(next_recv) at a fixed key; verify the
   // claimed value against it.
-  Encoder nr;
+  std::array<std::uint8_t, 8> nr_buf;
+  Encoder nr{std::span<std::uint8_t>(nr_buf)};
   nr.u64(claimed_next_recv);
   verify_membership(conn, proof_height, proof,
                     packet_key(KeyKind::kNextSequenceRecv, packet.dest_port,

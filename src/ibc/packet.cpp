@@ -1,14 +1,27 @@
 #include "ibc/packet.hpp"
 
+#include <array>
+#include <span>
+
 #include "common/codec.hpp"
 #include "crypto/sha256.hpp"
 
 namespace bmg::ibc {
 
-Bytes Packet::encode() const {
-  Encoder e(8 + (4 + source_port.size()) + (4 + source_channel.size()) +
-            (4 + dest_port.size()) + (4 + dest_channel.size()) + (4 + data.size()) +
-            8 + 8);
+namespace {
+[[nodiscard]] std::uint64_t timestamp_micros(Timestamp t) noexcept {
+  return static_cast<std::uint64_t>(t * 1e6 + 0.5);
+}
+}  // namespace
+
+std::size_t Packet::wire_size() const noexcept {
+  return 8 + (4 + source_port.size()) + (4 + source_channel.size()) +
+         (4 + dest_port.size()) + (4 + dest_channel.size()) + (4 + data.size()) +
+         8 + 8;
+}
+
+void Packet::encode_into(Encoder& e) const {
+  e.reserve(wire_size());
   e.u64(sequence)
       .str(source_port)
       .str(source_channel)
@@ -16,7 +29,12 @@ Bytes Packet::encode() const {
       .str(dest_channel)
       .bytes(data)
       .u64(timeout_height)
-      .u64(static_cast<std::uint64_t>(timeout_timestamp * 1e6 + 0.5));
+      .u64(timestamp_micros(timeout_timestamp));
+}
+
+Bytes Packet::encode() const {
+  Encoder e(wire_size());
+  encode_into(e);
   return e.take();
 }
 
@@ -35,23 +53,36 @@ Packet Packet::decode(ByteView wire) {
   return p;
 }
 
-Hash32 Packet::commitment() const {
+Hash32 Packet::compute_commitment() const {
   const Hash32 data_hash = crypto::Sha256::digest(data);
-  Encoder e(8 + 8 + 32);
-  e.u64(timeout_height)
-      .u64(static_cast<std::uint64_t>(timeout_timestamp * 1e6 + 0.5))
-      .hash(data_hash);
+  std::array<std::uint8_t, 8 + 8 + 32> preimage;
+  Encoder e{std::span<std::uint8_t>(preimage)};
+  e.u64(timeout_height).u64(timestamp_micros(timeout_timestamp)).hash(data_hash);
   return crypto::Sha256::digest(e.out());
 }
 
-Bytes Acknowledgement::encode() const {
-  Encoder e;
+const Hash32& Packet::commitment() const {
+  if (!commitment_) commitment_ = compute_commitment();
+  return *commitment_;
+}
+
+std::size_t Acknowledgement::wire_size() const noexcept {
+  return 1 + 4 + (success ? result.size() : error.size());
+}
+
+void Acknowledgement::encode_into(Encoder& e) const {
+  e.reserve(wire_size());
   e.boolean(success);
   if (success) {
     e.bytes(result);
   } else {
     e.str(error);
   }
+}
+
+Bytes Acknowledgement::encode() const {
+  Encoder e(wire_size());
+  encode_into(e);
   return e.take();
 }
 
@@ -69,7 +100,12 @@ Acknowledgement Acknowledgement::decode(ByteView wire) {
 }
 
 Hash32 Acknowledgement::commitment() const {
-  return crypto::Sha256::digest(encode());
+  // Stack-encoded for the common small ack; spills to heap only for
+  // outsized app payloads.
+  std::array<std::uint8_t, 256> stack;
+  Encoder e{std::span<std::uint8_t>(stack)};
+  encode_into(e);
+  return crypto::Sha256::digest(e.out());
 }
 
 Acknowledgement Acknowledgement::ok(Bytes result) {

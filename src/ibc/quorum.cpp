@@ -1,11 +1,13 @@
 #include "ibc/quorum.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/codec.hpp"
 #include "crypto/ed25519.hpp"
 #include "crypto/sha256.hpp"
+#include "ibc/views.hpp"
 
 namespace bmg::ibc {
 
@@ -55,12 +57,17 @@ bool ValidatorSet::contains(const crypto::PublicKey& key) const {
 
 Bytes ValidatorSet::encode() const {
   Encoder e(byte_size());
+  encode_into(e);
+  return e.take();
+}
+
+void ValidatorSet::encode_into(Encoder& e) const {
+  e.reserve(byte_size());
   e.u32(static_cast<std::uint32_t>(validators_.size()));
   for (const auto& v : validators_) {
     e.raw(v.key.view());
     e.u64(v.stake);
   }
-  return e.take();
 }
 
 ValidatorSet ValidatorSet::decode(ByteView wire) {
@@ -95,13 +102,18 @@ std::size_t ValidatorSet::byte_size() const noexcept {
 
 Bytes QuorumHeader::encode() const {
   Encoder e(byte_size());
+  encode_into(e);
+  return e.take();
+}
+
+void QuorumHeader::encode_into(Encoder& e) const {
+  e.reserve(byte_size());
   e.str(chain_id)
       .u64(height)
       .u64(static_cast<std::uint64_t>(timestamp * 1e6 + 0.5))
       .hash(state_root)
       .hash(validator_set_hash)
       .bytes(extra);
-  return e.take();
 }
 
 QuorumHeader QuorumHeader::decode(ByteView wire) {
@@ -126,15 +138,24 @@ std::size_t QuorumHeader::byte_size() const noexcept {
 
 Bytes SignedQuorumHeader::encode() const {
   Encoder e(byte_size());
-  e.bytes(header.encode());
+  encode_into(e);
+  return e.take();
+}
+
+void SignedQuorumHeader::encode_into(Encoder& e) const {
+  e.reserve(byte_size());
+  e.u32(static_cast<std::uint32_t>(header.byte_size()));
+  header.encode_into(e);
   e.u32(static_cast<std::uint32_t>(signatures.size()));
   for (const auto& [key, sig] : signatures) {
     e.raw(key.view());
     e.raw(sig.view());
   }
   e.boolean(next_validators.has_value());
-  if (next_validators) e.bytes(next_validators->encode());
-  return e.take();
+  if (next_validators) {
+    e.u32(static_cast<std::uint32_t>(next_validators->byte_size()));
+    next_validators->encode_into(e);
+  }
 }
 
 SignedQuorumHeader SignedQuorumHeader::decode(ByteView wire) {
@@ -198,6 +219,37 @@ std::uint64_t QuorumLightClient::verify_signatures(const SignedQuorumHeader& sh,
   return power;
 }
 
+std::uint64_t QuorumLightClient::verify_signatures(const SignedQuorumHeaderView& sh,
+                                                   const ValidatorSet& validators) {
+  const Hash32 digest = sh.signing_digest();
+  // First pass: membership and uniqueness, before paying for any curve
+  // arithmetic.  A header failing these is rejected for free.
+  std::uint64_t power = 0;
+  std::unordered_set<crypto::PublicKey, crypto::PublicKeyHasher> seen;
+  seen.reserve(sh.signature_count);
+  for (std::uint32_t i = 0; i < sh.signature_count; ++i) {
+    const crypto::PublicKey key = sh.signer_at(i);
+    if (!seen.insert(key).second) throw IbcError("quorum client: duplicate signer");
+    const auto stake = validators.stake_of(key);
+    if (!stake) throw IbcError("quorum client: signer not in validator set");
+    power += *stake;
+  }
+  // Second pass: one batched verification, keys and signatures read
+  // straight out of the wire records.
+  std::vector<crypto::ed25519::VerifyItem> items;
+  items.reserve(sh.signature_count);
+  for (std::uint32_t i = 0; i < sh.signature_count; ++i) {
+    crypto::ed25519::SignatureBytes sig;
+    const ByteView s = sh.signature_at(i);
+    std::memcpy(sig.data(), s.data(), sig.size());
+    items.push_back({sh.signer_at(i).raw(), digest.view(), sig});
+  }
+  const std::vector<bool> ok = crypto::ed25519::verify_batch(items);
+  for (const bool good : ok)
+    if (!good) throw IbcError("quorum client: invalid signature");
+  return power;
+}
+
 void QuorumLightClient::apply(const SignedQuorumHeader& sh) {
   states_[sh.header.height] =
       ConsensusState{sh.header.state_root, sh.header.timestamp};
@@ -207,7 +259,7 @@ void QuorumLightClient::apply(const SignedQuorumHeader& sh) {
 
 void QuorumLightClient::update(ByteView header) {
   if (frozen_) throw IbcError("quorum client: frozen on misbehaviour");
-  const SignedQuorumHeader sh = SignedQuorumHeader::decode(header);
+  const SignedQuorumHeaderView sh = SignedQuorumHeaderView::parse(header);
   if (sh.header.chain_id != chain_id_)
     throw IbcError("quorum client: wrong chain id");
   if (sh.header.height <= latest_)
@@ -219,7 +271,12 @@ void QuorumLightClient::update(ByteView header) {
   const std::uint64_t power = verify_signatures(sh, validators_);
   if (power < validators_.quorum_stake())
     throw IbcError("quorum client: insufficient signing stake");
-  apply(sh);
+  states_[sh.header.height] =
+      ConsensusState{sh.header.state_root, sh.header.timestamp()};
+  latest_ = std::max(latest_, sh.header.height);
+  // Epoch rotation is the one place the set must outlive the event:
+  // materialise an owning copy only now, after full verification.
+  if (sh.next_validators) validators_ = sh.next_validators->to_owned();
 }
 
 void QuorumLightClient::accept_verified(const SignedQuorumHeader& sh) {

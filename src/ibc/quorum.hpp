@@ -21,7 +21,13 @@
 #include "ibc/client.hpp"
 #include "ibc/types.hpp"
 
+namespace bmg {
+class Encoder;
+}
+
 namespace bmg::ibc {
+
+struct SignedQuorumHeaderView;
 
 struct ValidatorInfo {
   crypto::PublicKey key;
@@ -61,6 +67,7 @@ class ValidatorSet {
   [[nodiscard]] bool contains(const crypto::PublicKey& key) const;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(Encoder& e) const;
   [[nodiscard]] static ValidatorSet decode(ByteView wire);
   [[nodiscard]] const Hash32& hash() const;
   /// Serialized size, computed arithmetically (no encode).
@@ -94,6 +101,8 @@ struct QuorumHeader {
   Bytes extra;
 
   [[nodiscard]] Bytes encode() const;
+  /// Appends the wire encoding to `e` (exactly `byte_size()` bytes).
+  void encode_into(Encoder& e) const;
   [[nodiscard]] static QuorumHeader decode(ByteView wire);
   /// What validators sign.
   [[nodiscard]] Hash32 signing_digest() const;
@@ -112,6 +121,7 @@ struct SignedQuorumHeader {
   std::optional<ValidatorSet> next_validators;
 
   [[nodiscard]] Bytes encode() const;
+  void encode_into(Encoder& e) const;
   [[nodiscard]] static SignedQuorumHeader decode(ByteView wire);
   /// Serialized size — what a relayer must ship on-chain.  Computed
   /// arithmetically from the wire format; never allocates.
@@ -132,7 +142,11 @@ class QuorumLightClient final : public LightClient {
   QuorumLightClient(std::string chain_id, ValidatorSet genesis_validators);
 
   /// One-shot verification (used where compute is unconstrained, e.g.
-  /// the counterparty chain verifying guest headers).
+  /// the counterparty chain verifying guest headers).  Runs entirely
+  /// over a zero-copy view of `header`: the signing digest is hashed
+  /// straight from the borrowed header blob and signatures are
+  /// verified in place; the only owning decode is the next validator
+  /// set, materialised after full verification on epoch rotation.
   void update(ByteView header) override;
 
   /// Applies a header whose quorum signatures were *already verified
@@ -156,6 +170,10 @@ class QuorumLightClient final : public LightClient {
   /// Returns the verified stake; throws IbcError on any bad signature
   /// or signer not in the set.
   [[nodiscard]] static std::uint64_t verify_signatures(const SignedQuorumHeader& sh,
+                                                       const ValidatorSet& validators);
+  /// Zero-copy variant over a parsed wire view; same checks, same
+  /// error strings, signatures verified straight off the wire bytes.
+  [[nodiscard]] static std::uint64_t verify_signatures(const SignedQuorumHeaderView& sh,
                                                        const ValidatorSet& validators);
 
   /// ICS-2 misbehaviour: two quorum-signed headers at the same height

@@ -16,7 +16,7 @@ bool has_prefix(const std::string& denom, const std::string& prefix) {
 }  // namespace
 
 Bytes TokenPacketData::encode() const {
-  Encoder e;
+  Encoder e(4 + denom.size() + 8 + 4 + sender.size() + 4 + receiver.size());
   e.str(denom).u64(amount).str(sender).str(receiver);
   return e.take();
 }

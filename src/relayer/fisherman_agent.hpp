@@ -132,10 +132,8 @@ class FishermanAgent final : public sim::CrashableAgent {
     std::vector<host::SigVerify> sigs;
     const Hash32 da = a.header.signing_digest();
     const Hash32 db = b.header.signing_digest();
-    sigs.push_back(host::SigVerify{a.validator,
-                                   Bytes(da.bytes.begin(), da.bytes.end()), a.signature});
-    sigs.push_back(host::SigVerify{b.validator,
-                                   Bytes(db.bytes.begin(), db.bytes.end()), b.signature});
+    sigs.push_back(host::SigVerify{a.validator, da, a.signature});
+    sigs.push_back(host::SigVerify{b.validator, db, b.signature});
     submit_evidence(ev.take(), std::move(sigs));
   }
 
@@ -145,8 +143,8 @@ class FishermanAgent final : public sim::CrashableAgent {
     ev.u8(1);
     ev.bytes(g.header.encode());
     const Hash32 digest = g.header.signing_digest();
-    std::vector<host::SigVerify> sigs{host::SigVerify{
-        g.validator, Bytes(digest.bytes.begin(), digest.bytes.end()), g.signature}};
+    std::vector<host::SigVerify> sigs{
+        host::SigVerify{g.validator, digest, g.signature}};
     submit_evidence(ev.take(), std::move(sigs));
   }
 

@@ -88,7 +88,7 @@ void RelayerAgent::restart() {
   resync();
 }
 
-ibc::Height RelayerAgent::cp_ready_height(const Bytes& key) const {
+ibc::Height RelayerAgent::cp_ready_height(ByteView key) const {
   const ibc::Height h = cp_.height();
   if (h == 0) return 1;
   try {
@@ -103,8 +103,8 @@ ibc::Height RelayerAgent::cp_ready_height(const Bytes& key) const {
 
 void RelayerAgent::redeliver_guest_packet_to_cp(const ibc::Packet& packet,
                                                 ibc::Height gh) {
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
-                                    packet.source_channel, packet.sequence);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
+                                   packet.source_channel, packet.sequence);
   bool provable = false;
   try {
     const trie::Proof proof = contract_.prove_at(gh, key);
@@ -116,9 +116,9 @@ void RelayerAgent::redeliver_guest_packet_to_cp(const ibc::Packet& packet,
   // path will relay it once the block containing it finalises.
   if (!provable) return;
   push_guest_header_to_cp(gh, [this, gh, packet] {
-    const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment,
-                                      packet.source_port, packet.source_channel,
-                                      packet.sequence);
+    const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment,
+                                     packet.source_port, packet.source_channel,
+                                     packet.sequence);
     try {
       const trie::Proof proof = contract_.prove_at(gh, key);
       const ibc::Acknowledgement ack =
@@ -151,7 +151,7 @@ void RelayerAgent::resync() {
       if (contract_.ibc().packet_received(p->dest_port, p->dest_channel, seq)) {
         guest_acks_pending_.push_back(*p);
       } else {
-        const Bytes key =
+        const auto key =
             ibc::packet_key(ibc::KeyKind::kPacketCommitment, port, chan, seq);
         cp_outgoing_.emplace_back(*p, cp_ready_height(key));
       }
@@ -168,7 +168,7 @@ void RelayerAgent::resync() {
       if (p == nullptr) continue;
       if (cp_.ibc().packet_received(p->dest_port, p->dest_channel, seq)) {
         if (const auto ack = cp_.ibc().ack_for(p->dest_port, p->dest_channel, seq)) {
-          const Bytes key =
+          const auto key =
               ibc::packet_key(ibc::KeyKind::kPacketAck, p->dest_port, p->dest_channel,
                               seq);
           cp_acks_.emplace_back(*p, *ack, cp_ready_height(key));
@@ -232,11 +232,17 @@ std::vector<host::Transaction> RelayerAgent::chunked_call(ByteView payload,
 
 std::vector<host::Transaction> RelayerAgent::build_update_sequence(
     const ibc::SignedQuorumHeader& sh) {
-  // Buffer payload: header bytes + optional next validator set.
-  Encoder payload;
-  payload.bytes(sh.header.encode());
+  // Buffer payload: header bytes + optional next validator set,
+  // sized exactly and encoded in place (no intermediate buffers).
+  Encoder payload(4 + sh.header.byte_size() + 1 +
+                  (sh.next_validators ? 4 + sh.next_validators->byte_size() : 0));
+  payload.u32(static_cast<std::uint32_t>(sh.header.byte_size()));
+  sh.header.encode_into(payload);
   payload.boolean(sh.next_validators.has_value());
-  if (sh.next_validators) payload.bytes(sh.next_validators->encode());
+  if (sh.next_validators) {
+    payload.u32(static_cast<std::uint32_t>(sh.next_validators->byte_size()));
+    sh.next_validators->encode_into(payload);
+  }
 
   std::uint64_t buffer_id = 0;
   std::vector<host::Transaction> txs =
@@ -246,8 +252,7 @@ std::vector<host::Transaction> RelayerAgent::build_update_sequence(
   // the final instruction with the correct id.
   txs.back().instructions[0] = guest::ix::begin_client_update(buffer_id);
 
-  const Hash32 digest = sh.header.signing_digest();
-  const Bytes digest_bytes(digest.bytes.begin(), digest.bytes.end());
+  const Hash32& digest = sh.signing_digest();
   for (std::size_t i = 0; i < sh.signatures.size();
        i += static_cast<std::size_t>(cfg_.sigs_per_update_tx)) {
     host::Transaction tx;
@@ -255,11 +260,13 @@ std::vector<host::Transaction> RelayerAgent::build_update_sequence(
     tx.fee = cfg_.fee;
     tx.label = "lc-update:sigs";
     tx.instructions.push_back(guest::ix::verify_update_signatures());
+    tx.sig_verifies.reserve(std::min(
+        sh.signatures.size() - i, static_cast<std::size_t>(cfg_.sigs_per_update_tx)));
     for (std::size_t j = i;
          j < sh.signatures.size() && j < i + static_cast<std::size_t>(cfg_.sigs_per_update_tx);
          ++j) {
       tx.sig_verifies.push_back(
-          host::SigVerify{sh.signatures[j].first, digest_bytes, sh.signatures[j].second});
+          host::SigVerify{sh.signatures[j].first, digest, sh.signatures[j].second});
     }
     txs.push_back(std::move(tx));
   }
@@ -280,14 +287,13 @@ std::vector<host::Transaction> RelayerAgent::build_update_resume_sequence(
   // set and rejects a tx whose signatures are *all* duplicates, so a
   // resume must submit only the not-yet-verified ones.
   const std::set<crypto::PublicKey> seen(pending.seen.begin(), pending.seen.end());
-  const Hash32 digest = sh.header.signing_digest();
-  const Bytes digest_bytes(digest.bytes.begin(), digest.bytes.end());
+  const Hash32& digest = sh.signing_digest();
 
   std::vector<host::Transaction> txs;
   host::Transaction cur;
   for (const auto& [pubkey, sig] : sh.signatures) {
     if (seen.count(pubkey) > 0) continue;
-    cur.sig_verifies.push_back(host::SigVerify{pubkey, digest_bytes, sig});
+    cur.sig_verifies.push_back(host::SigVerify{pubkey, digest, sig});
     if (cur.sig_verifies.size() >= static_cast<std::size_t>(cfg_.sigs_per_update_tx)) {
       cur.payer = payer_;
       cur.fee = cfg_.fee;
@@ -344,8 +350,8 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
   std::vector<ibc::Packet> still_pending;
   std::vector<ibc::Packet> ready;
   for (const ibc::Packet& p : guest_acks_pending_) {
-    const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
-                                      p.dest_channel, p.sequence);
+    const auto key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                     p.dest_channel, p.sequence);
     bool provable = false;
     try {
       const trie::Proof proof = contract_.prove_at(height, key);
@@ -364,7 +370,7 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
     const guest::GuestBlock& blk = contract_.block_at(height);
     // Deliver the block's packets to the counterparty (Alg. 2, 7-10).
     for (const ibc::Packet& packet : blk.packets) {
-      const Bytes key =
+      const auto key =
           ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
                           packet.source_channel, packet.sequence);
       try {
@@ -381,8 +387,8 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
     }
     // Relay guest-side acks back to the counterparty.
     for (const ibc::Packet& p : ready) {
-      const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
-                                        p.dest_channel, p.sequence);
+      const auto key = ibc::packet_key(ibc::KeyKind::kPacketAck, p.dest_port,
+                                       p.dest_channel, p.sequence);
       try {
         const auto ack = contract_.ack_log(p.dest_port, p.dest_channel, p.sequence);
         if (!ack) continue;
@@ -458,11 +464,15 @@ void RelayerAgent::update_guest_client_attempt(ibc::Height cp_height,
 
 void RelayerAgent::deliver_packet_to_guest(const ibc::Packet& packet,
                                            ibc::Height proof_height, SequenceDone done) {
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
-                                    packet.source_channel, packet.sequence);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
+                                   packet.source_channel, packet.sequence);
   const trie::Proof proof = cp_.prove_at(proof_height, key);
-  Encoder payload;
-  payload.bytes(packet.encode()).u64(proof_height).bytes(proof.serialize());
+  Encoder payload(4 + packet.wire_size() + 8 + 4 + proof.byte_size());
+  payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
+  packet.encode_into(payload);
+  payload.u64(proof_height);
+  payload.u32(static_cast<std::uint32_t>(proof.byte_size()));
+  proof.serialize_into(payload);
   std::uint64_t buffer_id = 0;
   auto txs = chunked_call(payload.out(), guest::ix::receive_packet(0), &buffer_id,
                           "recv-packet");
@@ -489,12 +499,18 @@ void RelayerAgent::deliver_packet_to_guest(const ibc::Packet& packet,
 void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
                                         const ibc::Acknowledgement& ack,
                                         ibc::Height proof_height, SequenceDone done) {
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketAck, packet.dest_port,
-                                    packet.dest_channel, packet.sequence);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketAck, packet.dest_port,
+                                   packet.dest_channel, packet.sequence);
   const trie::Proof proof = cp_.prove_at(proof_height, key);
-  Encoder payload;
-  payload.bytes(packet.encode()).bytes(ack.encode()).u64(proof_height).bytes(
-      proof.serialize());
+  Encoder payload(4 + packet.wire_size() + 4 + ack.wire_size() + 8 + 4 +
+                  proof.byte_size());
+  payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
+  packet.encode_into(payload);
+  payload.u32(static_cast<std::uint32_t>(ack.wire_size()));
+  ack.encode_into(payload);
+  payload.u64(proof_height);
+  payload.u32(static_cast<std::uint32_t>(proof.byte_size()));
+  proof.serialize_into(payload);
   std::uint64_t buffer_id = 0;
   auto txs = chunked_call(payload.out(), guest::ix::acknowledge_packet(0), &buffer_id,
                           "ack-packet");
@@ -516,11 +532,15 @@ void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
 
 void RelayerAgent::deliver_timeout_to_guest(const ibc::Packet& packet,
                                             ibc::Height proof_height, SequenceDone done) {
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, packet.dest_port,
-                                    packet.dest_channel, packet.sequence);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, packet.dest_port,
+                                   packet.dest_channel, packet.sequence);
   const trie::Proof proof = cp_.prove_at(proof_height, key);
-  Encoder payload;
-  payload.bytes(packet.encode()).u64(proof_height).bytes(proof.serialize());
+  Encoder payload(4 + packet.wire_size() + 8 + 4 + proof.byte_size());
+  payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
+  packet.encode_into(payload);
+  payload.u64(proof_height);
+  payload.u32(static_cast<std::uint32_t>(proof.byte_size()));
+  proof.serialize_into(payload);
   std::uint64_t buffer_id = 0;
   auto txs = chunked_call(payload.out(), guest::ix::timeout_packet(0), &buffer_id,
                           "timeout-packet");

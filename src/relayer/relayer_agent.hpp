@@ -156,7 +156,7 @@ class RelayerAgent final : public sim::CrashableAgent {
   void note_cp_reject(const std::string& label, const std::string& what);
   /// First cp height whose snapshot proves `key`: the latest block if
   /// it already does, else the next one.
-  [[nodiscard]] ibc::Height cp_ready_height(const Bytes& key) const;
+  [[nodiscard]] ibc::Height cp_ready_height(ByteView key) const;
   /// Re-delivers a guest-sent packet whose FinalisedBlock event was
   /// missed while down, proving against the latest finalised block.
   void redeliver_guest_packet_to_cp(const ibc::Packet& packet, ibc::Height gh);

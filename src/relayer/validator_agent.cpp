@@ -63,9 +63,8 @@ void ValidatorAgent::on_new_block(ibc::Height height, double announced_at) {
         tx.label = "sign:" + profile_.name;
         tx.fee = profile_.fee;
         tx.instructions.push_back(guest::ix::sign_block(height, pubkey()));
-        tx.sig_verifies.push_back(host::SigVerify{
-            pubkey(), Bytes(digest.bytes.begin(), digest.bytes.end()),
-            key_.sign(digest.view())});
+        tx.sig_verifies.push_back(
+            host::SigVerify{pubkey(), digest, key_.sign(digest.view())});
         const std::uint64_t inc = incarnation_;
         host_.submit(std::move(tx),
                      [this, announced_at, inc](const host::TxResult& res) {

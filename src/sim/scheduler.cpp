@@ -4,8 +4,40 @@
 
 namespace bmg::sim {
 
+Simulation::PendingTimer* Simulation::find_pending(TimerId id) {
+  const auto it = std::lower_bound(
+      pending_timers_.begin(), pending_timers_.end(), id,
+      [](const PendingTimer& p, TimerId v) { return p.id < v; });
+  if (it == pending_timers_.end() || it->id != id || it->owner == kCancelledOwner)
+    return nullptr;
+  return &*it;
+}
+
+const Simulation::PendingTimer* Simulation::find_pending(TimerId id) const {
+  return const_cast<Simulation*>(this)->find_pending(id);
+}
+
+bool Simulation::erase_pending(TimerId id) {
+  PendingTimer* p = find_pending(id);
+  if (p == nullptr) return false;
+  p->owner = kCancelledOwner;
+  --pending_live_;
+  // Compact once tombstones outnumber live entries (and the vector is
+  // big enough to matter); amortised O(1) per erase.
+  if (pending_timers_.size() > 64 && pending_live_ < pending_timers_.size() / 2) {
+    std::erase_if(pending_timers_,
+                  [](const PendingTimer& t) { return t.owner == kCancelledOwner; });
+  }
+  return true;
+}
+
+bool Simulation::timer_pending(TimerId id) const {
+  return id != 0 && find_pending(id) != nullptr;
+}
+
 void Simulation::at(SimTime t, std::function<void()> fn) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), 0});
+  queue_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn), 0});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void Simulation::after(SimTime delay, std::function<void()> fn) {
@@ -15,9 +47,11 @@ void Simulation::after(SimTime delay, std::function<void()> fn) {
 Simulation::TimerId Simulation::at_cancellable(SimTime t, std::function<void()> fn,
                                                AgentId owner) {
   const TimerId id = ++next_timer_id_;
-  pending_timers_.emplace(id, owner);
+  pending_timers_.push_back({id, owner});  // ids are monotonic: stays sorted
+  ++pending_live_;
   if (owner != 0) owned_[owner].push_back(id);
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(fn), id});
+  queue_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn), id});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
   return id;
 }
 
@@ -29,7 +63,7 @@ Simulation::TimerId Simulation::after_cancellable(SimTime delay,
 
 bool Simulation::cancel(TimerId id) {
   if (id == 0) return false;
-  return pending_timers_.erase(id) > 0;
+  return erase_pending(id);
 }
 
 std::size_t Simulation::cancel_agent(AgentId owner) {
@@ -37,19 +71,18 @@ std::size_t Simulation::cancel_agent(AgentId owner) {
   const auto it = owned_.find(owner);
   if (it == owned_.end()) return 0;
   std::size_t cancelled = 0;
-  for (const TimerId id : it->second) cancelled += pending_timers_.erase(id);
+  for (const TimerId id : it->second) cancelled += erase_pending(id) ? 1 : 0;
   it->second.clear();
   return cancelled;
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; move out via const_cast is UB —
-  // copy the function instead (events are small).
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   now_ = ev.time;
-  if (ev.timer != 0 && pending_timers_.erase(ev.timer) == 0) {
+  if (ev.timer != 0 && !erase_pending(ev.timer)) {
     // Cancelled timer: consume the queue slot without running it.
     return true;
   }
@@ -59,7 +92,7 @@ bool Simulation::step() {
 }
 
 void Simulation::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.front().time <= t) step();
   now_ = std::max(now_, t);
 }
 

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -61,9 +60,7 @@ class Simulation {
   std::size_t cancel_agent(AgentId owner);
 
   /// Whether a cancellable timer is scheduled and not yet fired.
-  [[nodiscard]] bool timer_pending(TimerId id) const {
-    return id != 0 && pending_timers_.count(id) > 0;
-  }
+  [[nodiscard]] bool timer_pending(TimerId id) const;
 
   /// Runs the next event.  Returns false when the queue is empty.
   bool step();
@@ -92,10 +89,31 @@ class Simulation {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  /// Pending (not fired, not cancelled) timers, mapped to their owner
-  /// (0 for unowned).
-  std::unordered_map<TimerId, AgentId> pending_timers_;
+  /// Binary heap managed with std::push_heap/pop_heap instead of
+  /// std::priority_queue: popping can then MOVE the event (and its
+  /// std::function) out of the container, where priority_queue::top()
+  /// only hands out a const& and forces a copy — a heap allocation per
+  /// fired event with any non-trivial capture.
+  std::vector<Event> queue_;
+  /// Pending (not fired, not cancelled) timers with their owner (0 for
+  /// unowned).  Timer ids are handed out monotonically, so appending
+  /// keeps the vector sorted and lookups are binary searches; erasing
+  /// tombstones in place (owner := kCancelledOwner) and the vector is
+  /// compacted when tombstones dominate.  A node-based map here costs
+  /// one heap allocation per scheduled timer — this is the relayer
+  /// poll path, the hottest allocation site in the whole simulation.
+  struct PendingTimer {
+    TimerId id;
+    AgentId owner;
+  };
+  static constexpr AgentId kCancelledOwner = ~AgentId{0};
+  std::vector<PendingTimer> pending_timers_;
+  std::size_t pending_live_ = 0;  ///< non-tombstone entry count
+
+  [[nodiscard]] PendingTimer* find_pending(TimerId id);
+  [[nodiscard]] const PendingTimer* find_pending(TimerId id) const;
+  /// Tombstones `id` if live; returns whether it was live.
+  bool erase_pending(TimerId id);
   /// Owner -> timers it ever scheduled; entries may be stale (already
   /// fired or cancelled) and are dropped lazily by cancel_agent().
   std::unordered_map<AgentId, std::vector<TimerId>> owned_;

@@ -25,8 +25,7 @@ std::size_t common_prefix(const Nibbles& a, std::size_t a_off, const Nibbles& b,
 
 Nibbles slice(const Nibbles& n, std::size_t off, std::size_t len) {
   if (off + len > n.size()) throw std::out_of_range("nibble slice out of range");
-  return Nibbles(n.begin() + static_cast<std::ptrdiff_t>(off),
-                 n.begin() + static_cast<std::ptrdiff_t>(off + len));
+  return Nibbles(n.begin() + off, n.begin() + off + len);
 }
 
 void encode_nibbles(Encoder& e, const Nibbles& n) {

@@ -117,7 +117,13 @@ Hash32 hash_proof_node(const ProofNode& node) {
 }
 
 Bytes Proof::serialize() const {
-  Encoder e;
+  Encoder e(byte_size());
+  serialize_into(e);
+  return e.take();
+}
+
+void Proof::serialize_into(Encoder& e) const {
+  e.reserve(byte_size());
   e.u32(static_cast<std::uint32_t>(nodes.size()));
   for (const auto& node : nodes) {
     std::visit(
@@ -143,7 +149,6 @@ Bytes Proof::serialize() const {
         },
         node);
   }
-  return e.take();
 }
 
 Proof Proof::deserialize(ByteView data) {
@@ -185,7 +190,27 @@ Proof Proof::deserialize(ByteView data) {
   return p;
 }
 
-std::size_t Proof::byte_size() const { return serialize().size(); }
+std::size_t Proof::byte_size() const {
+  std::size_t n = 4;  // node count
+  for (const auto& node : nodes) {
+    n += 1;  // tag
+    std::visit(
+        [&n](const auto& p) {
+          using T = std::decay_t<decltype(p)>;
+          if constexpr (std::is_same_v<T, ProofLeaf>) {
+            n += 2 + p.suffix.size() + 32;
+          } else if constexpr (std::is_same_v<T, ProofBranch>) {
+            n += 2;
+            for (const auto& child : p.children)
+              if (child) n += 32;
+          } else {
+            n += 2 + p.path.size() + 32;
+          }
+        },
+        node);
+  }
+  return n;
+}
 
 VerifyOutcome verify_proof(const Hash32& root, ByteView key, const Proof& proof) {
   const Nibbles nibs = to_nibbles(key);

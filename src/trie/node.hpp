@@ -55,8 +55,12 @@ struct Proof {
   std::vector<ProofNode> nodes;
 
   [[nodiscard]] Bytes serialize() const;
+  /// Appends the serialization to `e` (exactly `byte_size()` bytes) —
+  /// payload builders inline the proof without a temporary buffer.
+  void serialize_into(Encoder& e) const;
   [[nodiscard]] static Proof deserialize(ByteView data);
   /// Serialized size in bytes (what a relayer pays to ship it).
+  /// Computed arithmetically; never allocates.
   [[nodiscard]] std::size_t byte_size() const;
 };
 

@@ -1,0 +1,203 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/codec.hpp"
+
+namespace bmg {
+namespace {
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena(256);
+  std::uint8_t* a = arena.alloc_bytes(16);
+  std::uint8_t* b = arena.alloc_bytes(16);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::memset(a, 0xaa, 16);
+  std::memset(b, 0xbb, 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a[i], 0xaa);
+    EXPECT_EQ(b[i], 0xbb);
+  }
+  EXPECT_GE(arena.bytes_used(), 32u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(256);
+  (void)arena.alloc_bytes(1);  // misalign the bump pointer
+  for (std::size_t align : {2u, 4u, 8u, 16u, 64u}) {
+    void* p = arena.allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+    (void)arena.alloc_bytes(1);
+  }
+}
+
+TEST(Arena, GrowsBeyondFirstChunk) {
+  Arena arena(64);
+  // Allocate far more than the first chunk; every pointer must remain
+  // valid (chunks are chained, never reallocated).
+  std::vector<std::uint8_t*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    std::uint8_t* p = arena.alloc_bytes(48);
+    std::memset(p, i, 48);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i)
+    for (int j = 0; j < 48; ++j) EXPECT_EQ(ptrs[i][j], i);
+  EXPECT_GE(arena.bytes_used(), 64u * 48u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(Arena, OversizedRequestGetsOwnChunk) {
+  Arena arena(64);
+  std::uint8_t* p = arena.alloc_bytes(10'000);
+  std::memset(p, 0x5c, 10'000);
+  EXPECT_EQ(p[9'999], 0x5c);
+}
+
+TEST(Arena, ResetReclaimsWithoutReleasingChunks) {
+  Arena arena(128);
+  for (int i = 0; i < 32; ++i) (void)arena.alloc_bytes(100);
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Chunk storage is retained for reuse.
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  // Steady state: the same allocation pattern fits in what we own.
+  for (int i = 0; i < 32; ++i) (void)arena.alloc_bytes(100);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, GrowExtendsLatestAllocationInPlace) {
+  Arena arena(1024);
+  std::uint8_t* p = arena.alloc_bytes(16);
+  std::memset(p, 0x11, 16);
+  std::uint8_t* q = arena.grow(p, 16, 64);
+  // Latest allocation with room in the chunk: no move, no copy.
+  EXPECT_EQ(q, p);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(q[i], 0x11);
+}
+
+TEST(Arena, GrowCopiesWhenOutOfRoom) {
+  Arena arena(64);
+  std::uint8_t* p = arena.alloc_bytes(48);
+  std::memset(p, 0x22, 48);
+  std::uint8_t* q = arena.grow(p, 48, 4096);
+  ASSERT_NE(q, nullptr);
+  for (int i = 0; i < 48; ++i) EXPECT_EQ(q[i], 0x22);
+}
+
+TEST(Arena, ScopeRewindsNestedAllocations) {
+  Arena arena(256);
+  (void)arena.alloc_bytes(10);
+  const std::size_t outer = arena.bytes_used();
+  {
+    ArenaScope scope(arena);
+    (void)arena.alloc_bytes(100);
+    EXPECT_GT(arena.bytes_used(), outer);
+  }
+  EXPECT_EQ(arena.bytes_used(), outer);
+  // Nested scopes rewind strictly inner-first.
+  {
+    ArenaScope s1(arena);
+    (void)arena.alloc_bytes(50);
+    const std::size_t mid = arena.bytes_used();
+    {
+      ArenaScope s2(arena);
+      (void)arena.alloc_bytes(500);
+    }
+    EXPECT_EQ(arena.bytes_used(), mid);
+  }
+  EXPECT_EQ(arena.bytes_used(), outer);
+}
+
+TEST(Arena, ScopeRewindAcrossChunkBoundary) {
+  Arena arena(64);
+  {
+    ArenaScope scope(arena);
+    for (int i = 0; i < 16; ++i) (void)arena.alloc_bytes(48);  // spills chunks
+  }
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // The rewound chunks are reused, not leaked.
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int i = 0; i < 16; ++i) (void)arena.alloc_bytes(48);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena arena;
+  std::uint8_t* p = arena.alloc_bytes(0);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, ScratchArenaIsUsable) {
+  Arena& arena = scratch_arena();
+  ArenaScope scope(arena);
+  std::uint8_t* p = arena.alloc_bytes(32);
+  std::memset(p, 0x7f, 32);
+  EXPECT_EQ(p[31], 0x7f);
+}
+
+TEST(ArenaEncoder, EncodesIntoArena) {
+  Arena arena(256);
+  Encoder e(arena);
+  e.u32(0x01020304).str("hello").u64(42);
+  const ByteView out = e.out();
+  Decoder d(out);
+  EXPECT_EQ(d.u32(), 0x01020304u);
+  EXPECT_EQ(d.str(), "hello");
+  EXPECT_EQ(d.u64(), 42u);
+  d.expect_done();
+  EXPECT_GE(arena.bytes_used(), out.size());
+}
+
+TEST(ArenaEncoder, MatchesOwningEncoderByteForByte) {
+  Arena arena;
+  Encoder a(arena);
+  Encoder b;
+  for (Encoder* e : {&a, &b})
+    e->u8(7).u16(600).bytes(Bytes{1, 2, 3}).str("chain").boolean(true);
+  const ByteView va = a.out();
+  const ByteView vb = b.out();
+  ASSERT_EQ(va.size(), vb.size());
+  EXPECT_EQ(std::memcmp(va.data(), vb.data(), va.size()), 0);
+}
+
+TEST(ArenaEncoder, GrowsAcrossChunkBoundary) {
+  Arena arena(32);  // force the encoder buffer to outgrow its chunk
+  Encoder e(arena);
+  Bytes big(500);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i);
+  e.bytes(big);
+  Decoder d(e.out());
+  EXPECT_EQ(d.bytes(), big);
+  d.expect_done();
+}
+
+TEST(ArenaEncoder, TakeCopiesOutOfArena) {
+  Arena arena;
+  Encoder e(arena);
+  e.str("persist-me");
+  Bytes owned = e.take();
+  arena.reset();  // arena memory gone; the take()n copy must survive
+  Decoder d(owned);
+  EXPECT_EQ(d.str(), "persist-me");
+}
+
+TEST(ScratchEncoder, SpillsToHeapBeyondScratch) {
+  std::array<std::uint8_t, 16> scratch;
+  Encoder e{std::span<std::uint8_t>(scratch)};
+  Bytes big(200, 0xee);
+  e.bytes(big);  // exceeds the stack buffer -> transparent heap spill
+  Decoder d(e.out());
+  EXPECT_EQ(d.bytes(), big);
+  d.expect_done();
+}
+
+}  // namespace
+}  // namespace bmg

@@ -20,7 +20,8 @@ TEST(Codec, ScalarRoundTrip) {
 TEST(Codec, BigEndianLayout) {
   Encoder e;
   e.u32(0x01020304);
-  EXPECT_EQ(e.out(), (Bytes{1, 2, 3, 4}));
+  const ByteView out = e.out();
+  EXPECT_EQ(Bytes(out.begin(), out.end()), (Bytes{1, 2, 3, 4}));
 }
 
 TEST(Codec, BytesAndStrings) {

@@ -78,7 +78,7 @@ TEST(Counterparty, HistoricalProofsMatchBlockRoots) {
   // against block 2's root, not the live root.
   const ibc::Height h = chain.height();
   const Hash32 root_then = chain.header_at(h).header.state_root;
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "c", 1);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "c", 1);
   chain.store().set(key, crypto::Sha256::digest(bytes_of("later")));
   ASSERT_NE(chain.store().root_hash(), root_then);
 
@@ -96,7 +96,7 @@ TEST(Counterparty, BackgroundStateDeepensProofs) {
   CounterpartyChain empty_chain(sim, Rng(1), no_bg);
   CounterpartyChain full_chain(sim, Rng(1), big_bg);
 
-  const Bytes key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, "transfer", "c", 1);
+  const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, "transfer", "c", 1);
   empty_chain.store().set(key, crypto::Sha256::digest(bytes_of("v")));
   full_chain.store().set(key, crypto::Sha256::digest(bytes_of("v")));
   EXPECT_GT(full_chain.store().prove(key).byte_size(),

@@ -97,7 +97,7 @@ class GuestContractTest : public ::testing::Test {
     return submit(
         ix::sign_block(h, key.public_key()), key.public_key(),
         {host::SigVerify{key.public_key(),
-                         Bytes(digest.bytes.begin(), digest.bytes.end()),
+                         digest,
                          key.sign(digest.view())}});
   }
 
@@ -176,7 +176,7 @@ TEST_F(GuestContractTest, SignRejectsInvalidHeight) {
   const Hash32 digest = contract_->block_at(0).hash();
   const auto bad = submit(
       ix::sign_block(5, key.public_key()), key.public_key(),
-      {host::SigVerify{key.public_key(), Bytes(digest.bytes.begin(), digest.bytes.end()),
+      {host::SigVerify{key.public_key(), digest,
                        key.sign(digest.view())}});
   EXPECT_FALSE(bad.success);
   EXPECT_NE(bad.error.find("invalid height"), std::string::npos);
@@ -191,7 +191,7 @@ TEST_F(GuestContractTest, SignRejectsNonValidator) {
   const auto res = submit(
       ix::sign_block(1, outsider.public_key()), outsider.public_key(),
       {host::SigVerify{outsider.public_key(),
-                       Bytes(digest.bytes.begin(), digest.bytes.end()),
+                       digest,
                        outsider.sign(digest.view())}});
   EXPECT_FALSE(res.success);
   EXPECT_NE(res.error.find("not an active validator"), std::string::npos);
@@ -223,7 +223,7 @@ TEST_F(GuestContractTest, SignRejectsSignatureOverWrongBlock) {
   const Hash32 wrong = contract_->block_at(0).hash();  // signed genesis, claims block 1
   const auto res = submit(
       ix::sign_block(1, key.public_key()), key.public_key(),
-      {host::SigVerify{key.public_key(), Bytes(wrong.bytes.begin(), wrong.bytes.end()),
+      {host::SigVerify{key.public_key(), wrong,
                        key.sign(wrong.view())}});
   EXPECT_FALSE(res.success);
 }
@@ -291,7 +291,7 @@ TEST_F(GuestContractTest, EpochRotationSelectsTopStake) {
     ix.program = "guest2";
     ASSERT_TRUE(submit(std::move(ix), key.public_key(),
                        {host::SigVerify{key.public_key(),
-                                        Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                        digest,
                                         key.sign(digest.view())}})
                     .success);
   }
@@ -324,7 +324,7 @@ TEST_F(GuestContractTest, EvidenceForkedBlockSlashes) {
   const auto res = submit(
       ix::submit_evidence(7), reporter.public_key(),
       {host::SigVerify{offender.public_key(),
-                       Bytes(digest.bytes.begin(), digest.bytes.end()),
+                       digest,
                        offender.sign(digest.view())}});
   ASSERT_TRUE(res.success) << res.error;
   EXPECT_TRUE(contract_->is_banned(offender.public_key()));
@@ -359,9 +359,9 @@ TEST_F(GuestContractTest, EvidenceDoubleSignSlashes) {
   const Hash32 db = b.hash();
   const auto res = submit(
       ix::submit_evidence(8), payer_,
-      {host::SigVerify{offender.public_key(), Bytes(da.bytes.begin(), da.bytes.end()),
+      {host::SigVerify{offender.public_key(), da,
                        offender.sign(da.view())},
-       host::SigVerify{offender.public_key(), Bytes(db.bytes.begin(), db.bytes.end()),
+       host::SigVerify{offender.public_key(), db,
                        offender.sign(db.view())}});
   ASSERT_TRUE(res.success) << res.error;
   EXPECT_TRUE(contract_->is_banned(offender.public_key()));
@@ -380,7 +380,7 @@ TEST_F(GuestContractTest, EvidenceAgainstCanonicalBlockFails) {
   const auto res = submit(
       ix::submit_evidence(9), payer_,
       {host::SigVerify{honest.public_key(),
-                       Bytes(digest.bytes.begin(), digest.bytes.end()),
+                       digest,
                        honest.sign(digest.view())}});
   EXPECT_FALSE(res.success);
   EXPECT_FALSE(contract_->is_banned(honest.public_key()));
@@ -423,7 +423,7 @@ TEST_F(GuestContractTest, ChunkedClientUpdateReachesQuorum) {
     for (int j = batch * 2; j < batch * 2 + 2; ++j) {
       const PrivateKey& k = cp_keys_[static_cast<std::size_t>(j)];
       sigs.push_back(host::SigVerify{k.public_key(),
-                                     Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                     digest,
                                      k.sign(digest.view())});
     }
     ASSERT_TRUE(submit(ix::verify_update_signatures(), payer_, sigs).success);
@@ -453,7 +453,7 @@ TEST_F(GuestContractTest, FinishUpdateBeforeQuorumFails) {
   for (int j = 0; j < 2; ++j) {
     const PrivateKey& k = cp_keys_[static_cast<std::size_t>(j)];
     sigs.push_back(host::SigVerify{k.public_key(),
-                                   Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                   digest,
                                    k.sign(digest.view())});
   }
   ASSERT_TRUE(submit(ix::verify_update_signatures(), payer_, sigs).success);
@@ -480,7 +480,7 @@ TEST_F(GuestContractTest, DuplicateUpdateSignaturesNotDoubleCounted) {
   const PrivateKey& k = cp_keys_[0];
   for (int i = 0; i < 2; ++i) {
     std::vector<host::SigVerify> sigs(2, host::SigVerify{
-        k.public_key(), Bytes(digest.bytes.begin(), digest.bytes.end()),
+        k.public_key(), digest,
         k.sign(digest.view())});
     const auto res = submit(ix::verify_update_signatures(), payer_, sigs);
     if (i == 1) {
@@ -566,7 +566,7 @@ TEST_F(GuestContractTest, OldBlockRecordsArePruned) {
       s.program = "pruned";
       ASSERT_TRUE(submit(std::move(s), key.public_key(),
                          {host::SigVerify{key.public_key(),
-                                          Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                          digest,
                                           key.sign(digest.view())}})
                       .success);
     }
@@ -585,7 +585,7 @@ TEST_F(GuestContractTest, OldBlockRecordsArePruned) {
   s.program = "pruned";
   const auto res = submit(std::move(s), key.public_key(),
                           {host::SigVerify{key.public_key(),
-                                           Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                           digest,
                                            key.sign(digest.view())}});
   EXPECT_FALSE(res.success);
   EXPECT_NE(res.error.find("pruned"), std::string::npos);
@@ -608,7 +608,7 @@ TEST_F(GuestContractTest, BannedValidatorCannotStake) {
   const Hash32 digest = forged.hash();
   ASSERT_TRUE(submit(ix::submit_evidence(11), payer_,
                      {host::SigVerify{offender.public_key(),
-                                      Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                      digest,
                                       offender.sign(digest.view())}})
                   .success);
   const auto res = submit(ix::stake(100), offender.public_key());

@@ -98,7 +98,7 @@ class FutureWorkTest : public ::testing::Test {
     const Hash32 digest = sh.header.signing_digest();
     std::vector<host::SigVerify> sigs;
     for (const auto& [k, s] : sh.signatures)
-      sigs.push_back(host::SigVerify{k, Bytes(digest.bytes.begin(), digest.bytes.end()), s});
+      sigs.push_back(host::SigVerify{k, digest, s});
     EXPECT_TRUE(submit(ix::verify_update_signatures(), sigs).success);
     (void)contract;
     return submit(ix::finish_client_update());
@@ -214,7 +214,7 @@ TEST_F(FutureWorkTest, SignersEarnFeeRewards) {
     const Hash32 digest = contract->block_at(h).hash();
     ASSERT_TRUE(submit(ix::sign_block(h, key.public_key()),
                        {host::SigVerify{key.public_key(),
-                                        Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                        digest,
                                         key.sign(digest.view())}})
                     .success);
   }
@@ -236,7 +236,7 @@ TEST_F(FutureWorkTest, SignersEarnFeeRewards) {
   const Hash32 digest = contract->block_at(h).hash();
   ASSERT_TRUE(submit(ix::sign_block(h, late.public_key()),
                      {host::SigVerify{late.public_key(),
-                                      Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                      digest,
                                       late.sign(digest.view())}})
                   .success);
   EXPECT_LE(chain_.balance(late.public_key()), late_before);  // only fees moved
@@ -255,7 +255,7 @@ TEST_F(FutureWorkTest, RewardsDisabledByDefault) {
     const Hash32 digest = contract->block_at(h).hash();
     ASSERT_TRUE(submit(ix::sign_block(h, key.public_key()),
                        {host::SigVerify{key.public_key(),
-                                        Bytes(digest.bytes.begin(), digest.bytes.end()),
+                                        digest,
                                         key.sign(digest.view())}})
                     .success);
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/codec.hpp"
+#include "crypto/sha256.hpp"
 #include "host/constants.hpp"
 
 namespace bmg::host {
@@ -230,13 +231,15 @@ TEST_F(ChainTest, AccountSizeCapEnforced) {
 
 TEST_F(ChainTest, SigVerifyPrecompileAcceptsValid) {
   const PrivateKey signer = PrivateKey::from_label("sig-signer");
-  const Bytes msg = bytes_of("block 7");
+  // Pre-compile messages are 32-byte digests (SigVerify::message).
+  const Hash32 msg = crypto::Sha256::digest(bytes_of("block 7"));
   Transaction tx = make_tx([] {
     Encoder e;
     e.u8(6);
     return e.take();
   }());
-  tx.sig_verifies.push_back(SigVerify{signer.public_key(), msg, signer.sign(msg)});
+  tx.sig_verifies.push_back(
+      SigVerify{signer.public_key(), msg, signer.sign(msg.view())});
   const TxResult res = run_to_result(std::move(tx));
   EXPECT_TRUE(res.success) << res.error;
   EXPECT_EQ(prog().sigs_seen, 1u);
@@ -246,8 +249,8 @@ TEST_F(ChainTest, SigVerifyPrecompileAcceptsValid) {
 
 TEST_F(ChainTest, SigVerifyPrecompileRejectsInvalid) {
   const PrivateKey signer = PrivateKey::from_label("sig-signer");
-  const Bytes msg = bytes_of("block 7");
-  crypto::Signature bad = signer.sign(msg);
+  const Hash32 msg = crypto::Sha256::digest(bytes_of("block 7"));
+  crypto::Signature bad = signer.sign(msg.view());
   auto raw = bad.raw();
   raw[0] ^= 1;
   Transaction tx = make_tx([] {
@@ -255,7 +258,8 @@ TEST_F(ChainTest, SigVerifyPrecompileRejectsInvalid) {
     e.u8(6);
     return e.take();
   }());
-  tx.sig_verifies.push_back(SigVerify{signer.public_key(), msg, crypto::Signature(raw)});
+  tx.sig_verifies.push_back(
+      SigVerify{signer.public_key(), msg, crypto::Signature(raw)});
   const TxResult res = run_to_result(std::move(tx));
   EXPECT_FALSE(res.success);
   EXPECT_EQ(prog().sigs_seen, 0u);

@@ -68,8 +68,8 @@ TEST(Ack, CommitmentsDiffer) {
 }
 
 TEST(CommitmentKeys, FixedWidth) {
-  const Bytes a = packet_key(KeyKind::kPacketCommitment, "transfer", "channel-0", 1);
-  const Bytes b = packet_key(KeyKind::kPacketReceipt, "p", "c", 99999);
+  const auto a = packet_key(KeyKind::kPacketCommitment, "transfer", "channel-0", 1);
+  const auto b = packet_key(KeyKind::kPacketReceipt, "p", "c", 99999);
   EXPECT_EQ(a.size(), 17u);
   EXPECT_EQ(b.size(), 17u);
   EXPECT_EQ(channel_key("transfer", "channel-0").size(), 17u);
@@ -80,7 +80,7 @@ TEST(CommitmentKeys, DistinctAcrossDimensions) {
   const auto k = [](KeyKind kind, const char* p, const char* c, std::uint64_t s) {
     return packet_key(kind, p, c, s);
   };
-  const Bytes base = k(KeyKind::kPacketCommitment, "transfer", "channel-0", 5);
+  const auto base = k(KeyKind::kPacketCommitment, "transfer", "channel-0", 5);
   EXPECT_NE(base, k(KeyKind::kPacketReceipt, "transfer", "channel-0", 5));
   EXPECT_NE(base, k(KeyKind::kPacketCommitment, "other", "channel-0", 5));
   EXPECT_NE(base, k(KeyKind::kPacketCommitment, "transfer", "channel-1", 5));
@@ -90,9 +90,10 @@ TEST(CommitmentKeys, DistinctAcrossDimensions) {
 TEST(CommitmentKeys, MonotonicInSequence) {
   // Big-endian sequence encoding => lexicographic order matches
   // numeric order, which the safe-sealing argument relies on.
-  Bytes prev = packet_key(KeyKind::kPacketReceipt, "transfer", "channel-0", 0);
+  Bytes prev = packet_key(KeyKind::kPacketReceipt, "transfer", "channel-0", 0).to_bytes();
   for (std::uint64_t s = 1; s < 1000; s += 7) {
-    const Bytes cur = packet_key(KeyKind::kPacketReceipt, "transfer", "channel-0", s);
+    const Bytes cur =
+        packet_key(KeyKind::kPacketReceipt, "transfer", "channel-0", s).to_bytes();
     EXPECT_LT(prev, cur);
     prev = cur;
   }

@@ -58,7 +58,7 @@ TEST_F(MaliciousRelayer, ForgedPacketRejectedByGuest) {
   ASSERT_TRUE(d_.run_until([&] { return updated; }, 600.0));
 
   // A proof of some *other* key cannot satisfy the forged commitment.
-  const Bytes wrong_key = ibc::channel_key("transfer", d_.cp_channel());
+  const auto wrong_key = ibc::channel_key("transfer", d_.cp_channel());
   const trie::Proof proof = d_.cp().prove_at(h, wrong_key);
   Encoder payload;
   payload.bytes(forged.encode()).u64(h).bytes(proof.serialize());
@@ -109,7 +109,7 @@ TEST_F(MaliciousRelayer, ForgedHeaderRejectedByUpdateMachinery) {
   sig_tx.payer = evil_;
   sig_tx.instructions.push_back(guest::ix::verify_update_signatures());
   sig_tx.sig_verifies.push_back(host::SigVerify{
-      evil_key.public_key(), Bytes(digest.bytes.begin(), digest.bytes.end()),
+      evil_key.public_key(), digest,
       evil_key.sign(digest.view())});
   txs.push_back(std::move(sig_tx));
   host::Transaction fin;
