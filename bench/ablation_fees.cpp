@@ -4,7 +4,12 @@
 // prevent tail latency during high congestion.  We sweep congestion
 // levels and compare base / priority / bundle inclusion latency and
 // cost, plus a simple dynamic policy (escalate fee after a timeout).
+//
+// Each (congestion, policy) pair is one shard-pool cell; rows print in
+// sweep order (congestion-major), byte-identical at any
+// --shard-workers.
 #include "bench_common.hpp"
+#include "grid.hpp"
 
 namespace {
 
@@ -88,31 +93,43 @@ Outcome run_policy(double p_base, int policy, std::uint64_t seed) {
   return out;
 }
 
+const char* kNames[] = {"base", "priority(1.40$)", "bundle(3.02$)", "dynamic"};
+const double kCongestion[] = {0.8, 0.4, 0.1, 0.02};
+
+bench::CellOutput run_cell(std::size_t cell, std::uint64_t seed) {
+  const double p_base = kCongestion[cell / 4];
+  const int policy = static_cast<int>(cell % 4);
+  const Outcome out = run_policy(p_base, policy, seed);
+  char buf[192];
+  if (out.latency.empty()) {
+    std::snprintf(buf, sizeof(buf), "p_base=%.2f  %-18s %10s %10s %10s %8d %10s\n",
+                  p_base, kNames[policy], "-", "-", "-", out.dropped, "-");
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "p_base=%.2f  %-18s %9.1fs %9.1fs %9.1fs %8d %9.3f$\n", p_base,
+                  kNames[policy], out.latency.quantile(0.5),
+                  out.latency.quantile(0.95), out.latency.max(), out.dropped,
+                  out.cost.mean());
+  }
+  std::string row = buf;
+  if (policy == 3) row += "\n";  // blank line closes each congestion group
+  return bench::CellOutput{std::move(row), {}};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Args args = bench::Args::parse(argc, argv, 0.0);
   bench::print_header("Ablation: fee policies across congestion levels (§VI-B)", args);
 
-  const char* names[] = {"base", "priority(1.40$)", "bundle(3.02$)", "dynamic"};
-  const double congestion[] = {0.8, 0.4, 0.1, 0.02};
-
   std::printf("%-12s %-18s %10s %10s %10s %8s %10s\n", "congestion", "policy",
               "lat p50", "lat p95", "lat max", "dropped", "mean cost");
-  for (const double p_base : congestion) {
-    for (int policy = 0; policy < 4; ++policy) {
-      const Outcome out = run_policy(p_base, policy, args.seed);
-      if (out.latency.empty()) {
-        std::printf("p_base=%.2f  %-18s %10s %10s %10s %8d %10s\n", p_base,
-                    names[policy], "-", "-", "-", out.dropped, "-");
-        continue;
-      }
-      std::printf("p_base=%.2f  %-18s %9.1fs %9.1fs %9.1fs %8d %9.3f$\n", p_base,
-                  names[policy], out.latency.quantile(0.5), out.latency.quantile(0.95),
-                  out.latency.max(), out.dropped, out.cost.mean());
-    }
-    std::printf("\n");
-  }
+  const std::size_t n = std::size(kCongestion) * 4;
+  const bench::GridResult g =
+      bench::run_grid(n, [&](std::size_t i) { return run_cell(i, args.seed); });
+  bench::print_cells(g);
+  bench::write_timing(g, args.timing_csv, "ablation_fees");
+
   std::printf("fixed policies overpay at low congestion and still drop txs at high\n"
               "congestion; escalation recovers drops for ~priority cost only when\n"
               "needed — the future-work direction of §VI-B.\n");

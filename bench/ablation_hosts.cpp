@@ -11,15 +11,48 @@
 // splitting and pacing adapt.  Light client updates collapse from ~36
 // transactions to 1 when the host admits bigger transactions — but
 // block cadence then dominates latency.
+//
+// Each host profile is one shard-pool cell; rows print in profile
+// order, byte-identical at any --shard-workers.
 #include "bench_common.hpp"
+#include "grid.hpp"
 
 namespace {
 
+using namespace bmg;
+
 struct HostProfile {
   const char* name;
-  bmg::host::ChainConfig chain;
+  host::ChainConfig chain;
   int sigs_per_update_tx;
 };
+
+bench::CellOutput run_profile(const HostProfile& hp, const bench::Args& args) {
+  relayer::DeploymentConfig cfg = bench::paper_config(args.seed);
+  cfg.host = hp.chain;
+  cfg.relayer.sigs_per_update_tx = hp.sigs_per_update_tx;
+  relayer::Deployment d(std::move(cfg));
+  d.open_ibc();
+
+  const double horizon = d.sim().now() + args.days * 86400.0;
+  bench::CpSendWorkload cp_traffic(d, /*mean_interarrival_s=*/1800.0, horizon);
+  bench::GuestSendWorkload guest_traffic(d, /*mean_interarrival_s=*/1800.0, horizon);
+  d.sim().run_until(horizon + 3600.0);
+  (void)cp_traffic;
+
+  Series send_latency;
+  for (const auto& r : guest_traffic.records())
+    if (r->executed && r->finalised) send_latency.add(r->finalised_at - r->executed_at);
+
+  const Series& txs = d.relayer().update_tx_counts();
+  const Series& dur = d.relayer().update_durations();
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-14s %12.1f %14zu %14.1f %16.1f %16.1f\n", hp.name,
+                hp.chain.slot_seconds, hp.chain.max_tx_size,
+                txs.empty() ? 0.0 : txs.mean(), dur.empty() ? 0.0 : dur.quantile(0.5),
+                send_latency.empty() ? 0.0 : send_latency.quantile(0.5));
+  return bench::CellOutput{buf, {}};
+}
 
 }  // namespace
 
@@ -51,30 +84,10 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %14s %14s %16s %16s\n", "host", "slot (s)", "tx limit (B)",
               "txs/update", "update p50 (s)", "send p50 (s)");
 
-  for (const HostProfile& hp : profiles) {
-    relayer::DeploymentConfig cfg = bench::paper_config(args.seed);
-    cfg.host = hp.chain;
-    cfg.relayer.sigs_per_update_tx = hp.sigs_per_update_tx;
-    relayer::Deployment d(std::move(cfg));
-    d.open_ibc();
-
-    const double horizon = d.sim().now() + args.days * 86400.0;
-    bench::CpSendWorkload cp_traffic(d, /*mean_interarrival_s=*/1800.0, horizon);
-    bench::GuestSendWorkload guest_traffic(d, /*mean_interarrival_s=*/1800.0, horizon);
-    d.sim().run_until(horizon + 3600.0);
-    (void)cp_traffic;
-
-    Series send_latency;
-    for (const auto& r : guest_traffic.records())
-      if (r->executed && r->finalised) send_latency.add(r->finalised_at - r->executed_at);
-
-    const Series& txs = d.relayer().update_tx_counts();
-    const Series& dur = d.relayer().update_durations();
-    std::printf("%-14s %12.1f %14zu %14.1f %16.1f %16.1f\n", hp.name,
-                hp.chain.slot_seconds, hp.chain.max_tx_size,
-                txs.empty() ? 0.0 : txs.mean(), dur.empty() ? 0.0 : dur.quantile(0.5),
-                send_latency.empty() ? 0.0 : send_latency.quantile(0.5));
-  }
+  const bench::GridResult g = bench::run_grid(
+      std::size(profiles), [&](std::size_t i) { return run_profile(profiles[i], args); });
+  bench::print_cells(g);
+  bench::write_timing(g, args.timing_csv, "ablation_hosts");
 
   std::printf("\nthe guest layer is byte-identical across rows; hosts with roomier\n"
               "transactions collapse the ~36-tx light client update to the 4-tx\n"

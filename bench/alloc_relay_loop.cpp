@@ -10,6 +10,16 @@
 // harness says so and exits 0 so it is safe to run anywhere.
 //
 //   alloc_relay_loop [--days D] [--seed N] [--budget FILE]
+//                    [--shards N] [--shard-workers W]
+//
+// With --shards N (PR 7), N independent relay loops run as shard-pool
+// cells, each seeded from stream_seed(seed, cell).  Per-cell counts
+// come from alloc_stats::thread_snapshot() — a cell runs wholly on one
+// worker thread with its intra-cell fork-join serialized, so the
+// thread-local delta attributes the cell's allocations exactly no
+// matter which worker ran it or what ran on that worker before.  The
+// per-cell rows and the aggregated budget check are therefore
+// byte-identical at any --shard-workers.
 //
 // Budget file format: lines of `key value`, `#` comments.  Keys:
 //   allocs_per_packet_max   (required) ceiling on allocations/packet
@@ -21,6 +31,7 @@
 
 #include "bench_common.hpp"
 #include "common/alloc_stats.hpp"
+#include "grid.hpp"
 
 namespace {
 
@@ -59,12 +70,116 @@ Budget load_budget(const char* path) {
   return b;
 }
 
+/// One relay-loop measurement: warm-up, then a measured window of
+/// traffic.  Counts come from the calling thread's own counters so the
+/// result is per-cell exact under the shard pool.
+struct CellMeasure {
+  std::uint64_t packets = 0;
+  alloc_stats::Snapshot delta;
+};
+
+CellMeasure run_loop(std::uint64_t seed, std::optional<std::uint64_t> stream,
+                     double days) {
+  relayer::DeploymentConfig cfg = bench::paper_config(seed);
+  cfg.rng_stream = stream;
+  cfg.guest.delta_seconds = 60.0;  // tight Δ so packets finalise quickly
+  relayer::Deployment d(cfg);
+  d.open_ibc();
+
+  // Warm-up: traffic so arenas, tries and caches reach steady state
+  // before the measured window opens.
+  {
+    const double warm_until = d.sim().now() + 0.02 * 86400.0;
+    bench::GuestSendWorkload warm_guest(d, 120.0, warm_until);
+    bench::CpSendWorkload warm_cp(d, 300.0, warm_until);
+    d.run_for(0.02 * 86400.0 + 2.0 * cfg.guest.delta_seconds);
+  }
+
+  const std::uint64_t packets_before =
+      d.relayer().packets_relayed_to_cp() + d.relayer().packets_relayed_to_guest();
+  const alloc_stats::Snapshot before = alloc_stats::thread_snapshot();
+
+  const double until = d.sim().now() + days * 86400.0;
+  bench::GuestSendWorkload guest_load(d, 120.0, until);
+  bench::CpSendWorkload cp_load(d, 300.0, until);
+  d.run_for(days * 86400.0 + 2.0 * cfg.guest.delta_seconds);
+
+  CellMeasure m;
+  m.delta = alloc_stats::thread_snapshot() - before;
+  m.packets = d.relayer().packets_relayed_to_cp() +
+              d.relayer().packets_relayed_to_guest() - packets_before;
+  return m;
+}
+
+int run_sharded(long shards, std::uint64_t seed, double days,
+                const char* budget_path, const char* timing_csv) {
+  const auto n = static_cast<std::size_t>(shards);
+  std::fprintf(stderr, "alloc_relay_loop: %zu shards, %zu shard workers\n", n,
+               shard::worker_count());
+  std::vector<CellMeasure> cells(n);
+  const bench::GridResult g = bench::run_grid(n, [&](std::size_t i) {
+    cells[i] = run_loop(seed, i, days);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%zu,%llu,%llu,%.1f\n", i,
+                  static_cast<unsigned long long>(cells[i].packets),
+                  static_cast<unsigned long long>(cells[i].delta.allocs),
+                  cells[i].packets > 0
+                      ? static_cast<double>(cells[i].delta.allocs) /
+                            static_cast<double>(cells[i].packets)
+                      : 0.0);
+    return bench::CellOutput{buf, {}};
+  });
+
+  std::printf("alloc_relay_loop: seed=%llu days=%.3f shards=%zu\n",
+              static_cast<unsigned long long>(seed), days, n);
+  std::printf("cell,packets,allocs,allocs_per_packet\n");
+  bench::print_cells(g);
+  bench::write_timing(g, timing_csv, "alloc_relay_loop");
+
+  if (!alloc_stats::enabled()) {
+    std::printf("alloc stats DISABLED (configure with -DBMG_ALLOC_STATS=ON)\n");
+    return 0;
+  }
+  std::uint64_t packets = 0, allocs = 0;
+  for (const CellMeasure& m : cells) {
+    packets += m.packets;
+    allocs += m.delta.allocs;
+  }
+  if (packets == 0) {
+    std::fprintf(stderr, "alloc_relay_loop: no packets delivered; run longer\n");
+    return 2;
+  }
+  const double allocs_per_packet =
+      static_cast<double>(allocs) / static_cast<double>(packets);
+  std::printf("packets_delivered      %llu\n",
+              static_cast<unsigned long long>(packets));
+  std::printf("allocs_total           %llu\n",
+              static_cast<unsigned long long>(allocs));
+  std::printf("allocs_per_packet      %.1f\n", allocs_per_packet);
+
+  if (budget_path != nullptr) {
+    const Budget budget = load_budget(budget_path);
+    if (allocs_per_packet > budget.allocs_per_packet_max) {
+      std::fprintf(stderr,
+                   "alloc_relay_loop: REGRESSION — %.1f allocs/packet exceeds "
+                   "budget %.1f (%s)\n",
+                   allocs_per_packet, budget.allocs_per_packet_max, budget_path);
+      return 1;
+    }
+    std::printf("budget_ok              %.1f <= %.1f\n", allocs_per_packet,
+                budget.allocs_per_packet_max);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double days = 0.10;
   std::uint64_t seed = 42;
+  long shards = 0;
   const char* budget_path = nullptr;
+  const char* timing_csv = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -78,12 +193,22 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
       budget_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = bench::parse_positive_long("alloc_relay_loop", "--shards", argv[++i]);
+    } else if (std::strcmp(argv[i], "--shard-workers") == 0 && i + 1 < argc) {
+      shard::set_worker_count(static_cast<std::size_t>(bench::parse_positive_long(
+          "alloc_relay_loop", "--shard-workers", argv[++i])));
+    } else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc) {
+      timing_csv = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: alloc_relay_loop [--days D] [--seed N] [--budget FILE]\n");
+                   "usage: alloc_relay_loop [--days D] [--seed N] [--budget FILE] "
+                   "[--shards N] [--shard-workers W] [--timing-csv PATH]\n");
       return 2;
     }
   }
+
+  if (shards > 0) return run_sharded(shards, seed, days, budget_path, timing_csv);
 
   relayer::DeploymentConfig cfg = bench::paper_config(seed);
   cfg.guest.delta_seconds = 60.0;  // tight Δ so packets finalise quickly

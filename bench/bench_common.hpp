@@ -11,16 +11,25 @@
 #include <memory>
 #include <string>
 
+#include "common/shard_pool.hpp"
 #include "relayer/deployment.hpp"
 
 namespace bmg::bench {
 
 /// Command-line knobs shared by the harnesses:
-///   --days N     simulated days (default varies per bench)
-///   --seed N     RNG seed (default 42)
+///   --days N           simulated days (default varies per bench)
+///   --seed N           RNG seed (default 42)
+///   --shard-workers W  shard-pool workers for grid-capable drivers
+///                      (default: BMG_SHARD_WORKERS or hardware)
+///   --grid-seeds N     figure drivers: run an N-seed grid instead of
+///                      the single classic run (0 = classic mode)
+///   --timing-csv PATH  write per-cell wall/CPU timing rows to PATH
+///                      (timing is never part of the stdout artifact)
 struct Args {
   double days = 0;
   std::uint64_t seed = 42;
+  long grid_seeds = 0;
+  const char* timing_csv = nullptr;
 
   static Args parse(int argc, char** argv, double default_days) {
     Args a;
@@ -30,6 +39,12 @@ struct Args {
         a.days = std::atof(argv[++i]);
       else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
         a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      else if (std::strcmp(argv[i], "--shard-workers") == 0 && i + 1 < argc)
+        shard::set_worker_count(static_cast<std::size_t>(std::atoll(argv[++i])));
+      else if (std::strcmp(argv[i], "--grid-seeds") == 0 && i + 1 < argc)
+        a.grid_seeds = std::atol(argv[++i]);
+      else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc)
+        a.timing_csv = argv[++i];
     }
     return a;
   }

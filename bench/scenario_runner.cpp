@@ -1,23 +1,27 @@
 // Multi-seed scenario runner: executes a (seed × Δ) grid of full-stack
-// deployment simulations on the deterministic fork-join executor and
-// emits one CSV row per scenario.
+// deployment simulations, one complete simulation per shard-pool cell,
+// and emits one CSV row per scenario.
 //
 // Each scenario is an independent deterministic simulation — its own
 // Deployment, Rng, chains and agents — so scenarios parallelise
-// perfectly.  Rows are written into a slot indexed by the scenario's
-// static grid position and printed in grid order after the join, so
-// the CSV on stdout is byte-identical for any thread count (wall-clock
-// timing goes to stderr, which is not part of the artifact).
+// perfectly across the shard workers (PR 7).  Rows land in slots
+// indexed by the scenario's static grid position and print in grid
+// order after the join, so the CSV on stdout is byte-identical for any
+// worker count (timing goes to stderr / --timing-csv, which are not
+// part of the artifact).
 //
-//   scenario_runner [--seeds N] [--days D] [--threads T]
+//   scenario_runner [--seeds N] [--days D] [--shard-workers W]
+//                   [--timing-csv PATH] [--threads T]
 //
-//   --seeds N    seeds 42..42+N-1 per Δ point (default 4)
-//   --days D     simulated days per scenario (default 0.05)
-//   --threads T  worker threads (default: BMG_THREADS or hardware)
-#include <cerrno>
-#include <chrono>
+//   --seeds N          seeds 42..42+N-1 per Δ point (default 4)
+//   --days D           simulated days per scenario (default 0.05)
+//   --shard-workers W  shard workers (default: BMG_SHARD_WORKERS or
+//                      hardware); cells serialize their intra-cell
+//                      fork-join regions inline
+//   --timing-csv PATH  per-cell wall/CPU timing rows (see grid.hpp)
+//   --threads T        fork-join threads — only reaches kernels when
+//                      the run is serial (kept for compatibility)
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -26,6 +30,7 @@
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
+#include "grid.hpp"
 
 namespace {
 
@@ -36,12 +41,7 @@ struct Scenario {
   double delta_seconds = 0;
 };
 
-struct Row {
-  std::string csv;
-  std::string audit;  ///< empty when every invariant held
-};
-
-Row run_scenario(const Scenario& sc, double days) {
+bench::CellOutput run_scenario(std::size_t cell, const Scenario& sc, double days) {
   relayer::DeploymentConfig cfg = bench::paper_config(sc.seed);
   cfg.guest.delta_seconds = sc.delta_seconds;
   relayer::Deployment d(cfg);
@@ -72,45 +72,14 @@ Row run_scenario(const Scenario& sc, double days) {
   }
 
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "%llu,%.0f,%zu,%zu,%d,%d,%.3f,%s\n",
+  std::snprintf(buf, sizeof(buf), "%zu,%llu,%.0f,%zu,%zu,%d,%d,%.3f,%s\n", cell,
                 static_cast<unsigned long long>(sc.seed), sc.delta_seconds,
                 d.guest().block_count(), guest_load.records().size(), finalised,
                 cp_load.sent(), latency.count() > 0 ? latency.mean() : 0.0,
                 d.guest().store().root_hash().hex().c_str());
-  Row row{buf, {}};
-  if (!auditor.clean()) {
-    row.audit = "seed " + std::to_string(sc.seed) + ": " + auditor.report();
-  }
-  return row;
-}
-
-/// Parses a strictly positive integer option value; exits with a
-/// diagnostic on garbage, trailing junk, overflow or non-positive
-/// input (std::atoi would silently return 0 and corrupt the grid).
-long parse_positive_long(const char* flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE || v <= 0) {
-    std::fprintf(stderr, "scenario_runner: %s expects a positive integer, got '%s'\n",
-                 flag, text);
-    std::exit(2);
-  }
-  return v;
-}
-
-/// Parses a strictly positive decimal option value with the same
-/// rejection rules as parse_positive_long.
-double parse_positive_double(const char* flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0)) {
-    std::fprintf(stderr, "scenario_runner: %s expects a positive number, got '%s'\n",
-                 flag, text);
-    std::exit(2);
-  }
-  return v;
+  return bench::CellOutput{
+      buf, auditor.verdict("seed " + std::to_string(sc.seed) + " delta " +
+                           std::to_string(static_cast<long>(sc.delta_seconds)))};
 }
 
 }  // namespace
@@ -118,18 +87,26 @@ double parse_positive_double(const char* flag, const char* text) {
 int main(int argc, char** argv) {
   int seeds = 4;
   double days = 0.05;
+  const char* timing_csv = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
-      seeds = static_cast<int>(parse_positive_long("--seeds", argv[++i]));
+      seeds = static_cast<int>(
+          bench::parse_positive_long("scenario_runner", "--seeds", argv[++i]));
     } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
-      days = parse_positive_double("--days", argv[++i]);
+      days = bench::parse_positive_double("scenario_runner", "--days", argv[++i]);
+    } else if (std::strcmp(argv[i], "--shard-workers") == 0 && i + 1 < argc) {
+      shard::set_worker_count(static_cast<std::size_t>(
+          bench::parse_positive_long("scenario_runner", "--shard-workers", argv[++i])));
+    } else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc) {
+      timing_csv = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      parallel::set_thread_count(
-          static_cast<std::size_t>(parse_positive_long("--threads", argv[++i])));
+      parallel::set_thread_count(static_cast<std::size_t>(
+          bench::parse_positive_long("scenario_runner", "--threads", argv[++i])));
     } else {
       std::fprintf(stderr,
                    "scenario_runner: unknown or incomplete option '%s'\n"
-                   "usage: scenario_runner [--seeds N] [--days D] [--threads T]\n",
+                   "usage: scenario_runner [--seeds N] [--days D] [--shard-workers W] "
+                   "[--timing-csv PATH] [--threads T]\n",
                    argv[i]);
       return 2;
     }
@@ -143,31 +120,23 @@ int main(int argc, char** argv) {
     for (int s = 0; s < seeds; ++s)
       grid.push_back(Scenario{42 + static_cast<std::uint64_t>(s), delta});
 
-  std::fprintf(stderr, "scenario_runner: %zu scenarios, %.3f days each, %zu threads\n",
-               grid.size(), days, parallel::thread_count());
+  std::fprintf(stderr,
+               "scenario_runner: %zu scenarios, %.3f days each, %zu shard workers\n",
+               grid.size(), days, shard::worker_count());
 
-  std::vector<Row> rows(grid.size());
-  const auto t0 = std::chrono::steady_clock::now();
-  parallel::parallel_for(grid.size(), 1, [&](std::size_t begin, std::size_t end,
-                                             std::size_t) {
-    for (std::size_t i = begin; i < end; ++i) rows[i] = run_scenario(grid[i], days);
-  });
-  const auto t1 = std::chrono::steady_clock::now();
+  const bench::GridResult g = bench::run_grid(
+      grid.size(), [&](std::size_t i) { return run_scenario(i, grid[i], days); });
 
-  std::printf("seed,delta_s,blocks,sends,finalised,cp_sends,mean_latency_s,state_root\n");
-  for (const Row& r : rows) std::fputs(r.csv.c_str(), stdout);
+  std::printf(
+      "cell,seed,delta_s,blocks,sends,finalised,cp_sends,mean_latency_s,state_root\n");
+  bench::print_cells(g);
 
-  const double wall =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
-  std::fprintf(stderr, "scenario_runner: wall=%.3fs\n", wall);
+  std::fprintf(stderr, "scenario_runner: wall=%.3fs\n", g.wall_s);
+  bench::write_timing(g, timing_csv, "scenario_runner");
 
   // Invariant violations are not part of the CSV artifact: report on
   // stderr and fail the run.
-  bool clean = true;
-  for (const Row& r : rows) {
-    if (r.audit.empty()) continue;
-    clean = false;
-    std::fprintf(stderr, "scenario_runner: AUDIT %s\n", r.audit.c_str());
-  }
-  return clean ? 0 : 1;
+  if (!g.verdict.clean())
+    std::fprintf(stderr, "scenario_runner: AUDIT %s\n", g.verdict.report.c_str());
+  return g.verdict.clean() ? 0 : 1;
 }

@@ -202,4 +202,25 @@ std::string InvariantAuditor::report() const {
   return os.str();
 }
 
+Verdict InvariantAuditor::verdict(std::string label) const {
+  Verdict v;
+  v.label = std::move(label);
+  v.checks = checks_run_;
+  v.violations = violations_total_;
+  if (violations_total_ != 0) v.report = report();
+  return v;
+}
+
+Verdict merge_verdicts(const std::vector<Verdict>& cells) {
+  Verdict merged;
+  for (const Verdict& v : cells) {
+    merged.checks += v.checks;
+    merged.violations += v.violations;
+    if (v.report.empty()) continue;
+    if (!merged.report.empty()) merged.report += "\n";
+    merged.report += v.label.empty() ? v.report : v.label + ": " + v.report;
+  }
+  return merged;
+}
+
 }  // namespace bmg::audit

@@ -53,6 +53,25 @@ struct Violation {
   std::string trigger;  ///< which block event tripped the check
 };
 
+/// A value-type summary of one auditor's run — what a shard cell hands
+/// back across the pool boundary (the auditor itself holds references
+/// into the cell's simulation and must die with it).  `label` names
+/// the cell ("seed 42 delta 600"); `report` is empty when clean.
+struct Verdict {
+  std::string label;
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::string report;
+
+  [[nodiscard]] bool clean() const noexcept { return violations == 0; }
+};
+
+/// Deterministic grid-order aggregation of per-cell verdicts: counters
+/// sum, dirty cells' reports concatenate (prefixed with their labels)
+/// in the order given — which the shard runners keep in grid order, so
+/// the merged verdict is byte-identical at every worker count.
+[[nodiscard]] Verdict merge_verdicts(const std::vector<Verdict>& cells);
+
 class InvariantAuditor {
  public:
   InvariantAuditor(sim::Simulation& sim, host::Chain& host, guest::GuestContract& guest,
@@ -84,6 +103,9 @@ class InvariantAuditor {
   [[nodiscard]] bool clean() const noexcept { return violations_total_ == 0; }
   /// Human-readable multi-line summary of recorded violations.
   [[nodiscard]] std::string report() const;
+  /// Detachable summary for cross-shard aggregation; `label` names the
+  /// grid cell this auditor watched.
+  [[nodiscard]] Verdict verdict(std::string label = {}) const;
 
  private:
   void check_conservation(const std::string& trigger);

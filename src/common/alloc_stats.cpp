@@ -15,9 +15,20 @@ std::atomic<std::uint64_t> g_frees{0};
 std::atomic<std::uint64_t> g_alloc_bytes{0};
 std::atomic<std::uint64_t> g_bytes_copied{0};
 
+// Per-thread mirrors (plain, not atomic — only the owning thread
+// touches them).  Zero-initialised thread_local PODs need no dynamic
+// construction, so counting from the very first operator new on a
+// fresh thread is safe.
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_alloc_bytes = 0;
+thread_local std::uint64_t t_bytes_copied = 0;
+
 void* counted_alloc(std::size_t n, std::size_t align) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  ++t_allocs;
+  t_alloc_bytes += n;
   void* p = align > alignof(std::max_align_t)
                 ? std::aligned_alloc(align, (n + align - 1) / align * align)
                 : std::malloc(n == 0 ? 1 : n);
@@ -28,6 +39,7 @@ void* counted_alloc(std::size_t n, std::size_t align) {
 void counted_free(void* p) noexcept {
   if (p == nullptr) return;
   g_frees.fetch_add(1, std::memory_order_relaxed);
+  ++t_frees;
   std::free(p);
 }
 }  // namespace
@@ -41,8 +53,13 @@ Snapshot snapshot() noexcept {
           g_bytes_copied.load(std::memory_order_relaxed)};
 }
 
+Snapshot thread_snapshot() noexcept {
+  return {t_allocs, t_frees, t_alloc_bytes, t_bytes_copied};
+}
+
 void count_copy(std::size_t n) noexcept {
   g_bytes_copied.fetch_add(n, std::memory_order_relaxed);
+  t_bytes_copied += n;
 }
 
 }  // namespace bmg::alloc_stats

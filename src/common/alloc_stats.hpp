@@ -12,9 +12,19 @@
 // accounting out of the default build is what lets scenario_runner and
 // the figure benches stay byte-identical to the seed outputs.
 //
-// Counters are process-global relaxed atomics: cheap enough for a
-// measurement build, and exact as long as the measured region is
-// single-threaded (the recording methodology pins BMG_THREADS=1).
+// Counters exist at two granularities.  The process-global relaxed
+// atomics back snapshot(); they are exact as long as the measured
+// region is single-threaded (the recording methodology pins
+// BMG_THREADS=1).  For sharded runs — several whole simulations in
+// flight on distinct shard workers — the global counters still sum
+// correctly but cannot attribute traffic, so every counter is also
+// kept in plain thread_local storage read by thread_snapshot(): a
+// shard cell runs entirely on one worker thread (its fork-join
+// regions serialize inline), so a before/after thread_snapshot()
+// delta is exact per-cell accounting with zero cross-shard bleed, and
+// per-cell deltas aggregate to the budget check (alloc_relay_loop
+// --shard-workers).  Frees are charged to the thread that frees;
+// per-cell *alloc* counts — what the budget enforces — are exact.
 #pragma once
 
 #include <cstddef>
@@ -44,9 +54,12 @@ struct Snapshot {
 
 #ifdef BMG_ALLOC_STATS
 [[nodiscard]] Snapshot snapshot() noexcept;
+/// Counters of the calling thread only — the per-shard view.
+[[nodiscard]] Snapshot thread_snapshot() noexcept;
 void count_copy(std::size_t n) noexcept;
 #else
 [[nodiscard]] inline Snapshot snapshot() noexcept { return {}; }
+[[nodiscard]] inline Snapshot thread_snapshot() noexcept { return {}; }
 inline void count_copy(std::size_t) noexcept {}
 #endif
 

@@ -6,8 +6,14 @@
 namespace bmg {
 
 namespace {
-[[nodiscard]] std::size_t align_up(std::size_t n, std::size_t align) noexcept {
-  return (n + align - 1) & ~(align - 1);
+// Aligns relative to the chunk's actual base address: operator new[]
+// only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__, so for larger
+// alignments the in-chunk offset alone is not enough.
+[[nodiscard]] std::size_t aligned_offset(const std::uint8_t* base,
+                                         std::size_t used,
+                                         std::size_t align) noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(base) + used;
+  return used + static_cast<std::size_t>((-addr) & (align - 1));
 }
 }  // namespace
 
@@ -15,11 +21,13 @@ void Arena::ensure_room(std::size_t n, std::size_t align) {
   // Try the chunks we already own (reset() keeps them around).
   while (active_ < chunks_.size()) {
     const Chunk& c = chunks_[active_];
-    if (align_up(chunk_used_, align) + n <= c.size) return;
+    if (aligned_offset(c.data.get(), chunk_used_, align) + n <= c.size) return;
     ++active_;
     chunk_used_ = 0;
   }
-  std::size_t want = std::max(next_chunk_bytes_, n);
+  // align - 1 slack covers the worst-case base misalignment of the
+  // fresh chunk.
+  std::size_t want = std::max(next_chunk_bytes_, n + align - 1);
   chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(want), want});
   // Geometric growth caps the number of chunks (and heap calls) at
   // O(log total) for any workload.
@@ -31,7 +39,7 @@ void Arena::ensure_room(std::size_t n, std::size_t align) {
 void* Arena::allocate(std::size_t n, std::size_t align) {
   ensure_room(n, align);
   Chunk& c = chunks_[active_];
-  const std::size_t at = align_up(chunk_used_, align);
+  const std::size_t at = aligned_offset(c.data.get(), chunk_used_, align);
   chunk_used_ = at + n;
   return c.data.get() + at;
 }

@@ -195,6 +195,10 @@ void set_thread_count(std::size_t n) { Pool::instance().set_threads(n); }
 
 bool in_parallel_region() noexcept { return t_in_region; }
 
+SerialRegion::SerialRegion() noexcept : prev_(t_in_region) { t_in_region = true; }
+
+SerialRegion::~SerialRegion() { t_in_region = prev_; }
+
 void parallel_for(std::size_t n, std::size_t min_per_shard, const ShardFn& fn) {
   if (n == 0) return;
   if (min_per_shard == 0) min_per_shard = 1;

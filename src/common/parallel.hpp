@@ -52,6 +52,25 @@ void set_thread_count(std::size_t n);
 /// parallel_for would serialize).
 [[nodiscard]] bool in_parallel_region() noexcept;
 
+/// RAII: marks the calling thread as inside a parallel region, so any
+/// parallel_for issued while the guard lives runs its body inline on
+/// this thread (the exact serial path).  The shard pool wraps every
+/// whole-simulation cell in one of these: cells are the scaling axis,
+/// and W cells funnelling their intra-block kernels through the single
+/// fork-join dispatch slot would serialize anyway — pinning a cell's
+/// kernels to its own worker also keeps its working set on one core.
+/// Guards may nest (restores the previous state on destruction).
+class SerialRegion {
+ public:
+  SerialRegion() noexcept;
+  ~SerialRegion();
+  SerialRegion(const SerialRegion&) = delete;
+  SerialRegion& operator=(const SerialRegion&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Runs `fn` over [0, n) split into at most thread_count() contiguous
 /// shards of at least `min_per_shard` indices each.  Blocks until all
 /// shards finish.  If any shard throws, the exception from the

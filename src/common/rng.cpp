@@ -21,6 +21,19 @@ std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 constexpr double kPi = 3.14159265358979323846;
 }  // namespace
 
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Mix the seed, fold the stream index into the advanced state, mix
+  // again, then a final avalanche round: adjacent (seed, stream)
+  // pairs land in unrelated regions of the seeding space.  Stateless
+  // and order-independent by construction.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x += stream;
+  h ^= splitmix64(x);
+  std::uint64_t y = h;
+  return splitmix64(y);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t x = seed;
   for (auto& s : s_) s = splitmix64(x);

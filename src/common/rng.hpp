@@ -10,9 +10,27 @@
 
 namespace bmg {
 
+/// Deterministically derives the state seed of independent stream
+/// `stream` of base `seed` (two splitmix64 rounds over the pair).
+/// This is how grid runners split one user-facing seed into per-cell
+/// streams: a cell's stream is a pure function of (seed, grid index),
+/// so its transcript is identical whether the cell runs serially,
+/// sharded, or alone — and unrelated to every sibling cell's stream.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept;
+
+  /// The generator for stream `stream` of base `seed`; exactly
+  /// Rng(stream_seed(seed, stream)).  Unlike fork(), splitting is
+  /// stateless: it neither draws from nor perturbs any existing
+  /// generator, so grid cells can derive their streams in any order
+  /// (or concurrently) and always get the same sequences.
+  [[nodiscard]] static Rng split(std::uint64_t seed, std::uint64_t stream) noexcept {
+    return Rng(stream_seed(seed, stream));
+  }
 
   /// Uniform 64-bit value.
   [[nodiscard]] std::uint64_t next() noexcept;

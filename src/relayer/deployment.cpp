@@ -75,9 +75,10 @@ std::vector<ValidatorProfile> paper_validators() {
 
 Deployment::Deployment(DeploymentConfig cfg)
     : cfg_(std::move(cfg)),
-      rng_(cfg_.seed),
-      host_(sim_, Rng(cfg_.seed ^ 0x1111), cfg_.host),
-      cp_(sim_, Rng(cfg_.seed ^ 0x2222), cfg_.counterparty),
+      seed_(cfg_.rng_stream ? stream_seed(cfg_.seed, *cfg_.rng_stream) : cfg_.seed),
+      rng_(seed_),
+      host_(sim_, Rng(seed_ ^ 0x1111), cfg_.host),
+      cp_(sim_, Rng(seed_ ^ 0x2222), cfg_.counterparty),
       client_payer_(crypto::PrivateKey::from_label("client-payer").public_key()),
       service_payer_(crypto::PrivateKey::from_label("service-payer").public_key()) {
   if (cfg_.validators.empty()) cfg_.validators = paper_validators();

@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "counterparty/chain.hpp"
@@ -23,6 +24,13 @@ namespace bmg::relayer {
 
 struct DeploymentConfig {
   std::uint64_t seed = 42;
+  /// When set, every RNG in the deployment derives from
+  /// stream_seed(seed, *rng_stream) instead of `seed` directly — the
+  /// grid runners' per-cell stream split (common/rng.hpp): cell i of a
+  /// grid keyed by `seed` gets stream i, making its transcript a pure
+  /// function of (seed, i) regardless of sibling cells or shard
+  /// workers.  Unset keeps the historical seeding byte-identical.
+  std::optional<std::uint64_t> rng_stream;
   host::ChainConfig host;
   counterparty::Config counterparty;
   guest::GuestConfig guest;
@@ -125,6 +133,9 @@ class Deployment {
   void guest_handshake_call(ByteView payload);
 
   DeploymentConfig cfg_;
+  /// Effective state seed: cfg_.seed or its per-cell stream split.
+  /// Declared before every member seeded from it.
+  std::uint64_t seed_;
   Rng rng_;
   sim::Simulation sim_;
   host::Chain host_;

@@ -1,8 +1,25 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace bmg::sim {
+
+void Simulation::check_pump_thread() {
+  const std::thread::id self = std::this_thread::get_id();
+  if (pump_thread_ == std::thread::id{}) {
+    pump_thread_ = self;
+    return;
+  }
+  if (pump_thread_ != self) {
+    std::fprintf(stderr,
+                 "sim: Simulation pumped from a second thread — a scheduler is "
+                 "being shared across shard cells (rebind_pump_thread() is the "
+                 "explicit hand-off)\n");
+    std::abort();
+  }
+}
 
 Simulation::PendingTimer* Simulation::find_pending(TimerId id) {
   const auto it = std::lower_bound(
@@ -77,6 +94,7 @@ std::size_t Simulation::cancel_agent(AgentId owner) {
 }
 
 bool Simulation::step() {
+  check_pump_thread();
   if (queue_.empty()) return false;
   std::pop_heap(queue_.begin(), queue_.end(), Later{});
   Event ev = std::move(queue_.back());

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,15 @@ class Simulation {
   /// Runs the next event.  Returns false when the queue is empty.
   bool step();
 
+  /// A Simulation is single-threaded by contract: the first step()
+  /// binds it to the calling thread and any later step() from another
+  /// thread aborts with a diagnostic.  Shard workers run one complete
+  /// simulation per grid cell, so a cross-thread pump means two shards
+  /// are sharing a scheduler — a determinism bug, never a data race to
+  /// tolerate.  rebind_pump_thread() is the explicit hand-off for the
+  /// legitimate case (built on one thread, run inside a shard cell).
+  void rebind_pump_thread() noexcept { pump_thread_ = std::thread::id{}; }
+
   /// Runs all events with timestamp <= `t`; afterwards now() == t.
   void run_until(SimTime t);
 
@@ -117,6 +127,10 @@ class Simulation {
   /// Owner -> timers it ever scheduled; entries may be stale (already
   /// fired or cancelled) and are dropped lazily by cancel_agent().
   std::unordered_map<AgentId, std::vector<TimerId>> owned_;
+  /// Thread the first step() ran on; id{} until then (see
+  /// rebind_pump_thread()).
+  std::thread::id pump_thread_{};
+  void check_pump_thread();
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 0;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 namespace bmg {
 namespace {
@@ -99,6 +100,42 @@ TEST(Rng, ForkIndependentStreams) {
   int same = 0;
   for (int i = 0; i < 50; ++i) same += (parent.next() == child.next());
   EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StreamSeedIsAPureFunction) {
+  // Unlike fork(), stream splitting is stateless: the same (seed,
+  // stream) pair always derives the same sub-seed, so grid cell i gets
+  // the same RNG whether it runs first, last, or on another worker.
+  EXPECT_EQ(stream_seed(42, 0), stream_seed(42, 0));
+  EXPECT_EQ(stream_seed(42, 7), stream_seed(42, 7));
+  EXPECT_NE(stream_seed(42, 0), stream_seed(42, 1));
+  EXPECT_NE(stream_seed(42, 0), stream_seed(43, 0));
+}
+
+TEST(Rng, StreamSeedsPairwiseDistinct) {
+  // No collisions across a realistic grid of (seed, stream) pairs, and
+  // stream 0 must not degenerate to the base seed.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_NE(stream_seed(seed, 0), seed);
+    for (std::uint64_t stream = 0; stream < 64; ++stream)
+      seen.insert(stream_seed(seed, stream));
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u);
+}
+
+TEST(Rng, SplitMatchesStreamSeedConstruction) {
+  Rng a = Rng::split(42, 5);
+  Rng b(stream_seed(42, 5));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng a = Rng::split(42, 1);
+  Rng b = Rng::split(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
 }
 
 }  // namespace

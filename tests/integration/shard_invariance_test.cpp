@@ -1,0 +1,180 @@
+// PR 7 determinism contract for sharded execution: a grid of complete
+// deployment simulations run on the shard pool must produce the same
+// bytes — per-cell CSV artifacts, merged auditor verdicts — at every
+// --shard-workers value, including under fault injection and
+// crash-restart windows.  Worker count only decides which thread runs
+// which cell; it must never reach any artifact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "common/shard_pool.hpp"
+#include "host/fault.hpp"
+#include "relayer/deployment.hpp"
+
+namespace bmg {
+namespace {
+
+const std::size_t kWorkerCounts[] = {1, 2, 8};
+
+class ShardInvarianceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { shard::set_worker_count(0); }
+};
+
+relayer::DeploymentConfig mini_config(std::uint64_t stream) {
+  relayer::DeploymentConfig cfg;
+  cfg.seed = 7001;
+  cfg.rng_stream = stream;  // grid cell = deterministic stream split
+  cfg.guest.delta_seconds = 60.0;
+  for (int i = 0; i < 4; ++i) {
+    relayer::ValidatorProfile p;
+    p.name = "shard-val-" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(2.0, 3.0, 0.4);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 12;
+  cfg.counterparty.block_interval_s = 6.0;
+  return cfg;
+}
+
+struct CellResult {
+  std::string csv;
+  audit::Verdict verdict;
+};
+
+/// One grid cell: a full deployment with auditor and a small transfer
+/// workload, summarised as a CSV row (blocks, transfers, state root).
+CellResult run_plain_cell(std::size_t cell) {
+  relayer::Deployment d(mini_config(cell));
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
+  d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+
+  for (int i = 0; i < 3; ++i)
+    (void)d.send_transfer_from_guest(50, host::FeePolicy::priority(1'000'000));
+  (void)d.send_transfer_from_cp(10);
+  d.run_for(400.0);
+  auditor.check_now("final");
+
+  CellResult r;
+  r.csv = std::to_string(cell) + "," + std::to_string(d.guest().block_count()) + "," +
+          d.guest().store().root_hash().hex() + "\n";
+  r.verdict = auditor.verdict("cell " + std::to_string(cell));
+  return r;
+}
+
+/// One chaotic grid cell: the same deployment under a composed fault
+/// plan (congestion, fee spikes, blackholes, duplicates, an outage)
+/// plus crash-restart windows for the relayer and the crank.
+CellResult run_chaos_cell(std::size_t cell) {
+  relayer::Deployment d(mini_config(100 + cell));
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
+  d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+
+  const double t0 = d.sim().now();
+  d.host()
+      .fault_plan()
+      .congestion(t0 + 5, t0 + 60, 0.3)
+      .fee_spike(t0 + 5, t0 + 60, 3.0)
+      .blackhole(t0 + 10, t0 + 50, 0.5, "recv-packet")
+      .duplicate(t0 + 5, t0 + 90, 0.3, "recv-packet")
+      .outage(t0 + 65, t0 + 75)
+      .crash(t0 + 20.0, t0 + 80.0, "relayer")
+      .crash(t0 + 30.0, t0 + 120.0, "crank");
+  EXPECT_EQ(d.schedule_crashes(), 2u);
+
+  (void)d.send_transfer_from_cp(12);
+  (void)d.send_transfer_from_guest(75, host::FeePolicy::priority(2'000'000));
+  d.run_for(600.0);
+  auditor.check_now("final");
+
+  CellResult r;
+  r.csv = std::to_string(cell) + "," + std::to_string(d.guest().block_count()) + "," +
+          std::to_string(d.relayer().crash_count()) + "," +
+          std::to_string(d.crank().crash_count()) + "," +
+          d.guest().store().root_hash().hex() + "\n";
+  r.verdict = auditor.verdict("chaos cell " + std::to_string(cell));
+  return r;
+}
+
+/// Runs `n` cells on the shard pool and merges CSV + verdicts in grid
+/// order — the same contract bench/grid.hpp implements.
+template <typename CellFn>
+std::pair<std::string, audit::Verdict> run_grid(std::size_t n, CellFn cell_fn) {
+  std::vector<CellResult> cells(n);
+  (void)shard::run_cells(n, [&](std::size_t c) { cells[c] = cell_fn(c); });
+  std::string csv;
+  std::vector<audit::Verdict> verdicts;
+  for (const CellResult& c : cells) {
+    csv += c.csv;
+    verdicts.push_back(c.verdict);
+  }
+  return {csv, audit::merge_verdicts(verdicts)};
+}
+
+TEST_F(ShardInvarianceTest, GridCsvAndVerdictsIdenticalAcrossWorkerCounts) {
+  std::string first_csv;
+  audit::Verdict first;
+  for (const std::size_t workers : kWorkerCounts) {
+    shard::set_worker_count(workers);
+    auto [csv, verdict] = run_grid(4, run_plain_cell);
+    EXPECT_TRUE(verdict.clean()) << "workers=" << workers << "\n" << verdict.report;
+    if (first_csv.empty()) {
+      first_csv = csv;
+      first = verdict;
+      // Distinct streams must actually produce distinct cells.
+      EXPECT_NE(csv.find('\n'), csv.rfind('\n'));
+      continue;
+    }
+    EXPECT_EQ(csv, first_csv) << "workers=" << workers;
+    EXPECT_EQ(verdict.checks, first.checks) << "workers=" << workers;
+    EXPECT_EQ(verdict.violations, first.violations) << "workers=" << workers;
+    EXPECT_EQ(verdict.report, first.report) << "workers=" << workers;
+  }
+}
+
+TEST_F(ShardInvarianceTest, ChaosCrashGridIdenticalAcrossWorkerCounts) {
+  std::string first_csv;
+  audit::Verdict first;
+  for (const std::size_t workers : {1u, 4u}) {
+    shard::set_worker_count(workers);
+    auto [csv, verdict] = run_grid(2, run_chaos_cell);
+    EXPECT_TRUE(verdict.clean()) << "workers=" << workers << "\n" << verdict.report;
+    if (first_csv.empty()) {
+      first_csv = csv;
+      first = verdict;
+      continue;
+    }
+    EXPECT_EQ(csv, first_csv) << "workers=" << workers;
+    EXPECT_EQ(verdict.checks, first.checks) << "workers=" << workers;
+    EXPECT_EQ(verdict.report, first.report) << "workers=" << workers;
+  }
+}
+
+TEST_F(ShardInvarianceTest, SerialRunMatchesShardedRun) {
+  // The exact-serial path (workers=1, inline loop) and the pool path
+  // must agree cell for cell — not just in aggregate.
+  shard::set_worker_count(1);
+  const CellResult serial = run_plain_cell(2);
+  shard::set_worker_count(4);
+  std::vector<CellResult> cells(4);
+  (void)shard::run_cells(4, [&](std::size_t c) { cells[c] = run_plain_cell(c); });
+  EXPECT_EQ(cells[2].csv, serial.csv);
+  EXPECT_EQ(cells[2].verdict.checks, serial.verdict.checks);
+  EXPECT_EQ(cells[2].verdict.violations, serial.verdict.violations);
+}
+
+}  // namespace
+}  // namespace bmg
