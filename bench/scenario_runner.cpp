@@ -11,7 +11,7 @@
 // part of the artifact).
 //
 //   scenario_runner [--seeds N] [--days D] [--shard-workers W]
-//                   [--timing-csv PATH] [--threads T]
+//                   [--timing-csv PATH] [--threads T] [--adversary NAME]
 //
 //   --seeds N          seeds 42..42+N-1 per Δ point (default 4)
 //   --days D           simulated days per scenario (default 0.05)
@@ -21,11 +21,19 @@
 //   --timing-csv PATH  per-cell wall/CPU timing rows (see grid.hpp)
 //   --threads T        fork-join threads — only reaches kernels when
 //                      the run is serial (kept for compatibility)
+//   --adversary NAME   attach the named shipped AdversaryPlan scenario
+//                      (adversary/scenarios.hpp) to every cell and
+//                      append the per-action counter columns.  Without
+//                      the flag no adversary code runs and the CSV is
+//                      byte-identical to earlier releases.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "adversary/campaign.hpp"
+#include "adversary/scenarios.hpp"
 #include "audit/auditor.hpp"
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
@@ -41,7 +49,8 @@ struct Scenario {
   double delta_seconds = 0;
 };
 
-bench::CellOutput run_scenario(std::size_t cell, const Scenario& sc, double days) {
+bench::CellOutput run_scenario(std::size_t cell, const Scenario& sc, double days,
+                               const char* adversary) {
   relayer::DeploymentConfig cfg = bench::paper_config(sc.seed);
   cfg.guest.delta_seconds = sc.delta_seconds;
   relayer::Deployment d(cfg);
@@ -57,6 +66,21 @@ bench::CellOutput run_scenario(std::size_t cell, const Scenario& sc, double days
   auditor.watch_transfer_lane(
       audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
 
+  // Opt-in adversary overlay: the Campaign attaches the named shipped
+  // attack across the whole measured span.  Constructed only when the
+  // flag is present — the no-flag artifact must not change by a byte.
+  std::optional<adversary::Campaign> campaign;
+  if (adversary != nullptr) {
+    const double t0 = d.sim().now();
+    const auto table =
+        adversary::campaign_scenarios(t0 + 30.0, t0 + days * 86400.0);
+    const adversary::ScenarioSpec* spec = adversary::find_scenario(table, adversary);
+    if (spec->crash_fisherman)
+      d.host().fault_plan().crash(t0 + 150.0, t0 + 450.0, "fisherman");
+    campaign.emplace(d, spec->plan);
+    campaign->start();
+  }
+
   const double until = d.sim().now() + days * 86400.0;
   bench::GuestSendWorkload guest_load(d, 120.0, until);
   bench::CpSendWorkload cp_load(d, 300.0, until);
@@ -71,12 +95,22 @@ bench::CellOutput run_scenario(std::size_t cell, const Scenario& sc, double days
     latency.add(r->finalised_at - r->executed_at);
   }
 
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%zu,%llu,%.0f,%zu,%zu,%d,%d,%.3f,%s\n", cell,
-                static_cast<unsigned long long>(sc.seed), sc.delta_seconds,
-                d.guest().block_count(), guest_load.records().size(), finalised,
-                cp_load.sent(), latency.count() > 0 ? latency.mean() : 0.0,
-                d.guest().store().root_hash().hex().c_str());
+  char buf[512];
+  if (campaign.has_value()) {
+    std::snprintf(buf, sizeof(buf), "%zu,%llu,%.0f,%zu,%zu,%d,%d,%.3f,%s,%s,%zu\n",
+                  cell, static_cast<unsigned long long>(sc.seed), sc.delta_seconds,
+                  d.guest().block_count(), guest_load.records().size(), finalised,
+                  cp_load.sent(), latency.count() > 0 ? latency.mean() : 0.0,
+                  d.guest().store().root_hash().hex().c_str(),
+                  campaign->counters().csv_row().c_str(),
+                  campaign->offenders_banned());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu,%llu,%.0f,%zu,%zu,%d,%d,%.3f,%s\n", cell,
+                  static_cast<unsigned long long>(sc.seed), sc.delta_seconds,
+                  d.guest().block_count(), guest_load.records().size(), finalised,
+                  cp_load.sent(), latency.count() > 0 ? latency.mean() : 0.0,
+                  d.guest().store().root_hash().hex().c_str());
+  }
   return bench::CellOutput{
       buf, auditor.verdict("seed " + std::to_string(sc.seed) + " delta " +
                            std::to_string(static_cast<long>(sc.delta_seconds)))};
@@ -88,6 +122,7 @@ int main(int argc, char** argv) {
   int seeds = 4;
   double days = 0.05;
   const char* timing_csv = nullptr;
+  const char* adversary = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = static_cast<int>(
@@ -102,12 +137,24 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       parallel::set_thread_count(static_cast<std::size_t>(
           bench::parse_positive_long("scenario_runner", "--threads", argv[++i])));
+    } else if (std::strcmp(argv[i], "--adversary") == 0 && i + 1 < argc) {
+      adversary = argv[++i];
     } else {
       std::fprintf(stderr,
                    "scenario_runner: unknown or incomplete option '%s'\n"
                    "usage: scenario_runner [--seeds N] [--days D] [--shard-workers W] "
-                   "[--timing-csv PATH] [--threads T]\n",
+                   "[--timing-csv PATH] [--threads T] [--adversary NAME]\n",
                    argv[i]);
+      return 2;
+    }
+  }
+  if (adversary != nullptr) {
+    // Validate the name once up front (window times are placeholders;
+    // only the name is checked here).
+    const auto table = bmg::adversary::campaign_scenarios(0.0, 1.0);
+    if (bmg::adversary::find_scenario(table, adversary) == nullptr) {
+      std::fprintf(stderr, "scenario_runner: unknown adversary scenario '%s'\n",
+                   adversary);
       return 2;
     }
   }
@@ -124,11 +171,18 @@ int main(int argc, char** argv) {
                "scenario_runner: %zu scenarios, %.3f days each, %zu shard workers\n",
                grid.size(), days, shard::worker_count());
 
-  const bench::GridResult g = bench::run_grid(
-      grid.size(), [&](std::size_t i) { return run_scenario(i, grid[i], days); });
+  const bench::GridResult g = bench::run_grid(grid.size(), [&](std::size_t i) {
+    return run_scenario(i, grid[i], days, adversary);
+  });
 
-  std::printf(
-      "cell,seed,delta_s,blocks,sends,finalised,cp_sends,mean_latency_s,state_root\n");
+  if (adversary != nullptr)
+    std::printf(
+        "cell,seed,delta_s,blocks,sends,finalised,cp_sends,mean_latency_s,state_root,"
+        "%s,banned\n",
+        bmg::adversary::AdversaryCounters::csv_header());
+  else
+    std::printf(
+        "cell,seed,delta_s,blocks,sends,finalised,cp_sends,mean_latency_s,state_root\n");
   bench::print_cells(g);
 
   std::fprintf(stderr, "scenario_runner: wall=%.3fs\n", g.wall_s);

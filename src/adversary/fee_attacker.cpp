@@ -1,0 +1,69 @@
+#include "adversary/fee_attacker.hpp"
+
+#include "guest/instructions.hpp"
+#include "host/constants.hpp"
+
+namespace bmg::adversary {
+
+FeeAttackerAgent::FeeAttackerAgent(sim::Simulation& sim, host::Chain& host,
+                                   crypto::PublicKey payer, const AdversaryPlan& plan,
+                                   AdversaryCounters& counters)
+    : sim_(sim),
+      host_(host),
+      payer_(std::move(payer)),
+      plan_(plan),
+      counters_(counters),
+      timer_owner_(sim.register_agent()) {}
+
+void FeeAttackerAgent::start() { schedule_next(); }
+
+void FeeAttackerAgent::crash() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel_agent(timer_owner_);
+}
+
+void FeeAttackerAgent::restart() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void FeeAttackerAgent::schedule_next() {
+  const double t = sim_.now();
+  double delay;
+  if (const AdversaryWindow* w = plan_.fee_spam_window(t)) {
+    delay = w->interval_s;
+  } else if (const auto next = plan_.next_window_start(AdversaryKind::kFeeSpam, t)) {
+    delay = *next - t;
+  } else {
+    return;  // no further fee-spam windows: the agent goes quiet
+  }
+  sim_.after_cancellable(
+      delay,
+      [this] {
+        if (!running_) return;
+        tick();
+        schedule_next();
+      },
+      timer_owner_);
+}
+
+void FeeAttackerAgent::tick() {
+  const AdversaryWindow* w = plan_.fee_spam_window(sim_.now());
+  if (w == nullptr) return;
+  // A bundle-tipped no-op burns top-of-block priority the honest
+  // pipelines would otherwise win cheaply.  The instruction fails on
+  // execution (nothing staked to withdraw) — attacker spend with no
+  // state effect, sized by the window's fee multiplier.
+  host::Transaction tx;
+  tx.payer = payer_;
+  tx.label = "fee-attacker:spam";
+  tx.fee = host::FeePolicy::bundle(
+      host::usd_to_lamports(0.005 * w->fee_multiplier));
+  tx.instructions.push_back(guest::ix::withdraw_stake());
+  host_.submit(std::move(tx));
+  ++counters_.spam_txs;
+}
+
+}  // namespace bmg::adversary

@@ -1,0 +1,82 @@
+#include "adversary/scenarios.hpp"
+
+namespace bmg::adversary {
+
+std::vector<ScenarioSpec> campaign_scenarios(double attack_start, double attack_end) {
+  const double t0 = attack_start;
+  const double t1 = attack_end;
+  const double mid = t0 + 0.5 * (t1 - t0);
+  std::vector<ScenarioSpec> all;
+
+  // Baseline: the damage denominator every attacked cell is compared
+  // against (same seed, no adversary).
+  all.push_back(ScenarioSpec{"none", AdversaryPlan{}, false});
+
+  {
+    ScenarioSpec s{"equivocate", {}, false};
+    s.plan.equivocate(t0, t1, 2, 0.8);
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"fork-sign", {}, false};
+    s.plan.fork_sign(t0, t1, 2, 0.6);
+    all.push_back(std::move(s));
+  }
+  {
+    // 7 colluders out of the paper roster's 24×1000 stake: 7000 stake
+    // against a quorum of 16001 — the just-below-quorum regime where
+    // the light client must reject every forged push.
+    ScenarioSpec s{"collude-subquorum", {}, false};
+    s.plan.collude(t0, t1, 7, 0.35);
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"grief-clobber", {}, false};
+    s.plan.update_clobber(t0, t1);
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"grief-ack-withhold", {}, false};
+    s.plan.ack_withhold(t0, t1, 240.0);
+    all.push_back(std::move(s));
+  }
+  {
+    // Stale replay needs delivered packets to replay, so it rides a
+    // short-delay withhold window that makes the griefer a delivering
+    // relayer.
+    ScenarioSpec s{"stale-replay", {}, false};
+    s.plan.ack_withhold(t0, t1, 30.0).stale_replay(t0, t1, 0.2);
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"fee-attack", {}, false};
+    s.plan.fee_spam(t0, t1, 6.0, 0.6, 25.0);
+    all.push_back(std::move(s));
+  }
+  {
+    ScenarioSpec s{"combined", {}, false};
+    s.plan.equivocate(t0, t1, 1, 0.5)
+        .ack_withhold(t0, t1, 180.0)
+        .fee_spam(t0, mid, 4.0, 0.75, 40.0);
+    all.push_back(std::move(s));
+  }
+  {
+    // Crash composition: equivocation happens in the first half of the
+    // window while a FaultPlan crash window (added by the driver) kills
+    // the fisherman mid-prosecution; detection must survive restart via
+    // the on-chain evidence re-derivation path.
+    ScenarioSpec s{"equivocate-fisherman-crash", {}, true};
+    s.plan.equivocate(t0, mid, 2, 1.0);
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+const ScenarioSpec* find_scenario(const std::vector<ScenarioSpec>& all,
+                                  const std::string& name) {
+  for (const auto& s : all)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+}  // namespace bmg::adversary

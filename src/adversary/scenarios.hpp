@@ -1,0 +1,42 @@
+// The shipped adversary campaign scenarios.
+//
+// One spec per threat from the taxonomy (DESIGN §13): each scenario
+// holds ONE kind of attacker at sub-quorum stake, plus a combined
+// scenario and a crash-composition scenario (the fisherman is killed
+// mid-prosecution — the PR 5 crash machinery composing with the
+// adversary layer).  Every shipped scenario must satisfy the standing
+// acceptance bar: the InvariantAuditor never trips, every offender is
+// detected and slashed, and delivery reaches 100% within the liveness
+// budget.  At-quorum collusion — where that bar provably CANNOT hold —
+// lives only in tests (adversary_campaign_test.cpp), which document the
+// safety-loss signature instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adversary/plan.hpp"
+
+namespace bmg::adversary {
+
+struct ScenarioSpec {
+  std::string name;
+  AdversaryPlan plan;
+  /// Compose a fisherman crash window over the middle of the attack
+  /// (drivers translate this into a host FaultPlan crash window before
+  /// Campaign::start()).
+  bool crash_fisherman = false;
+};
+
+/// The shipped campaign grid.  Attack windows span [attack_start,
+/// attack_end); drivers leave room after attack_end for the system to
+/// drain (detection, prosecution and delivery complete after the
+/// attack stops).
+[[nodiscard]] std::vector<ScenarioSpec> campaign_scenarios(double attack_start,
+                                                           double attack_end);
+
+/// Looks up a shipped scenario by name; null if unknown.
+[[nodiscard]] const ScenarioSpec* find_scenario(const std::vector<ScenarioSpec>& all,
+                                                const std::string& name);
+
+}  // namespace bmg::adversary

@@ -467,14 +467,21 @@ void GuestContract::slash(host::TxContext& ctx, const crypto::PublicKey& offende
   // Genesis validators' stake may not be vault-backed in tests;
   // transfer what the vault actually holds.
   const std::uint64_t backed = std::min<std::uint64_t>(stake, ctx.balance(vault_));
+  std::uint64_t reward = 0;
   if (backed > 0) {
-    const auto reward = static_cast<std::uint64_t>(static_cast<double>(backed) *
-                                                   cfg_.slash_reporter_fraction);
+    reward = static_cast<std::uint64_t>(static_cast<double>(backed) *
+                                        cfg_.slash_reporter_fraction);
     if (reward > 0) ctx.transfer(vault_, ctx.payer(), reward);
     if (backed > reward) ctx.transfer(vault_, burn_, backed - reward);
   }
-  Encoder ev(32);
+  // Payload: offender | slashed stake | reporter reward | burned.  The
+  // trailing economics triple lets off-chain scoreboards price an
+  // attack (stake destroyed vs. damage done) without replaying state.
+  Encoder ev(32 + 24);
   ev.raw(offender.view());
+  ev.u64(backed);
+  ev.u64(reward);
+  ev.u64(backed > reward ? backed - reward : 0);
   ctx.emit_event(kEvSlashed, ev.take());
 }
 
@@ -492,6 +499,14 @@ void GuestContract::op_submit_evidence(host::TxContext& ctx, Decoder& d) {
   std::vector<ibc::QuorumHeader> headers;
   for (std::uint8_t i = 0; i < count; ++i)
     headers.push_back(ibc::QuorumHeader::decode(b.bytes()));
+  // Optional annex: the offender's raw signature per header.  The
+  // contract itself only trusts pre-compile-verified signatures (below),
+  // but the annex makes a staged evidence blob self-contained, so a
+  // fisherman restarting after a crash can rebuild the sig-verify set
+  // from chain state alone and finish the prosecution it already paid
+  // to stage.
+  if (!b.done())
+    for (std::uint8_t i = 0; i < count; ++i) (void)b.raw(64);
   b.expect_done();
 
   // Each header must carry a pre-compile-verified signature by the
@@ -747,6 +762,13 @@ std::optional<std::size_t> GuestContract::staging_buffer_size(
   const auto it = buffers_.find({payer.hex(), buffer_id});
   if (it == buffers_.end()) return std::nullopt;
   return it->second.size();
+}
+
+std::optional<Bytes> GuestContract::staging_buffer_bytes(
+    const crypto::PublicKey& payer, std::uint64_t buffer_id) const {
+  const auto it = buffers_.find({payer.hex(), buffer_id});
+  if (it == buffers_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<Hash32> GuestContract::snapshot_root_at(ibc::Height h) const {

@@ -133,6 +133,12 @@ class GuestContract final : public host::Program {
   /// sequential, so size == next expected offset); nullopt if absent.
   [[nodiscard]] std::optional<std::size_t> staging_buffer_size(
       const crypto::PublicKey& payer, std::uint64_t buffer_id) const;
+  /// Contents uploaded so far into one staging buffer; nullopt if
+  /// absent.  Lets a restarted uploader (e.g. a fisherman holding
+  /// half-prosecuted evidence) recover what it already paid to stage
+  /// instead of losing it with its process memory.
+  [[nodiscard]] std::optional<Bytes> staging_buffer_bytes(
+      const crypto::PublicKey& payer, std::uint64_t buffer_id) const;
 
   /// Root of the retained state snapshot for height `h` (what prove_at
   /// proves against); nullopt once pruned.  The auditor cross-checks

@@ -96,6 +96,10 @@ class Deployment {
     return client_payer_;
   }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  /// The effective deployment seed (after stream derivation).  Attack
+  /// and audit layers derive their own Rng streams from it so they
+  /// never perturb the deployment's draw sequence.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   // --- client operations (Figs. 2-3 metrics) -------------------------------
   struct SendRecord {

@@ -9,10 +9,13 @@
 // Contract and collects the slashing reward.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "guest/contract.hpp"
@@ -77,14 +80,32 @@ class FishermanAgent final : public sim::CrashableAgent {
     observations_.clear();
     prosecuted_.clear();
   }
+  /// Observation memory is gone, but anything this fisherman already
+  /// *staged on chain* is not: scan our staging buffers for evidence
+  /// blobs whose prosecution never completed and resubmit the finishing
+  /// transaction.  Without this, a crash inside the prosecution window
+  /// silently loses the evidence — the offender keeps its stake even
+  /// though the proof is sitting on chain, already paid for.
   void restart() override {
     if (running_) return;
     running_ = true;
+    rederive_pending_evidence();
   }
   [[nodiscard]] std::uint64_t crash_count() const noexcept { return crash_count_; }
 
   [[nodiscard]] std::uint64_t evidence_submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t evidence_accepted() const { return accepted_; }
+  /// Evidence sequences recovered from on-chain staging buffers after a
+  /// crash (each one would have been silently lost before PR 8).
+  [[nodiscard]] std::uint64_t evidence_rederived() const { return rederived_; }
+  /// Sim time this fisherman first decided to prosecute `offender`;
+  /// survives crashes (it is measurement state, not process state).
+  [[nodiscard]] std::optional<double> first_detected(
+      const crypto::PublicKey& offender) const {
+    const auto it = first_detect_.find(offender);
+    if (it == first_detect_.end()) return std::nullopt;
+    return it->second;
+  }
   /// Pipeline state (retries, dead letters, structured errors).
   [[nodiscard]] const TxPipeline& pipeline() const { return pipeline_; }
 
@@ -124,11 +145,16 @@ class FishermanAgent final : public sim::CrashableAgent {
     // evidence for an offender a previous incarnation already slashed.
     if (contract_.is_banned(a.validator)) return;
     if (!prosecuted_.insert(a.validator).second) return;
+    note_detection(a.validator);
     Encoder ev;
     ev.raw(a.validator.view());
     ev.u8(2);
     ev.bytes(a.header.encode());
     ev.bytes(b.header.encode());
+    // Annex: raw signatures per header, making the staged blob
+    // self-contained for post-crash re-derivation.
+    ev.raw(a.signature.view());
+    ev.raw(b.signature.view());
     std::vector<host::SigVerify> sigs;
     const Hash32 da = a.header.signing_digest();
     const Hash32 db = b.header.signing_digest();
@@ -138,14 +164,20 @@ class FishermanAgent final : public sim::CrashableAgent {
   }
 
   void submit_single_header(const SignatureGossip& g) {
+    note_detection(g.validator);
     Encoder ev;
     ev.raw(g.validator.view());
     ev.u8(1);
     ev.bytes(g.header.encode());
+    ev.raw(g.signature.view());
     const Hash32 digest = g.header.signing_digest();
     std::vector<host::SigVerify> sigs{
         host::SigVerify{g.validator, digest, g.signature}};
     submit_evidence(ev.take(), std::move(sigs));
+  }
+
+  void note_detection(const crypto::PublicKey& offender) {
+    first_detect_.emplace(offender, sim_.now());
   }
 
   void submit_evidence(Bytes blob, std::vector<host::SigVerify> sigs) {
@@ -180,6 +212,67 @@ class FishermanAgent final : public sim::CrashableAgent {
         "fisherman");
   }
 
+  /// Post-crash recovery: the chain remembers what this process forgot.
+  /// Any staging buffer of ours still unconsumed is a prosecution that
+  /// never finished — decode it (offender | count | headers | signature
+  /// annex), rebuild the sig-verify set from the annex, and resubmit
+  /// just the finishing submit_evidence transaction (the chunks are
+  /// already on chain; re-uploading them would double-pay).
+  void rederive_pending_evidence() {
+    const std::vector<std::uint64_t> staged = contract_.staging_buffers_of(payer_);
+    for (const std::uint64_t id : staged)
+      next_buffer_ = std::max(next_buffer_, id + 1);
+    for (const std::uint64_t id : staged) {
+      const auto blob = contract_.staging_buffer_bytes(payer_, id);
+      if (!blob) continue;
+      try {
+        Decoder b(*blob);
+        const Bytes key_raw = b.raw(32);
+        crypto::ed25519::PublicKeyBytes pk{};
+        std::copy(key_raw.begin(), key_raw.end(), pk.begin());
+        const crypto::PublicKey offender(pk);
+        const std::uint8_t count = b.u8();
+        if (count != 1 && count != 2) continue;
+        std::vector<ibc::QuorumHeader> headers;
+        for (std::uint8_t i = 0; i < count; ++i)
+          headers.push_back(ibc::QuorumHeader::decode(b.bytes()));
+        std::vector<crypto::Signature> annex;
+        for (std::uint8_t i = 0; i < count; ++i) {
+          const Bytes s = b.raw(64);
+          crypto::ed25519::SignatureBytes sb{};
+          std::copy(s.begin(), s.end(), sb.begin());
+          annex.emplace_back(sb);
+        }
+        b.expect_done();
+        if (contract_.is_banned(offender)) continue;
+        if (!prosecuted_.insert(offender).second) continue;
+        std::vector<host::SigVerify> sigs;
+        for (std::uint8_t i = 0; i < count; ++i)
+          sigs.push_back(
+              host::SigVerify{offender, headers[i].signing_digest(), annex[i]});
+        host::Transaction fin;
+        fin.payer = payer_;
+        fin.label = "fisherman:evidence";
+        fin.instructions.push_back(guest::ix::submit_evidence(id));
+        fin.sig_verifies = std::move(sigs);
+        std::vector<host::Transaction> txs;
+        txs.push_back(std::move(fin));
+        ++rederived_;
+        ++submitted_;
+        pipeline_.submit_sequence(
+            std::move(txs),
+            [this](const SequenceOutcome& out) {
+              if (out.ok) ++accepted_;
+            },
+            "fisherman");
+      } catch (const std::exception&) {
+        // Truncated blob: the crash hit mid-upload, before the evidence
+        // was fully staged.  Nothing recoverable here.
+        continue;
+      }
+    }
+  }
+
   [[nodiscard]] static std::uint64_t fold_payer_seed(const crypto::PublicKey& key) {
     std::uint64_t h = 0xF15'4E12'3A5Eull;  // distinct stream from relayers
     for (unsigned char b : key.raw()) h = (h ^ b) * 0x1000'0000'01B3ull;
@@ -200,9 +293,13 @@ class FishermanAgent final : public sim::CrashableAgent {
   std::map<std::pair<crypto::PublicKey, ibc::Height>, std::vector<SignatureGossip>>
       observations_;
   std::set<crypto::PublicKey> prosecuted_;
+  /// First-detection timestamps; deliberately NOT cleared on crash —
+  /// this is the measurement layer's record, not process memory.
+  std::map<crypto::PublicKey, double> first_detect_;
   std::uint64_t next_buffer_ = 1;
   std::uint64_t submitted_ = 0;
   std::uint64_t accepted_ = 0;
+  std::uint64_t rederived_ = 0;
 };
 
 /// A validator that behaves normally but, alongside each honest
