@@ -31,6 +31,7 @@
 #include "audit/auditor.hpp"
 #include "bench_common.hpp"
 #include "common/shard_pool.hpp"
+#include "parse.hpp"
 
 namespace bmg::bench {
 
@@ -101,32 +102,7 @@ inline void write_timing(const GridResult& g, const char* path, const char* prog
   std::fclose(f);
 }
 
-/// Strict CLI parsing shared by the drivers that reject bad input
-/// (std::atoi would silently return 0 and corrupt a grid).
-inline long parse_positive_long(const char* prog, const char* flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE || v <= 0) {
-    std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n", prog, flag,
-                 text);
-    std::exit(2);
-  }
-  return v;
-}
-
-/// Strictly positive decimal with the same rejection rules.
-inline double parse_positive_double(const char* prog, const char* flag,
-                                    const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(text, &end);
-  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0)) {
-    std::fprintf(stderr, "%s: %s expects a positive number, got '%s'\n", prog, flag,
-                 text);
-    std::exit(2);
-  }
-  return v;
-}
+// Strict CLI parsing (parse_positive_long / parse_positive_double)
+// lives in parse.hpp so bmg_trie-only drivers can use it too.
 
 }  // namespace bmg::bench

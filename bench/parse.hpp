@@ -1,0 +1,51 @@
+// Strict CLI parsing shared by every bench driver (PR 6 gave this to
+// scenario_runner; PR 9 hoists it so the trie drivers reject bad input
+// too).  std::atoi would silently return 0 and corrupt a run.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bmg::bench {
+
+inline long parse_positive_long(const char* prog, const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v <= 0) {
+    std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n", prog, flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Strictly positive decimal with the same rejection rules.
+inline double parse_positive_double(const char* prog, const char* flag,
+                                    const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0)) {
+    std::fprintf(stderr, "%s: %s expects a positive number, got '%s'\n", prog, flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Non-negative decimal in [0, 1] (seal rates, fractions).
+inline double parse_fraction(const char* prog, const char* flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= 0.0) || v > 1.0) {
+    std::fprintf(stderr, "%s: %s expects a fraction in [0,1], got '%s'\n", prog, flag,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace bmg::bench

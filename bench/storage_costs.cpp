@@ -1,15 +1,126 @@
 // §V-D — Storage costs: the 10 MiB guest account, its rent-exempt
 // deposit (~14.6 k$), how many key-value pairs fit (paper: >72k), and
 // how the sealable trie keeps long-term usage bounded.
+//
+// PR 9 extension — the paged out-of-core tier: a storage-growth vs
+// seal-rate sweep over the file-backed PageStore, reporting pages
+// allocated/freed, spill high-water and residency so sealing shows up
+// as *reclaimed pages*, not just smaller byte counters.  Scale with
+// --page-entries (EXPERIMENTS.md documents the 10^8-entry recipe).
+//
+// Flags (all strictly validated; bad input exits 2):
+//   --churn-packets N   packets in the sealing-churn section (default 200000)
+//   --window N          in-flight window for the churn section (default 64)
+//   --cadence-writes N  writes in the commit-cadence section (default 50000)
+//   --per-block N       writes per block for the deferred cadence (default 128)
+//   --page-entries N    entries per cell of the page-tier sweep (default 1000000)
+//   --page-bytes N      page size for the sweep (default 16384)
+//   --resident-pages N  resident LRU frames for the sweep (default 4096)
+//   --page-backend S    mem | file (default file)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_common.hpp"
 #include "ibc/commitment.hpp"
+#include "parse.hpp"
 #include "trie/trie.hpp"
+
+namespace {
+
+using namespace bmg;
+
+Bytes page_key(std::uint64_t i) {
+  Encoder e;
+  e.u64(0xB3B3).u64(i);
+  return e.take();
+}
+
+/// One cell of the sweep: N monotonic inserts (committed once per
+/// 4096 writes, a block cadence), then a bulk seal of the oldest
+/// fraction `seal_rate` — the window-pruning pattern, where history
+/// behind the in-flight window is retired wholesale.  Contiguously
+/// allocated leaf/branch pages of the sealed region drain completely
+/// and are freed (hole-punched on the file tier).  Returns wall
+/// seconds; page counters are read off the trie afterwards.
+double run_seal_rate_cell(trie::SealableTrie& t, std::size_t entries,
+                          double seal_rate) {
+  Hash32 v;
+  v.bytes[0] = 9;
+  const auto sealed = static_cast<std::uint64_t>(
+      static_cast<double>(entries) * seal_rate);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    t.set(page_key(i), v);
+    if ((i + 1) % 4096 == 0) t.commit();
+  }
+  t.commit();
+  for (std::uint64_t i = 0; i < sealed; ++i) {
+    t.seal(page_key(i));
+    if ((i + 1) % 4096 == 0) t.commit();
+  }
+  t.commit();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bmg;
+  const char* prog = argv[0];
+  std::size_t churn_packets = 200'000;
+  std::size_t window = 64;
+  std::size_t cadence_writes = 50'000;
+  std::size_t per_block = 128;
+  std::size_t page_entries = 1'000'000;
+  trie::PageStoreConfig page_cfg;
+  page_cfg.backend = trie::PageStoreConfig::Backend::kFile;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", prog, argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--churn-packets") == 0)
+      churn_packets = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--churn-packets", next()));
+    else if (std::strcmp(argv[i], "--window") == 0)
+      window =
+          static_cast<std::size_t>(bench::parse_positive_long(prog, "--window", next()));
+    else if (std::strcmp(argv[i], "--cadence-writes") == 0)
+      cadence_writes = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--cadence-writes", next()));
+    else if (std::strcmp(argv[i], "--per-block") == 0)
+      per_block = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--per-block", next()));
+    else if (std::strcmp(argv[i], "--page-entries") == 0)
+      page_entries = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--page-entries", next()));
+    else if (std::strcmp(argv[i], "--page-bytes") == 0)
+      page_cfg.page_bytes = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--page-bytes", next()));
+    else if (std::strcmp(argv[i], "--resident-pages") == 0)
+      page_cfg.max_resident_pages = static_cast<std::size_t>(
+          bench::parse_positive_long(prog, "--resident-pages", next()));
+    else if (std::strcmp(argv[i], "--page-backend") == 0) {
+      const char* b = next();
+      if (std::strcmp(b, "mem") == 0)
+        page_cfg.backend = trie::PageStoreConfig::Backend::kMemory;
+      else if (std::strcmp(b, "file") == 0)
+        page_cfg.backend = trie::PageStoreConfig::Backend::kFile;
+      else {
+        std::fprintf(stderr, "%s: --page-backend expects mem|file, got '%s'\n", prog,
+                     b);
+        return 2;
+      }
+    }
+    // Remaining flags (--seed, --days, ...) belong to bench::Args below.
+  }
+
   const bench::Args args = bench::Args::parse(argc, argv, 0.0);
   bench::print_header("Section V-D: storage costs", args);
 
@@ -38,8 +149,7 @@ int main(int argc, char** argv) {
   // window instead of history.
   trie::SealableTrie churn;
   std::size_t peak = 0;
-  const std::size_t window = 64;
-  for (std::size_t i = 0; i < 200'000; ++i) {
+  for (std::size_t i = 0; i < churn_packets; ++i) {
     churn.set(ibc::packet_key(ibc::KeyKind::kPacketReceipt, "transfer", "channel-0",
                               i + 1),
               value);
@@ -48,7 +158,8 @@ int main(int argc, char** argv) {
                                  i + 1 - window));
     peak = std::max(peak, churn.stats().byte_size);
   }
-  std::printf("sealable trie under 200k-packet churn (64 in flight):\n");
+  std::printf("sealable trie under %zuk-packet churn (%zu in flight):\n",
+              churn_packets / 1000, window);
   std::printf("  peak live storage: %zu bytes (%.4f%% of the 10 MiB account)\n", peak,
               100.0 * static_cast<double>(peak) /
                   static_cast<double>(host::kMaxAccountSize));
@@ -58,12 +169,10 @@ int main(int argc, char** argv) {
   // block, so trie writes between blocks can defer their hashing and
   // be batched.  Compare root-after-every-write (the eager model)
   // against root-once-per-block at a realistic packets-per-block rate.
-  const std::size_t kWrites = 50'000;
-  const std::size_t kPerBlock = 128;
   const auto timed = [&](std::size_t cadence) {
     trie::SealableTrie t;
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < kWrites; ++i) {
+    for (std::size_t i = 0; i < cadence_writes; ++i) {
       t.set(ibc::packet_key(ibc::KeyKind::kPacketCommitment, "transfer", "channel-0",
                             i + 1),
             value);
@@ -74,11 +183,44 @@ int main(int argc, char** argv) {
         .count();
   };
   const double eager_s = timed(1);
-  const double deferred_s = timed(kPerBlock);
-  std::printf("state-root commit cadence over %zu packet writes:\n", kWrites);
+  const double deferred_s = timed(per_block);
+  std::printf("state-root commit cadence over %zu packet writes:\n", cadence_writes);
   std::printf("  root after every write:      %.1f k writes/s\n",
-              static_cast<double>(kWrites) / eager_s / 1e3);
-  std::printf("  root once per %zu-write block: %.1f k writes/s  (%.1fx)\n", kPerBlock,
-              static_cast<double>(kWrites) / deferred_s / 1e3, eager_s / deferred_s);
+              static_cast<double>(cadence_writes) / eager_s / 1e3);
+  std::printf("  root once per %zu-write block: %.1f k writes/s  (%.1fx)\n", per_block,
+              static_cast<double>(cadence_writes) / deferred_s / 1e3,
+              eager_s / deferred_s);
+
+  // --- PR 9: paged tier — storage growth vs seal rate ------------------
+  //
+  // Same insert stream at four seal rates on the paged store.  The
+  // column to watch is pages_freed: with the old slab design a sealed
+  // subtree shrank byte counters but the arena never returned memory;
+  // here fully-sealed pages are freed (and hole-punched out of the
+  // spill file), so reclamation scales with the seal rate while the
+  // allocation count stays flat.
+  const char* backend_name =
+      page_cfg.backend == trie::PageStoreConfig::Backend::kFile ? "file" : "mem";
+  std::printf("\npaged storage tier: growth vs seal rate  (backend=%s  page=%zuB  "
+              "resident=%zu  entries=%zu)\n",
+              backend_name, page_cfg.page_bytes, page_cfg.max_resident_pages,
+              page_entries);
+  std::printf("%10s %12s %12s %12s %14s %14s %12s %10s\n", "seal rate", "pages alloc",
+              "pages freed", "pages live", "resident MiB", "spill MiB", "ops/s",
+              "freed/Mop");
+  const double rates[] = {0.0, 0.50, 0.90, 0.99};
+  for (const double r : rates) {
+    trie::SealableTrie t{page_cfg};
+    const double secs = run_seal_rate_cell(t, page_entries, r);
+    const trie::PageStoreStats ps = t.page_stats();
+    const double ops = static_cast<double>(page_entries) * (1.0 + r);
+    std::printf("%10.2f %12zu %12zu %12zu %14.2f %14.2f %12.0f %10.1f\n", r,
+                ps.pages_allocated, ps.pages_freed, ps.pages_live,
+                static_cast<double>(ps.resident_bytes()) / (1024.0 * 1024.0),
+                static_cast<double>(ps.spill_bytes) / (1024.0 * 1024.0), ops / secs,
+                1e6 * static_cast<double>(ps.pages_freed) / ops);
+  }
+  std::printf("  => pages freed scales with the seal rate; live pages (and hence\n"
+              "     residency + spill) track the unsealed window, not history.\n");
   return 0;
 }

@@ -84,8 +84,8 @@ void CounterpartyChain::produce_block() {
   while (headers_.size() > 4096) headers_.erase(headers_.begin());
   // Historical proof basis; reuse the previous snapshot when the state
   // did not change (the common case between IBC actions).
-  if (!last_snapshot_ || last_snapshot_->root_hash() != store_.root_hash())
-    last_snapshot_ = std::make_shared<const trie::SealableTrie>(store_);
+  if (!last_snapshot_.valid() || last_snapshot_.root_hash() != store_.root_hash())
+    last_snapshot_ = store_.snapshot();
   snapshots_[height_] = last_snapshot_;
   while (snapshots_.size() > 256) snapshots_.erase(snapshots_.begin());
 
@@ -121,7 +121,13 @@ trie::Proof CounterpartyChain::prove_at(ibc::Height h, ByteView key) const {
   const auto it = snapshots_.find(h);
   if (it == snapshots_.end())
     throw ibc::IbcError("counterparty: no snapshot at height " + std::to_string(h));
-  return it->second->prove(key);
+  return it->second.prove(key);
+}
+
+trie::TrieSnapshot CounterpartyChain::snapshot_at(ibc::Height h) const {
+  const auto it = snapshots_.find(h);
+  if (it == snapshots_.end()) return {};
+  return it->second;
 }
 
 }  // namespace bmg::counterparty

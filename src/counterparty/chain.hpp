@@ -22,6 +22,7 @@
 #include "ibc/quorum.hpp"
 #include "ibc/transfer.hpp"
 #include "sim/scheduler.hpp"
+#include "trie/snapshot.hpp"
 #include "trie/trie.hpp"
 
 namespace bmg::counterparty {
@@ -82,6 +83,9 @@ class CounterpartyChain {
   /// full node answering historical ABCI queries).
   [[nodiscard]] trie::Proof prove_at(ibc::Height h, ByteView key) const;
 
+  /// The immutable snapshot backing prove_at(h); invalid once pruned.
+  [[nodiscard]] trie::TrieSnapshot snapshot_at(ibc::Height h) const;
+
  private:
   void produce_block();
 
@@ -106,9 +110,11 @@ class CounterpartyChain {
   mutable std::map<ibc::Height, PendingCommit> unsigned_headers_;
   mutable std::map<ibc::Height, ibc::SignedQuorumHeader> headers_;
   /// Recent per-block state snapshots for historical proofs.  Blocks
-  /// whose root did not change share one snapshot.
-  std::map<ibc::Height, std::shared_ptr<const trie::SealableTrie>> snapshots_;
-  std::shared_ptr<const trie::SealableTrie> last_snapshot_;
+  /// whose root did not change share one snapshot (copying a snapshot
+  /// is a shared_ptr copy; publishing one is copy-on-write, not a deep
+  /// trie copy).
+  std::map<ibc::Height, trie::TrieSnapshot> snapshots_;
+  trie::TrieSnapshot last_snapshot_;
   std::vector<std::function<void(ibc::Height)>> block_callbacks_;
   /// Per-block participation bitmap, reused across produce_block calls.
   std::vector<bool> in_commit_scratch_;

@@ -41,7 +41,7 @@ GuestContract::GuestContract(GuestConfig cfg,
                                         Hash32{}, 0, epoch_);
   genesis.finalised = true;
   blocks_.push_back(std::move(genesis));
-  snapshots_[0] = store_;
+  snapshots_[0] = store_.snapshot();
 }
 
 void GuestContract::execute(host::TxContext& ctx, ByteView instruction_data) {
@@ -132,7 +132,7 @@ void GuestContract::op_generate_block(host::TxContext& ctx) {
   block.packets = std::move(pending_packets_);
   pending_packets_.clear();
 
-  snapshots_[block.header.height] = store_;
+  snapshots_[block.header.height] = store_.snapshot();
   while (snapshots_.size() > 256) snapshots_.erase(snapshots_.begin());
 
   // Prune old block records down to their headers: signer sets and
@@ -721,6 +721,12 @@ trie::Proof GuestContract::prove_at(ibc::Height h, ByteView key) const {
   if (it == snapshots_.end())
     throw std::out_of_range("guest: no snapshot at height " + std::to_string(h));
   return it->second.prove(key);
+}
+
+trie::TrieSnapshot GuestContract::snapshot_at(ibc::Height h) const {
+  const auto it = snapshots_.find(h);
+  if (it == snapshots_.end()) return {};
+  return it->second;
 }
 
 std::optional<ibc::Acknowledgement> GuestContract::ack_log(

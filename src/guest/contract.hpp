@@ -23,6 +23,7 @@
 #include "ibc/module.hpp"
 #include "ibc/quorum.hpp"
 #include "ibc/transfer.hpp"
+#include "trie/snapshot.hpp"
 #include "trie/trie.hpp"
 
 namespace bmg::guest {
@@ -97,6 +98,12 @@ class GuestContract final : public host::Program {
   /// Proof against the state root committed in the guest block at `h`
   /// (Alg. 2 line 9 — relayers generate these off-chain).
   [[nodiscard]] trie::Proof prove_at(ibc::Height h, ByteView key) const;
+
+  /// The immutable state snapshot published with the block at `h`
+  /// (what prove_at proves against); an invalid snapshot once pruned.
+  /// Relayers hold these to batch proof generation off-thread while
+  /// the contract commits the next block.
+  [[nodiscard]] trie::TrieSnapshot snapshot_at(ibc::Height h) const;
 
   /// The acknowledgement this chain wrote for a delivered packet
   /// (off-chain read; relayers ship it back to the counterparty).
@@ -220,7 +227,10 @@ class GuestContract final : public host::Program {
 
   std::vector<GuestBlock> blocks_;
   ibc::Height pruned_below_ = 0;  ///< heights below this hold headers only
-  std::map<ibc::Height, trie::SealableTrie> snapshots_;
+  /// Copy-on-write snapshots per committed block — O(page-table) to
+  /// publish, not a deep trie copy (the pre-paged design copied every
+  /// node slab per block).
+  std::map<ibc::Height, trie::TrieSnapshot> snapshots_;
   std::vector<ibc::Packet> pending_packets_;
 
   /// The active epoch's validator set, shared (not copied) into every

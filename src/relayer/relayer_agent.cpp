@@ -88,11 +88,18 @@ void RelayerAgent::restart() {
   resync();
 }
 
+trie::Proof RelayerAgent::cp_proof(ibc::Height h, ByteView key) const {
+  const trie::TrieSnapshot snap = cp_.snapshot_at(h);
+  if (!snap.valid())
+    throw ibc::IbcError("relayer: no cp snapshot at height " + std::to_string(h));
+  return snap.prove(key);
+}
+
 ibc::Height RelayerAgent::cp_ready_height(ByteView key) const {
   const ibc::Height h = cp_.height();
   if (h == 0) return 1;
   try {
-    const trie::Proof proof = cp_.prove_at(h, key);
+    const trie::Proof proof = cp_proof(h, key);
     if (trie::verify_proof(cp_.header_at(h).header.state_root, key, proof).kind ==
         trie::VerifyOutcome::Kind::kFound)
       return h;
@@ -105,9 +112,13 @@ void RelayerAgent::redeliver_guest_packet_to_cp(const ibc::Packet& packet,
                                                 ibc::Height gh) {
   const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
                                    packet.source_channel, packet.sequence);
+  // One snapshot handle serves both the provability check here and the
+  // delivery proof in the deferred callback (the snapshot pins its
+  // pages, so the proof stays byte-identical even after pruning).
+  const trie::TrieSnapshot snap = contract_.snapshot_at(gh);
   bool provable = false;
   try {
-    const trie::Proof proof = contract_.prove_at(gh, key);
+    const trie::Proof proof = snap.prove(key);
     provable = trie::verify_proof(contract_.block_at(gh).header.state_root, key,
                                   proof).kind == trie::VerifyOutcome::Kind::kFound;
   } catch (const std::exception&) {
@@ -115,12 +126,12 @@ void RelayerAgent::redeliver_guest_packet_to_cp(const ibc::Packet& packet,
   // Not yet committed in a finalised block: the normal FinalisedBlock
   // path will relay it once the block containing it finalises.
   if (!provable) return;
-  push_guest_header_to_cp(gh, [this, gh, packet] {
+  push_guest_header_to_cp(gh, [this, gh, packet, snap] {
     const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment,
                                      packet.source_port, packet.source_channel,
                                      packet.sequence);
     try {
-      const trie::Proof proof = contract_.prove_at(gh, key);
+      const trie::Proof proof = snap.prove(key);
       const ibc::Acknowledgement ack =
           cp_.ibc().recv_packet(packet, gh, proof, cp_.height(), cp_.now());
       ++to_cp_packets_;
@@ -345,6 +356,12 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
   const guest::GuestBlock& block = contract_.block_at(height);
   const bool must_relay = !block.packets.empty() || block.last_in_epoch();
 
+  // Every proof this event needs is against the one state root the
+  // block committed, so fetch its immutable snapshot once and prove on
+  // that handle — the contract is free to commit the next block (and
+  // prune) underneath it.
+  const trie::TrieSnapshot snap = contract_.snapshot_at(height);
+
   // Relay acks written on the guest for packets the counterparty sent
   // (they are provable once committed in a finalised guest block).
   std::vector<ibc::Packet> still_pending;
@@ -354,7 +371,7 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
                                      p.dest_channel, p.sequence);
     bool provable = false;
     try {
-      const trie::Proof proof = contract_.prove_at(height, key);
+      const trie::Proof proof = snap.prove(key);
       provable = trie::verify_proof(block.header.state_root, key, proof).kind ==
                  trie::VerifyOutcome::Kind::kFound;
     } catch (const trie::TrieError&) {
@@ -366,15 +383,29 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
 
   if (!must_relay && ready.empty()) return;
 
-  push_guest_header_to_cp(height, [this, height, ready = std::move(ready)] {
+  push_guest_header_to_cp(height, [this, height, snap, ready = std::move(ready)] {
     const guest::GuestBlock& blk = contract_.block_at(height);
     // Deliver the block's packets to the counterparty (Alg. 2, 7-10).
-    for (const ibc::Packet& packet : blk.packets) {
-      const auto key =
-          ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
-                          packet.source_channel, packet.sequence);
+    // Their commitment proofs are generated as one batch against the
+    // snapshot, sharded across the worker pool when it is free.
+    std::vector<Bytes> keys;
+    keys.reserve(blk.packets.size());
+    for (const ibc::Packet& packet : blk.packets)
+      keys.push_back(ibc::packet_key(ibc::KeyKind::kPacketCommitment,
+                                     packet.source_port, packet.source_channel,
+                                     packet.sequence)
+                         .to_bytes());
+    std::vector<trie::Proof> proofs;
+    try {
+      proofs = trie::ProofService::prove_batch(snap, keys);
+    } catch (const trie::TrieError&) {
+      proofs.clear();  // fall back to per-packet proving below
+    }
+    for (std::size_t i = 0; i < blk.packets.size(); ++i) {
+      const ibc::Packet& packet = blk.packets[i];
       try {
-        const trie::Proof proof = contract_.prove_at(height, key);
+        const trie::Proof proof =
+            i < proofs.size() ? proofs[i] : snap.prove(keys[i]);
         const ibc::Acknowledgement ack = cp_.ibc().recv_packet(
             packet, height, proof, cp_.height(), cp_.now());
         ++to_cp_packets_;
@@ -392,7 +423,7 @@ void RelayerAgent::on_guest_block_finalised(ibc::Height height) {
       try {
         const auto ack = contract_.ack_log(p.dest_port, p.dest_channel, p.sequence);
         if (!ack) continue;
-        const trie::Proof proof = contract_.prove_at(height, key);
+        const trie::Proof proof = snap.prove(key);
         cp_.ibc().acknowledge_packet(p, *ack, height, proof);
       } catch (const std::exception&) {
       }
@@ -466,7 +497,7 @@ void RelayerAgent::deliver_packet_to_guest(const ibc::Packet& packet,
                                            ibc::Height proof_height, SequenceDone done) {
   const auto key = ibc::packet_key(ibc::KeyKind::kPacketCommitment, packet.source_port,
                                    packet.source_channel, packet.sequence);
-  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  const trie::Proof proof = cp_proof(proof_height, key);
   Encoder payload(4 + packet.wire_size() + 8 + 4 + proof.byte_size());
   payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
   packet.encode_into(payload);
@@ -501,7 +532,7 @@ void RelayerAgent::deliver_ack_to_guest(const ibc::Packet& packet,
                                         ibc::Height proof_height, SequenceDone done) {
   const auto key = ibc::packet_key(ibc::KeyKind::kPacketAck, packet.dest_port,
                                    packet.dest_channel, packet.sequence);
-  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  const trie::Proof proof = cp_proof(proof_height, key);
   Encoder payload(4 + packet.wire_size() + 4 + ack.wire_size() + 8 + 4 +
                   proof.byte_size());
   payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
@@ -534,7 +565,7 @@ void RelayerAgent::deliver_timeout_to_guest(const ibc::Packet& packet,
                                             ibc::Height proof_height, SequenceDone done) {
   const auto key = ibc::packet_key(ibc::KeyKind::kPacketReceipt, packet.dest_port,
                                    packet.dest_channel, packet.sequence);
-  const trie::Proof proof = cp_.prove_at(proof_height, key);
+  const trie::Proof proof = cp_proof(proof_height, key);
   Encoder payload(4 + packet.wire_size() + 8 + 4 + proof.byte_size());
   payload.u32(static_cast<std::uint32_t>(packet.wire_size()));
   packet.encode_into(payload);

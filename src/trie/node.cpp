@@ -15,7 +15,7 @@ constexpr std::uint8_t kTagExtension = 0x02;
 /// hashed/IBC key).  Longer paths take the heap fallback.
 constexpr std::size_t kInlinePreimage = 1024;
 
-std::size_t append_nibbles(std::uint8_t* out, const Nibbles& n) {
+std::size_t append_nibbles(std::uint8_t* out, ByteView n) {
   out[0] = static_cast<std::uint8_t>(n.size() >> 8);
   out[1] = static_cast<std::uint8_t>(n.size());
   std::copy(n.begin(), n.end(), out + 2);
@@ -28,18 +28,22 @@ std::size_t append_nibbles(std::uint8_t* out, const Nibbles& n) {
 // hand it to the one-shot Sha256::digest, avoiding both the Encoder
 // heap allocation and the streaming-update state machine.
 
-Hash32 hash_leaf(const Nibbles& suffix, const Hash32& value) {
+Hash32 hash_leaf(ByteView suffix_nibbles, const Hash32& value) {
   std::uint8_t buf[kInlinePreimage];
-  if (3 + suffix.size() + 32 <= sizeof(buf)) {
+  if (3 + suffix_nibbles.size() + 32 <= sizeof(buf)) {
     buf[0] = kTagLeaf;
-    std::size_t len = 1 + append_nibbles(buf + 1, suffix);
+    std::size_t len = 1 + append_nibbles(buf + 1, suffix_nibbles);
     std::copy(value.bytes.begin(), value.bytes.end(), buf + len);
     len += 32;
     return crypto::Sha256::digest(ByteView{buf, len});
   }
   Bytes pre;
-  append_leaf_preimage(pre, suffix, value);
+  append_leaf_preimage(pre, suffix_nibbles, value);
   return crypto::Sha256::digest(pre);
+}
+
+Hash32 hash_leaf(const Nibbles& suffix, const Hash32& value) {
+  return hash_leaf(ByteView{suffix.data(), suffix.size()}, value);
 }
 
 Hash32 hash_branch(const std::array<std::optional<Hash32>, 16>& children) {
@@ -59,26 +63,34 @@ Hash32 hash_branch(const std::array<std::optional<Hash32>, 16>& children) {
   return crypto::Sha256::digest(ByteView{buf, len});
 }
 
-Hash32 hash_extension(const Nibbles& path, const Hash32& child) {
+Hash32 hash_extension(ByteView path_nibbles, const Hash32& child) {
   std::uint8_t buf[kInlinePreimage];
-  if (3 + path.size() + 32 <= sizeof(buf)) {
+  if (3 + path_nibbles.size() + 32 <= sizeof(buf)) {
     buf[0] = kTagExtension;
-    std::size_t len = 1 + append_nibbles(buf + 1, path);
+    std::size_t len = 1 + append_nibbles(buf + 1, path_nibbles);
     std::copy(child.bytes.begin(), child.bytes.end(), buf + len);
     len += 32;
     return crypto::Sha256::digest(ByteView{buf, len});
   }
   Bytes pre;
-  append_extension_preimage(pre, path, child);
+  append_extension_preimage(pre, path_nibbles, child);
   return crypto::Sha256::digest(pre);
 }
 
-void append_leaf_preimage(Bytes& out, const Nibbles& suffix, const Hash32& value) {
+Hash32 hash_extension(const Nibbles& path, const Hash32& child) {
+  return hash_extension(ByteView{path.data(), path.size()}, child);
+}
+
+void append_leaf_preimage(Bytes& out, ByteView suffix_nibbles, const Hash32& value) {
   out.push_back(kTagLeaf);
-  out.push_back(static_cast<std::uint8_t>(suffix.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(suffix.size()));
-  out.insert(out.end(), suffix.begin(), suffix.end());
+  out.push_back(static_cast<std::uint8_t>(suffix_nibbles.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(suffix_nibbles.size()));
+  out.insert(out.end(), suffix_nibbles.begin(), suffix_nibbles.end());
   out.insert(out.end(), value.bytes.begin(), value.bytes.end());
+}
+
+void append_leaf_preimage(Bytes& out, const Nibbles& suffix, const Hash32& value) {
+  append_leaf_preimage(out, ByteView{suffix.data(), suffix.size()}, value);
 }
 
 void append_branch_preimage(Bytes& out,
@@ -93,12 +105,16 @@ void append_branch_preimage(Bytes& out,
     if (children[i]) out.insert(out.end(), children[i]->bytes.begin(), children[i]->bytes.end());
 }
 
-void append_extension_preimage(Bytes& out, const Nibbles& path, const Hash32& child) {
+void append_extension_preimage(Bytes& out, ByteView path_nibbles, const Hash32& child) {
   out.push_back(kTagExtension);
-  out.push_back(static_cast<std::uint8_t>(path.size() >> 8));
-  out.push_back(static_cast<std::uint8_t>(path.size()));
-  out.insert(out.end(), path.begin(), path.end());
+  out.push_back(static_cast<std::uint8_t>(path_nibbles.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(path_nibbles.size()));
+  out.insert(out.end(), path_nibbles.begin(), path_nibbles.end());
   out.insert(out.end(), child.bytes.begin(), child.bytes.end());
+}
+
+void append_extension_preimage(Bytes& out, const Nibbles& path, const Hash32& child) {
+  append_extension_preimage(out, ByteView{path.data(), path.size()}, child);
 }
 
 Hash32 hash_proof_node(const ProofNode& node) {

@@ -24,6 +24,13 @@ namespace bmg::trie {
 [[nodiscard]] Hash32 hash_branch(const std::array<std::optional<Hash32>, 16>& children);
 [[nodiscard]] Hash32 hash_extension(const Nibbles& path, const Hash32& child);
 
+/// Raw-span variants: the paged storage layer keeps nibble paths as
+/// fixed-size POD records, not Nibbles, so it hashes straight from a
+/// (pointer, length) view of the on-page bytes.  Same preimages, same
+/// hashes — the Nibbles overloads delegate here.
+[[nodiscard]] Hash32 hash_leaf(ByteView suffix_nibbles, const Hash32& value);
+[[nodiscard]] Hash32 hash_extension(ByteView path_nibbles, const Hash32& child);
+
 /// Append the canonical hash preimage (the exact bytes the hashers
 /// above digest) to `out`.  The trie's deferred commit() uses these to
 /// build a level's worth of preimages and hash them as one batch.
@@ -31,6 +38,8 @@ void append_leaf_preimage(Bytes& out, const Nibbles& suffix, const Hash32& value
 void append_branch_preimage(Bytes& out,
                             const std::array<std::optional<Hash32>, 16>& children);
 void append_extension_preimage(Bytes& out, const Nibbles& path, const Hash32& child);
+void append_leaf_preimage(Bytes& out, ByteView suffix_nibbles, const Hash32& value);
+void append_extension_preimage(Bytes& out, ByteView path_nibbles, const Hash32& child);
 
 /// Proof node mirroring a trie node's hash preimage.
 struct ProofLeaf {

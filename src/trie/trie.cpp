@@ -1,11 +1,12 @@
 #include "trie/trie.hpp"
 
-#include <algorithm>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "crypto/sha256.hpp"
+#include "trie/snapshot.hpp"
 
 namespace bmg::trie {
 
@@ -13,176 +14,172 @@ namespace {
 /// Serialized size contribution of a node (mirrors the hash preimage
 /// encodings plus a small per-node arena header).
 constexpr std::size_t kNodeHeader = 4;
+
+const LeafRec& as_leaf(const std::uint8_t* rec) {
+  return *reinterpret_cast<const LeafRec*>(rec);
+}
+const BranchRec& as_branch(const std::uint8_t* rec) {
+  return *reinterpret_cast<const BranchRec*>(rec);
+}
+const ExtRec& as_ext(const std::uint8_t* rec) {
+  return *reinterpret_cast<const ExtRec*>(rec);
+}
+LeafRec& as_leaf(std::uint8_t* rec) { return *reinterpret_cast<LeafRec*>(rec); }
+BranchRec& as_branch(std::uint8_t* rec) { return *reinterpret_cast<BranchRec*>(rec); }
+ExtRec& as_ext(std::uint8_t* rec) { return *reinterpret_cast<ExtRec*>(rec); }
+
+/// Canonical hash preimage of a node straight from its on-page record.
+void append_rec_preimage(Bytes& out, NodeKind kind, const std::uint8_t* rec) {
+  switch (kind) {
+    case kLeaf: {
+      const LeafRec& n = as_leaf(rec);
+      append_leaf_preimage(out, n.suffix.view(), n.value);
+      break;
+    }
+    case kBranch: {
+      const BranchRec& n = as_branch(rec);
+      std::array<std::optional<Hash32>, 16> kids;
+      for (std::size_t i = 0; i < 16; ++i)
+        if (!n.children[i].is_empty()) kids[i] = n.children[i].hash;
+      append_branch_preimage(out, kids);
+      break;
+    }
+    case kExt: {
+      const ExtRec& n = as_ext(rec);
+      append_extension_preimage(out, n.path.view(), n.child.hash);
+      break;
+    }
+  }
+}
+
+Hash32 rec_hash(NodeKind kind, const std::uint8_t* rec) {
+  switch (kind) {
+    case kLeaf: {
+      const LeafRec& n = as_leaf(rec);
+      return hash_leaf(n.suffix.view(), n.value);
+    }
+    case kBranch: {
+      const BranchRec& n = as_branch(rec);
+      std::array<std::optional<Hash32>, 16> kids;
+      for (std::size_t i = 0; i < 16; ++i)
+        if (!n.children[i].is_empty()) kids[i] = n.children[i].hash;
+      return hash_branch(kids);
+    }
+    default: {
+      const ExtRec& n = as_ext(rec);
+      return hash_extension(n.path.view(), n.child.hash);
+    }
+  }
+}
 }  // namespace
 
-std::uint32_t SealableTrie::alloc_leaf(LeafNode node) {
-  std::uint32_t idx;
-  if (!free_leaves_.empty()) {
-    idx = free_leaves_.back();
-    free_leaves_.pop_back();
-    leaves_[idx] = std::move(node);
-  } else {
-    idx = static_cast<std::uint32_t>(leaves_.size());
-    leaves_.push_back(std::move(node));
-  }
-  const std::uint32_t id = (static_cast<std::uint32_t>(kLeaf) << kKindShift) | idx;
-  add_node_stats(id);
+// ---------------------------------------------------------------------------
+// Allocation and stats
+
+std::uint32_t SealableTrie::alloc_leaf(OpPins& pins, ByteView suffix,
+                                       const Hash32& value) {
+  const std::uint32_t id = core_->alloc_slot(kLeaf);
+  LeafRec& n = as_leaf(core_->write_rec(id, pins));
+  n.suffix.assign(suffix.data(), suffix.size());
+  n.value = value;
+  add_node_stats(pins, id);
   return id;
 }
 
-std::uint32_t SealableTrie::alloc_branch(BranchNode node) {
-  std::uint32_t idx;
-  if (!free_branches_.empty()) {
-    idx = free_branches_.back();
-    free_branches_.pop_back();
-    branches_[idx] = std::move(node);
-  } else {
-    idx = static_cast<std::uint32_t>(branches_.size());
-    branches_.push_back(std::move(node));
-  }
-  const std::uint32_t id = (static_cast<std::uint32_t>(kBranch) << kKindShift) | idx;
-  add_node_stats(id);
+std::uint32_t SealableTrie::alloc_branch_pair(OpPins& pins, std::uint8_t nib_a,
+                                              RefRec ref_a, std::uint8_t nib_b,
+                                              RefRec ref_b) {
+  const std::uint32_t id = core_->alloc_slot(kBranch);
+  BranchRec& n = as_branch(core_->write_rec(id, pins));
+  n = BranchRec{};  // slot may be recycled: clear previous occupant
+  n.children[nib_a] = ref_a;
+  n.children[nib_b] = ref_b;
+  add_node_stats(pins, id);
   return id;
 }
 
-std::uint32_t SealableTrie::alloc_ext(ExtensionNode node) {
-  std::uint32_t idx;
-  if (!free_exts_.empty()) {
-    idx = free_exts_.back();
-    free_exts_.pop_back();
-    exts_[idx] = std::move(node);
-  } else {
-    idx = static_cast<std::uint32_t>(exts_.size());
-    exts_.push_back(std::move(node));
-  }
-  const std::uint32_t id = (static_cast<std::uint32_t>(kExt) << kKindShift) | idx;
-  add_node_stats(id);
+std::uint32_t SealableTrie::alloc_ext(OpPins& pins, ByteView path, RefRec child) {
+  const std::uint32_t id = core_->alloc_slot(kExt);
+  ExtRec& n = as_ext(core_->write_rec(id, pins));
+  n.path.assign(path.data(), path.size());
+  n.child = child;
+  add_node_stats(pins, id);
   return id;
 }
 
-void SealableTrie::free_node(std::uint32_t node) {
-  sub_node_stats(node);
-  const std::uint32_t idx = index_of(node);
-  switch (kind_of(node)) {
-    case kLeaf:
-      leaves_[idx] = LeafNode{};
-      free_leaves_.push_back(idx);
-      break;
-    case kBranch:
-      branches_[idx] = BranchNode{};
-      free_branches_.push_back(idx);
-      break;
-    case kExt:
-      exts_[idx] = ExtensionNode{};
-      free_exts_.push_back(idx);
-      break;
-  }
+void SealableTrie::free_node(OpPins& pins, std::uint32_t node_id) {
+  sub_node_stats(pins, node_id);
+  core_->free_slot(node_id);
 }
 
-void SealableTrie::add_node_stats(std::uint32_t node) {
-  switch (kind_of(node)) {
+void SealableTrie::add_node_stats(OpPins& pins, std::uint32_t node_id) {
+  const std::uint8_t* rec = core_->read_rec(core_->live_tables(), node_id, pins);
+  switch (kind_of(node_id)) {
     case kLeaf: {
-      const LeafNode& n = leaf_at(node);
+      const LeafRec& n = as_leaf(rec);
       ++stats_.leaf_count;
       stats_.byte_size += kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
       break;
     }
     case kBranch: {
-      const BranchNode& n = branch_at(node);
+      const BranchRec& n = as_branch(rec);
       ++stats_.branch_count;
       stats_.byte_size += kNodeHeader + 3;
-      for (const Ref& c : n.children) {
-        if (c.sealed) ++stats_.sealed_refs;
+      for (const RefRec& c : n.children) {
+        if (c.sealed()) ++stats_.sealed_refs;
         if (!c.is_empty()) stats_.byte_size += 33;
       }
       break;
     }
     case kExt: {
-      const ExtensionNode& n = ext_at(node);
+      const ExtRec& n = as_ext(rec);
       ++stats_.extension_count;
       stats_.byte_size += kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
-      if (n.child.sealed) ++stats_.sealed_refs;
+      if (n.child.sealed()) ++stats_.sealed_refs;
       break;
     }
   }
 }
 
-void SealableTrie::sub_node_stats(std::uint32_t node) {
-  switch (kind_of(node)) {
+void SealableTrie::sub_node_stats(OpPins& pins, std::uint32_t node_id) {
+  const std::uint8_t* rec = core_->read_rec(core_->live_tables(), node_id, pins);
+  switch (kind_of(node_id)) {
     case kLeaf: {
-      const LeafNode& n = leaf_at(node);
+      const LeafRec& n = as_leaf(rec);
       --stats_.leaf_count;
       stats_.byte_size -= kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
       break;
     }
     case kBranch: {
-      const BranchNode& n = branch_at(node);
+      const BranchRec& n = as_branch(rec);
       --stats_.branch_count;
       stats_.byte_size -= kNodeHeader + 3;
-      for (const Ref& c : n.children) {
-        if (c.sealed) --stats_.sealed_refs;
+      for (const RefRec& c : n.children) {
+        if (c.sealed()) --stats_.sealed_refs;
         if (!c.is_empty()) stats_.byte_size -= 33;
       }
       break;
     }
     case kExt: {
-      const ExtensionNode& n = ext_at(node);
+      const ExtRec& n = as_ext(rec);
       --stats_.extension_count;
       stats_.byte_size -= kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
-      if (n.child.sealed) --stats_.sealed_refs;
+      if (n.child.sealed()) --stats_.sealed_refs;
       break;
     }
   }
 }
 
-std::optional<Hash32> SealableTrie::ref_hash(const Ref& ref) {
-  if (ref.is_empty()) return std::nullopt;
-  return ref.hash;
+Hash32 SealableTrie::node_hash(OpPins& pins, std::uint32_t node_id) const {
+  return rec_hash(kind_of(node_id),
+                  core_->read_rec(core_->live_tables(), node_id, pins));
 }
 
-Hash32 SealableTrie::node_hash(std::uint32_t node) const {
-  switch (kind_of(node)) {
-    case kLeaf: {
-      const LeafNode& n = leaf_at(node);
-      return hash_leaf(n.suffix, n.value);
-    }
-    case kBranch: {
-      const BranchNode& n = branch_at(node);
-      std::array<std::optional<Hash32>, 16> kids;
-      for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(n.children[i]);
-      return hash_branch(kids);
-    }
-    default: {
-      const ExtensionNode& n = ext_at(node);
-      return hash_extension(n.path, n.child.hash);
-    }
-  }
-}
-
-void SealableTrie::append_node_preimage(Bytes& out, std::uint32_t node) const {
-  switch (kind_of(node)) {
-    case kLeaf: {
-      const LeafNode& n = leaf_at(node);
-      append_leaf_preimage(out, n.suffix, n.value);
-      break;
-    }
-    case kBranch: {
-      const BranchNode& n = branch_at(node);
-      std::array<std::optional<Hash32>, 16> kids;
-      for (std::size_t i = 0; i < 16; ++i) kids[i] = ref_hash(n.children[i]);
-      append_branch_preimage(out, kids);
-      break;
-    }
-    case kExt: {
-      const ExtensionNode& n = ext_at(node);
-      append_extension_preimage(out, n.path, n.child.hash);
-      break;
-    }
-  }
-}
+// ---------------------------------------------------------------------------
+// Reads
 
 void SealableTrie::ensure_committed() const {
-  if (root_.dirty) const_cast<SealableTrie*>(this)->commit();
+  if (root_.dirty()) const_cast<SealableTrie*>(this)->commit();
 }
 
 Hash32 SealableTrie::root_hash() const {
@@ -191,303 +188,181 @@ Hash32 SealableTrie::root_hash() const {
   return root_.hash;
 }
 
-bool SealableTrie::empty() const noexcept { return root_.is_empty(); }
+SealableTrie::Lookup SealableTrie::get(ByteView key, Hash32* value_out) const {
+  return walk_get(*core_, core_->live_tables(), root_, key, value_out);
+}
+
+Proof SealableTrie::prove(ByteView key) const {
+  ensure_committed();
+  return walk_prove(*core_, core_->live_tables(), root_, key);
+}
+
+// ---------------------------------------------------------------------------
+// set
 
 void SealableTrie::set(ByteView key, const Hash32& value) {
   const Nibbles nibs = to_nibbles(key);
-  root_ = set_rec(root_, nibs, 0, value);
+  if (nibs.size() > PathRec::kMaxNibbles)
+    throw TrieError("set: key longer than 32 bytes (hash commitment paths)");
+  OpPins pins(core_->store());
+  root_ = set_rec(pins, root_, ByteView{nibs.data(), nibs.size()}, 0, value);
 }
 
-SealableTrie::Ref SealableTrie::set_rec(Ref ref, const Nibbles& nibs, std::size_t pos,
-                                        const Hash32& value) {
-  if (ref.sealed) throw SealedError("set: key path crosses a sealed region");
+RefRec SealableTrie::set_rec(OpPins& pins, RefRec ref, ByteView path, std::size_t pos,
+                             const Hash32& value) {
+  if (ref.sealed()) throw SealedError("set: key path crosses a sealed region");
 
-  if (ref.is_empty()) {
-    LeafNode leaf{slice(nibs, pos, nibs.size() - pos), value};
-    return Ref{Hash32{}, alloc_leaf(std::move(leaf)), false, true};
-  }
+  if (ref.is_empty())
+    return RefRec::live_dirty(alloc_leaf(pins, path.subspan(pos), value));
 
   switch (kind_of(ref.node)) {
     case kLeaf: {
-      LeafNode& leaf = leaf_at(ref.node);
-      const std::size_t rest = nibs.size() - pos;
-      const std::size_t cp = common_prefix(leaf.suffix, 0, nibs, pos);
-      if (cp == leaf.suffix.size() && cp == rest) {
+      // Copy the suffix out: the record may move (copy-on-write) or be
+      // rewritten below.
+      const PathRec old_suffix =
+          as_leaf(core_->read_rec(core_->live_tables(), ref.node, pins)).suffix;
+      const ByteView rest = path.subspan(pos);
+      const std::size_t cp = common_prefix_span(old_suffix.view(), rest);
+      if (cp == old_suffix.size() && cp == rest.size()) {
         // Same key: update in place; the hash is recomputed at commit.
-        leaf.value = value;
-        ref.dirty = true;
+        as_leaf(core_->write_rec(ref.node, pins)).value = value;
+        ref.set_dirty(true);
         return ref;
       }
-      if (cp == leaf.suffix.size() || cp == rest)
+      if (cp == old_suffix.size() || cp == rest.size())
         throw PrefixError("set: key is a prefix of an existing key (or vice versa)");
 
       // Split: branch at the divergence nibble, possibly under an extension.
-      const std::uint8_t old_nib = leaf.suffix[cp];
-      const std::uint8_t new_nib = nibs[pos + cp];
-      const Nibbles shared = slice(leaf.suffix, 0, cp);
+      const std::uint8_t old_nib = old_suffix.nibs[cp];
+      const std::uint8_t new_nib = rest[cp];
 
-      // Shorten the existing leaf (reuse its arena slot).
-      sub_node_stats(ref.node);
-      leaf.suffix = slice(leaf.suffix, cp + 1, leaf.suffix.size() - cp - 1);
-      add_node_stats(ref.node);
-      const Ref old_ref{Hash32{}, ref.node, false, true};
+      // Shorten the existing leaf (reuse its slot).
+      sub_node_stats(pins, ref.node);
+      as_leaf(core_->write_rec(ref.node, pins))
+          .suffix.assign(old_suffix.nibs + cp + 1, old_suffix.size() - cp - 1);
+      add_node_stats(pins, ref.node);
+      const RefRec old_ref = RefRec::live_dirty(ref.node);
 
-      LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
-      const Ref new_ref{Hash32{}, alloc_leaf(std::move(new_leaf)), false, true};
+      const RefRec new_ref =
+          RefRec::live_dirty(alloc_leaf(pins, rest.subspan(cp + 1), value));
+      const RefRec branch_ref = RefRec::live_dirty(
+          alloc_branch_pair(pins, old_nib, old_ref, new_nib, new_ref));
 
-      BranchNode branch;
-      branch.children[old_nib] = old_ref;
-      branch.children[new_nib] = new_ref;
-      const Ref branch_ref{Hash32{}, alloc_branch(std::move(branch)), false, true};
-
-      if (shared.empty()) return branch_ref;
-      ExtensionNode ext{shared, branch_ref};
-      return Ref{Hash32{}, alloc_ext(std::move(ext)), false, true};
+      if (cp == 0) return branch_ref;
+      return RefRec::live_dirty(
+          alloc_ext(pins, ByteView{old_suffix.nibs, cp}, branch_ref));
     }
 
     case kBranch: {
-      if (pos == nibs.size())
+      if (pos == path.size())
         throw PrefixError("set: key terminates at an interior branch");
-      const std::uint8_t nib = nibs[pos];
-      // Recursion may reallocate the arena; re-resolve after the call.
+      const std::uint8_t nib = path[pos];
       const std::uint32_t node_id = ref.node;
-      const Ref updated = set_rec(branch_at(node_id).children[nib], nibs, pos + 1, value);
-      BranchNode& fresh = branch_at(node_id);
+      const RefRec child =
+          as_branch(core_->read_rec(core_->live_tables(), node_id, pins)).children[nib];
+      const RefRec updated = set_rec(pins, child, path, pos + 1, value);
+      // Recursion may have copied pages; re-resolve before writing.
+      BranchRec& fresh = as_branch(core_->write_rec(node_id, pins));
       if (fresh.children[nib].is_empty()) stats_.byte_size += 33;
       fresh.children[nib] = updated;
-      ref.dirty = true;
+      ref.set_dirty(true);
       return ref;
     }
 
     default: {
-      ExtensionNode& ext = ext_at(ref.node);
-      const std::size_t rest = nibs.size() - pos;
-      const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-      if (cp == ext.path.size()) {
+      const ExtRec old_ext =
+          as_ext(core_->read_rec(core_->live_tables(), ref.node, pins));
+      const ByteView rest = path.subspan(pos);
+      const std::size_t cp = common_prefix_span(old_ext.path.view(), rest);
+      if (cp == old_ext.path.size()) {
         const std::uint32_t node_id = ref.node;
-        const Ref updated = set_rec(ext.child, nibs, pos + cp, value);
-        ext_at(node_id).child = updated;
-        ref.dirty = true;
+        const RefRec updated = set_rec(pins, old_ext.child, path, pos + cp, value);
+        as_ext(core_->write_rec(node_id, pins)).child = updated;
+        ref.set_dirty(true);
         return ref;
       }
-      if (cp == rest)
+      if (cp == rest.size())
         throw PrefixError("set: key terminates inside an extension path");
 
       // Split this extension at nibble cp.
-      const Nibbles shared = slice(ext.path, 0, cp);
-      const std::uint8_t old_nib = ext.path[cp];
-      const std::uint8_t new_nib = nibs[pos + cp];
-      const Nibbles old_tail = slice(ext.path, cp + 1, ext.path.size() - cp - 1);
-      const Ref old_child = ext.child;
+      const std::uint8_t old_nib = old_ext.path.nibs[cp];
+      const std::uint8_t new_nib = rest[cp];
+      const std::size_t old_tail = old_ext.path.size() - cp - 1;
 
-      Ref old_side;
-      if (old_tail.empty()) {
+      RefRec old_side;
+      if (old_tail == 0) {
         // The branch points directly at the old extension's child.
-        old_side = old_child;
-        free_node(ref.node);
+        old_side = old_ext.child;
+        free_node(pins, ref.node);
       } else {
-        // Reuse this arena slot as the shortened extension.
-        sub_node_stats(ref.node);
-        ext.path = old_tail;
-        add_node_stats(ref.node);
-        old_side = Ref{Hash32{}, ref.node, false, true};
+        // Reuse this slot as the shortened extension.
+        sub_node_stats(pins, ref.node);
+        as_ext(core_->write_rec(ref.node, pins))
+            .path.assign(old_ext.path.nibs + cp + 1, old_tail);
+        add_node_stats(pins, ref.node);
+        old_side = RefRec::live_dirty(ref.node);
       }
 
-      LeafNode new_leaf{slice(nibs, pos + cp + 1, rest - cp - 1), value};
-      const Ref new_ref{Hash32{}, alloc_leaf(std::move(new_leaf)), false, true};
+      const RefRec new_ref =
+          RefRec::live_dirty(alloc_leaf(pins, rest.subspan(cp + 1), value));
+      const RefRec branch_ref = RefRec::live_dirty(
+          alloc_branch_pair(pins, old_nib, old_side, new_nib, new_ref));
 
-      BranchNode branch;
-      branch.children[old_nib] = old_side;
-      branch.children[new_nib] = new_ref;
-      const Ref branch_ref{Hash32{}, alloc_branch(std::move(branch)), false, true};
-
-      if (shared.empty()) return branch_ref;
-      ExtensionNode top{shared, branch_ref};
-      return Ref{Hash32{}, alloc_ext(std::move(top)), false, true};
+      if (cp == 0) return branch_ref;
+      return RefRec::live_dirty(
+          alloc_ext(pins, ByteView{old_ext.path.nibs, cp}, branch_ref));
     }
   }
 }
 
-void SealableTrie::commit() {
-  if (!root_.dirty) return;
-
-  // Collect every dirty ref with its depth.  commit() allocates no
-  // nodes, so Ref pointers into the arenas stay stable throughout.
-  struct Item {
-    Ref* ref;
-    std::uint32_t depth;
-  };
-  std::vector<Item> dirty;
-  std::vector<Item> stack;
-  stack.push_back({&root_, 0});
-  while (!stack.empty()) {
-    const Item it = stack.back();
-    stack.pop_back();
-    dirty.push_back(it);
-    const Ref& r = *it.ref;
-    switch (kind_of(r.node)) {
-      case kBranch:
-        for (Ref& c : branch_at(r.node).children)
-          if (c.dirty) stack.push_back({&c, it.depth + 1});
-        break;
-      case kExt: {
-        Ref& c = ext_at(r.node).child;
-        if (c.dirty) stack.push_back({&c, it.depth + 1});
-        break;
-      }
-      default:
-        break;
-    }
-  }
-
-  // Deepest level first, so every child hash is final before its
-  // parent's preimage is built.  Refs within one level are
-  // independent and are hashed as a single multi-lane SHA-256 batch.
-  std::stable_sort(dirty.begin(), dirty.end(),
-                   [](const Item& a, const Item& b) { return a.depth > b.depth; });
-
-  // Nodes within one level are independent — siblings or cousins — so
-  // a level can be hashed as one multi-lane SHA-256 batch, and a wide
-  // level can further shard preimage building + hashing across the
-  // fork-join workers.  Shards write disjoint Ref objects, and every
-  // node's hash depends only on its own (already final) children, so
-  // the committed hashes are byte-identical for any thread count.
-  constexpr std::size_t kParallelLevelMin = 64;
-  Bytes scratch;
-  std::vector<std::pair<std::size_t, std::size_t>> spans;
-  std::vector<ByteView> views;
-  std::vector<Hash32> hashes;
-  std::size_t lo = 0;
-  while (lo < dirty.size()) {
-    std::size_t hi = lo;
-    while (hi < dirty.size() && dirty[hi].depth == dirty[lo].depth) ++hi;
-    const std::size_t n = hi - lo;
-    if (n == 1) {
-      // Lone node on this level: the fixed-shape one-shot hasher
-      // (stack preimage) beats building a batch of one.
-      Ref& r = *dirty[lo].ref;
-      r.hash = node_hash(r.node);
-      r.dirty = false;
-    } else if (n >= kParallelLevelMin && parallel::thread_count() > 1 &&
-               !parallel::in_parallel_region()) {
-      parallel::parallel_for(
-          n, kParallelLevelMin,
-          [&](std::size_t begin, std::size_t end, std::size_t) {
-            // Per-shard scratch; the nested sha256_batch serializes.
-            Bytes pre;
-            std::vector<std::pair<std::size_t, std::size_t>> offs;
-            offs.reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i) {
-              const std::size_t off = pre.size();
-              append_node_preimage(pre, dirty[lo + i].ref->node);
-              offs.emplace_back(off, pre.size() - off);
-            }
-            std::vector<ByteView> v(end - begin);
-            std::vector<Hash32> h(end - begin);
-            for (std::size_t i = 0; i < v.size(); ++i)
-              v[i] = ByteView{pre.data() + offs[i].first, offs[i].second};
-            crypto::sha256_batch(v.data(), v.size(), h.data());
-            for (std::size_t i = 0; i < v.size(); ++i) {
-              dirty[lo + begin + i].ref->hash = h[i];
-              dirty[lo + begin + i].ref->dirty = false;
-            }
-          });
-    } else {
-      scratch.clear();
-      spans.clear();
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t off = scratch.size();
-        append_node_preimage(scratch, dirty[i].ref->node);
-        spans.emplace_back(off, scratch.size() - off);
-      }
-      views.resize(n);
-      hashes.resize(n);
-      for (std::size_t i = 0; i < n; ++i)
-        views[i] = ByteView{scratch.data() + spans[i].first, spans[i].second};
-      crypto::sha256_batch(views.data(), n, hashes.data());
-      for (std::size_t i = 0; i < n; ++i) {
-        dirty[lo + i].ref->hash = hashes[i];
-        dirty[lo + i].ref->dirty = false;
-      }
-    }
-    lo = hi;
-  }
-}
-
-SealableTrie::Lookup SealableTrie::get(ByteView key, Hash32* value_out) const {
-  const Nibbles nibs = to_nibbles(key);
-  std::size_t pos = 0;
-  const Ref* ref = &root_;
-  while (true) {
-    if (ref->sealed) return Lookup::kSealed;
-    if (ref->is_empty()) return Lookup::kAbsent;
-    switch (kind_of(ref->node)) {
-      case kLeaf: {
-        const LeafNode& leaf = leaf_at(ref->node);
-        const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
-        if (leaf.suffix == rest) {
-          if (value_out != nullptr) *value_out = leaf.value;
-          return Lookup::kFound;
-        }
-        return Lookup::kAbsent;
-      }
-      case kBranch: {
-        const BranchNode& branch = branch_at(ref->node);
-        if (pos >= nibs.size()) return Lookup::kAbsent;
-        ref = &branch.children[nibs[pos]];
-        ++pos;
-        break;
-      }
-      default: {
-        const ExtensionNode& ext = ext_at(ref->node);
-        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-        if (cp != ext.path.size()) return Lookup::kAbsent;
-        pos += cp;
-        ref = &ext.child;
-        break;
-      }
-    }
-  }
-}
+// ---------------------------------------------------------------------------
+// seal
 
 void SealableTrie::seal(ByteView key) {
   const Nibbles nibs = to_nibbles(key);
+  const ByteView path{nibs.data(), nibs.size()};
   std::size_t pos = 0;
+  OpPins pins(core_->store());
 
   // Walk down, recording the chain of (node id, child slot) so we can
-  // propagate sealing upward.  Slot -1 means "extension child".
+  // propagate sealing upward.  Slot -1 means "extension child".  The
+  // walk resolves every node through write_rec: the spine will be
+  // mutated (hash fixups, sealed markers), so shared pages are copied
+  // up front and all record pointers below stay stable.
   struct Step {
     std::uint32_t node;
     int slot;  // 0..15 for branch children, -1 for extension child
   };
-  std::vector<Step> path;
+  std::vector<Step> chain;
 
-  Ref* ref = &root_;
+  RefRec* ref = &root_;
   while (true) {
-    if (ref->sealed) throw SealedError("seal: key already inside a sealed region");
+    if (ref->sealed()) throw SealedError("seal: key already inside a sealed region");
     if (ref->is_empty()) throw NotFoundError("seal: key not present");
     bool done = false;
     switch (kind_of(ref->node)) {
       case kLeaf: {
-        const LeafNode& leaf = leaf_at(ref->node);
-        const Nibbles rest = slice(nibs, pos, nibs.size() - pos);
-        if (leaf.suffix != rest) throw NotFoundError("seal: key not present");
+        const LeafRec& leaf = as_leaf(core_->write_rec(ref->node, pins));
+        const ByteView rest = path.subspan(pos);
+        if (leaf.suffix.size() != rest.size() ||
+            common_prefix_span(leaf.suffix.view(), rest) != rest.size())
+          throw NotFoundError("seal: key not present");
         done = true;  // `ref` points at the leaf to seal
         break;
       }
       case kBranch: {
-        BranchNode& branch = branch_at(ref->node);
-        if (pos >= nibs.size()) throw NotFoundError("seal: key not present");
-        path.push_back({ref->node, nibs[pos]});
-        ref = &branch.children[nibs[pos]];
+        BranchRec& branch = as_branch(core_->write_rec(ref->node, pins));
+        if (pos >= path.size()) throw NotFoundError("seal: key not present");
+        chain.push_back({ref->node, path[pos]});
+        ref = &branch.children[path[pos]];
         ++pos;
         break;
       }
       default: {
-        ExtensionNode& ext = ext_at(ref->node);
-        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
+        ExtRec& ext = as_ext(core_->write_rec(ref->node, pins));
+        const std::size_t cp = common_prefix_span(ext.path.view(), path.subspan(pos));
         if (cp != ext.path.size()) throw NotFoundError("seal: key not present");
-        path.push_back({ref->node, -1});
+        chain.push_back({ref->node, -1});
         pos += cp;
         ref = &ext.child;
         break;
@@ -499,134 +374,241 @@ void SealableTrie::seal(ByteView key) {
   // Seal the leaf: drop its storage, keep the hash in the parent ref.
   // A dirty ref's recorded hash is stale, so fix it before the node's
   // contents disappear — sealing must preserve the (future) root.
-  if (ref->dirty) {
-    ref->hash = node_hash(ref->node);
-    ref->dirty = false;
+  if (ref->dirty()) {
+    ref->hash = node_hash(pins, ref->node);
+    ref->set_dirty(false);
   }
-  free_node(ref->node);
-  ref->node = kNil;
-  ref->sealed = true;
+  free_node(pins, ref->node);
+  ref->node = kNilNode;
+  ref->set_sealed(true);
   ++stats_.sealed_refs;
 
   // Propagate: an extension whose child is sealed seals too; a branch
   // whose present children are all sealed seals too (paper §III-A).
-  while (!path.empty()) {
-    const Step step = path.back();
-    path.pop_back();
+  while (!chain.empty()) {
+    const Step step = chain.back();
+    chain.pop_back();
 
     bool seal_this = false;
     if (kind_of(step.node) == kBranch) {
       seal_this = true;
-      for (const Ref& child : branch_at(step.node).children) {
+      const BranchRec& branch =
+          as_branch(core_->read_rec(core_->live_tables(), step.node, pins));
+      for (const RefRec& child : branch.children) {
         if (child.is_empty()) continue;
-        if (!child.sealed) {
+        if (!child.sealed()) {
           seal_this = false;
           break;
         }
       }
     } else {
-      seal_this = ext_at(step.node).child.sealed;
+      seal_this =
+          as_ext(core_->read_rec(core_->live_tables(), step.node, pins)).child.sealed();
     }
     if (!seal_this) break;
 
-    // Find the Ref in the parent (or root) that points at this node.
-    Ref* owner = nullptr;
-    if (path.empty()) {
+    // Find the ref in the parent (or root) that points at this node.
+    RefRec* owner = nullptr;
+    if (chain.empty()) {
       owner = &root_;
     } else {
-      const Step parent = path.back();
+      const Step parent = chain.back();
       if (parent.slot >= 0) {
-        owner = &branch_at(parent.node).children[static_cast<std::size_t>(parent.slot)];
+        owner = &as_branch(core_->write_rec(parent.node, pins))
+                     .children[static_cast<std::size_t>(parent.slot)];
       } else {
-        owner = &ext_at(parent.node).child;
+        owner = &as_ext(core_->write_rec(parent.node, pins)).child;
       }
     }
     // All children of this node are sealed with valid hashes, so its
     // own hash can be finalized on the spot if it was pending.
-    if (owner->dirty) {
-      owner->hash = node_hash(step.node);
-      owner->dirty = false;
+    if (owner->dirty()) {
+      owner->hash = node_hash(pins, step.node);
+      owner->set_dirty(false);
     }
-    free_node(step.node);
-    owner->node = kNil;
-    owner->sealed = true;
+    free_node(pins, step.node);
+    owner->node = kNilNode;
+    owner->set_sealed(true);
     ++stats_.sealed_refs;
   }
 }
 
-Proof SealableTrie::prove(ByteView key) const {
-  ensure_committed();
-  const Nibbles nibs = to_nibbles(key);
-  std::size_t pos = 0;
-  Proof proof;
+// ---------------------------------------------------------------------------
+// commit
 
-  const Ref* ref = &root_;
-  while (true) {
-    if (ref->sealed)
-      throw SealedError("prove: key path enters a sealed region");
-    if (ref->is_empty()) return proof;  // absence; possibly empty proof for empty trie
-    switch (kind_of(ref->node)) {
-      case kLeaf: {
-        const LeafNode& leaf = leaf_at(ref->node);
-        proof.nodes.emplace_back(ProofLeaf{leaf.suffix, leaf.value});
-        return proof;
-      }
-      case kBranch: {
-        const BranchNode& branch = branch_at(ref->node);
-        ProofBranch pb;
-        for (std::size_t i = 0; i < 16; ++i) pb.children[i] = ref_hash(branch.children[i]);
-        proof.nodes.emplace_back(std::move(pb));
-        if (pos >= nibs.size()) return proof;  // absence (interior end)
-        const Ref& child = branch.children[nibs[pos]];
-        ++pos;
-        if (child.is_empty()) return proof;  // absence proven by missing child
-        ref = &child;
+void SealableTrie::commit() {
+  if (!root_.dirty()) return;
+
+  OpPins pins(core_->store());
+  // Dirty refs only exist on pages already private to this epoch
+  // window (the write that marked them dirty copied the page if
+  // needed), so resolving them below cannot trigger a page copy —
+  // which is what keeps the collected raw pointers stable.  The guard
+  // turns a violation into an immediate error instead of a silent
+  // write to a stale frame.
+  core_->set_expect_no_cow(true);
+
+  // Collect every dirty ref with its depth.  `ref` points at the
+  // parent's child slot (or root_); `rec` at the node's own record.
+  struct Item {
+    RefRec* ref;
+    std::uint8_t* rec;
+  };
+  std::vector<std::vector<Item>> levels;
+  struct Pending {
+    RefRec* ref;
+    std::uint32_t depth;
+  };
+  std::vector<Pending> stack;
+  stack.push_back({&root_, 0});
+  while (!stack.empty()) {
+    const Pending it = stack.back();
+    stack.pop_back();
+    std::uint8_t* rec = core_->write_rec(it.ref->node, pins);
+    if (levels.size() <= it.depth) levels.resize(it.depth + 1);
+    levels[it.depth].push_back({it.ref, rec});
+    switch (kind_of(it.ref->node)) {
+      case kBranch:
+        for (RefRec& c : as_branch(rec).children)
+          if (c.dirty()) stack.push_back({&c, it.depth + 1});
+        break;
+      case kExt: {
+        RefRec& c = as_ext(rec).child;
+        if (c.dirty()) stack.push_back({&c, it.depth + 1});
         break;
       }
-      default: {
-        const ExtensionNode& ext = ext_at(ref->node);
-        proof.nodes.emplace_back(ProofExtension{ext.path, ext.child.hash});
-        const std::size_t cp = common_prefix(ext.path, 0, nibs, pos);
-        if (cp != ext.path.size()) return proof;  // absence at divergence
-        pos += cp;
-        ref = &ext.child;
+      default:
         break;
+    }
+  }
+
+  // Deepest level first, so every child hash is final before its
+  // parent's preimage is built.  Nodes within one level are
+  // independent — siblings or cousins — so a level is hashed as one
+  // multi-lane SHA-256 batch, and a wide level further shards
+  // preimage building + hashing across the fork-join workers.  Shards
+  // write disjoint RefRec objects and read only already-final child
+  // hashes, so the committed hashes are byte-identical for any thread
+  // count.
+  constexpr std::size_t kParallelLevelMin = 64;
+  Bytes scratch;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::vector<ByteView> views;
+  std::vector<Hash32> hashes;
+  for (std::size_t depth = levels.size(); depth-- > 0;) {
+    std::vector<Item>& level = levels[depth];
+    const std::size_t n = level.size();
+    if (n == 1) {
+      // Lone node on this level: the fixed-shape one-shot hasher
+      // (stack preimage) beats building a batch of one.
+      Item& it = level[0];
+      it.ref->hash = rec_hash(kind_of(it.ref->node), it.rec);
+      it.ref->set_dirty(false);
+    } else if (n >= kParallelLevelMin && parallel::thread_count() > 1 &&
+               !parallel::in_parallel_region()) {
+      parallel::parallel_for(
+          n, kParallelLevelMin, [&](std::size_t begin, std::size_t end, std::size_t) {
+            // Per-shard scratch; the nested sha256_batch serializes.
+            Bytes pre;
+            std::vector<std::pair<std::size_t, std::size_t>> offs;
+            offs.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::size_t off = pre.size();
+              append_rec_preimage(pre, kind_of(level[i].ref->node), level[i].rec);
+              offs.emplace_back(off, pre.size() - off);
+            }
+            std::vector<ByteView> v(end - begin);
+            std::vector<Hash32> h(end - begin);
+            for (std::size_t i = 0; i < v.size(); ++i)
+              v[i] = ByteView{pre.data() + offs[i].first, offs[i].second};
+            crypto::sha256_batch(v.data(), v.size(), h.data());
+            for (std::size_t i = 0; i < v.size(); ++i) {
+              level[begin + i].ref->hash = h[i];
+              level[begin + i].ref->set_dirty(false);
+            }
+          });
+    } else {
+      scratch.clear();
+      spans.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t off = scratch.size();
+        append_rec_preimage(scratch, kind_of(level[i].ref->node), level[i].rec);
+        spans.emplace_back(off, scratch.size() - off);
+      }
+      views.resize(n);
+      hashes.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        views[i] = ByteView{scratch.data() + spans[i].first, spans[i].second};
+      crypto::sha256_batch(views.data(), n, hashes.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        level[i].ref->hash = hashes[i];
+        level[i].ref->set_dirty(false);
       }
     }
   }
+  core_->set_expect_no_cow(false);
 }
 
-TrieStats SealableTrie::recompute_stats() const {
+// ---------------------------------------------------------------------------
+// Snapshots
+
+TrieSnapshot SealableTrie::snapshot() {
+  commit();
+  StoreCore::Published pub = core_->publish();
+  auto impl = std::make_shared<TrieSnapshot::Impl>();
+  impl->core = core_;
+  impl->tables = std::move(pub.tables);
+  impl->root = root_;
+  impl->trie_stats = stats_;
+  impl->epoch = pub.epoch;
+  return TrieSnapshot(std::move(impl));
+}
+
+// ---------------------------------------------------------------------------
+// Stats verification
+
+TrieStats SealableTrie::recompute_stats(
+    std::array<std::unordered_map<std::uint32_t, std::uint32_t>, kNumKinds>* occupancy)
+    const {
+  OpPins pins(core_->store());
   TrieStats s;
-  if (root_.sealed) ++s.sealed_refs;
+  const auto note = [&](std::uint32_t id) {
+    if (occupancy == nullptr) return;
+    const std::uint32_t logical =
+        index_of(id) / static_cast<std::uint32_t>(core_->slots_per_page(kind_of(id)));
+    ++(*occupancy)[kind_of(id)][logical];
+  };
+  if (root_.sealed()) ++s.sealed_refs;
   std::vector<std::uint32_t> stack;
   if (root_.is_live()) stack.push_back(root_.node);
   while (!stack.empty()) {
     const std::uint32_t id = stack.back();
     stack.pop_back();
+    note(id);
+    const std::uint8_t* rec = core_->read_rec(core_->live_tables(), id, pins);
     switch (kind_of(id)) {
       case kLeaf: {
-        const LeafNode& n = leaf_at(id);
+        const LeafRec& n = as_leaf(rec);
         ++s.leaf_count;
         s.byte_size += kNodeHeader + 3 + n.suffix.size() / 2 + 1 + 32;
         break;
       }
       case kBranch: {
-        const BranchNode& n = branch_at(id);
+        const BranchRec& n = as_branch(rec);
         ++s.branch_count;
         s.byte_size += kNodeHeader + 3;
-        for (const Ref& c : n.children) {
-          if (c.sealed) ++s.sealed_refs;
+        for (const RefRec& c : n.children) {
+          if (c.sealed()) ++s.sealed_refs;
           if (!c.is_empty()) s.byte_size += 33;
           if (c.is_live()) stack.push_back(c.node);
         }
         break;
       }
       default: {
-        const ExtensionNode& n = ext_at(id);
+        const ExtRec& n = as_ext(rec);
         ++s.extension_count;
         s.byte_size += kNodeHeader + 3 + n.path.size() / 2 + 1 + 33;
-        if (n.child.sealed) ++s.sealed_refs;
+        if (n.child.sealed()) ++s.sealed_refs;
         if (n.child.is_live()) stack.push_back(n.child.node);
         break;
       }
@@ -636,24 +618,27 @@ TrieStats SealableTrie::recompute_stats() const {
 }
 
 void SealableTrie::debug_check_stats() const {
-  const TrieStats live = recompute_stats();
-  if (live == stats_) return;
-  const auto diff = [](const char* field, std::size_t got, std::size_t want) {
-    return std::string(field) + " cached=" + std::to_string(got) +
-           " live=" + std::to_string(want) + "; ";
-  };
-  std::string msg = "TrieStats drift: ";
-  if (live.leaf_count != stats_.leaf_count)
-    msg += diff("leaf_count", stats_.leaf_count, live.leaf_count);
-  if (live.branch_count != stats_.branch_count)
-    msg += diff("branch_count", stats_.branch_count, live.branch_count);
-  if (live.extension_count != stats_.extension_count)
-    msg += diff("extension_count", stats_.extension_count, live.extension_count);
-  if (live.sealed_refs != stats_.sealed_refs)
-    msg += diff("sealed_refs", stats_.sealed_refs, live.sealed_refs);
-  if (live.byte_size != stats_.byte_size)
-    msg += diff("byte_size", stats_.byte_size, live.byte_size);
-  throw std::logic_error(msg);
+  std::array<std::unordered_map<std::uint32_t, std::uint32_t>, kNumKinds> occupancy;
+  const TrieStats live = recompute_stats(&occupancy);
+  if (live != stats_) {
+    const auto diff = [](const char* field, std::size_t got, std::size_t want) {
+      return std::string(field) + " cached=" + std::to_string(got) +
+             " live=" + std::to_string(want) + "; ";
+    };
+    std::string msg = "TrieStats drift: ";
+    if (live.leaf_count != stats_.leaf_count)
+      msg += diff("leaf_count", stats_.leaf_count, live.leaf_count);
+    if (live.branch_count != stats_.branch_count)
+      msg += diff("branch_count", stats_.branch_count, live.branch_count);
+    if (live.extension_count != stats_.extension_count)
+      msg += diff("extension_count", stats_.extension_count, live.extension_count);
+    if (live.sealed_refs != stats_.sealed_refs)
+      msg += diff("sealed_refs", stats_.sealed_refs, live.sealed_refs);
+    if (live.byte_size != stats_.byte_size)
+      msg += diff("byte_size", stats_.byte_size, live.byte_size);
+    throw std::logic_error(msg);
+  }
+  core_->debug_check_pages(occupancy);
 }
 
 }  // namespace bmg::trie

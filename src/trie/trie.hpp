@@ -19,73 +19,49 @@
 // per write.  `root_hash()` and `prove()` auto-commit, so callers can
 // stay oblivious; batch writers get the speedup for free.
 //
-// Nodes live in typed slab arenas (one per node kind) with free
-// lists; sealing returns slots.  This keeps batch commits
-// cache-friendly and avoids per-node heap allocation.
+// Nodes live in paged arenas (paged.hpp) behind a PageStore
+// (page_store.hpp): fixed-size pages of contiguous same-kind records,
+// in RAM by default or spilled to disk through an LRU of frames for
+// tries that outgrow memory.  Sealing is real reclamation — a fully
+// sealed page is returned to the store (and hole-punched out of the
+// spill file).  `snapshot()` publishes an immutable, cheaply copyable
+// TrieSnapshot of the committed state via shadow paging; snapshot
+// reads (get/prove) may run on other threads while this trie keeps
+// mutating.
 //
-// Keys must be prefix-free (no key may be a prefix of another); the
-// IBC layer guarantees this by hashing commitment paths.  Violations
-// throw PrefixError.
+// Keys must be prefix-free (no key may be a prefix of another) and at
+// most 32 bytes; the IBC layer guarantees both by hashing commitment
+// paths.  Violations throw PrefixError / TrieError.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <stdexcept>
-#include <vector>
+#include <memory>
 
 #include "common/bytes.hpp"
 #include "trie/node.hpp"
+#include "trie/paged.hpp"
 
 namespace bmg::trie {
 
-class TrieError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-/// Operation would read or modify a sealed region.
-class SealedError : public TrieError {
- public:
-  using TrieError::TrieError;
-};
-/// Key is a prefix of an existing key or vice versa.
-class PrefixError : public TrieError {
- public:
-  using TrieError::TrieError;
-};
-/// seal() of a key that is not present.
-class NotFoundError : public TrieError {
- public:
-  using TrieError::TrieError;
-};
-
-/// Storage accounting (drives the §V-D storage-cost experiment).
-/// Maintained incrementally by the trie; `debug_check_stats()`
-/// recomputes it from the live nodes and verifies the two agree.
-struct TrieStats {
-  std::size_t leaf_count = 0;
-  std::size_t branch_count = 0;
-  std::size_t extension_count = 0;
-  /// Child references whose subtree has been sealed away.
-  std::size_t sealed_refs = 0;
-  /// Approximate serialized size of all live nodes, i.e. what the
-  /// host-chain account actually has to store.
-  std::size_t byte_size = 0;
-  [[nodiscard]] std::size_t node_count() const {
-    return leaf_count + branch_count + extension_count;
-  }
-
-  friend bool operator==(const TrieStats&, const TrieStats&) = default;
-};
+class TrieSnapshot;
 
 class SealableTrie {
  public:
-  enum class Lookup {
-    kFound,   ///< key present, value returned
-    kAbsent,  ///< key not in the trie
-    kSealed,  ///< key's path enters a sealed region: inaccessible
-  };
+  using Lookup = trie::Lookup;
 
-  SealableTrie() = default;
+  /// In-RAM paged storage with default page size.
+  SealableTrie() : SealableTrie(PageStoreConfig{}) {}
+  /// Storage per `cfg` — file-backed with a bounded resident set for
+  /// out-of-core tries, or tiny pages to stress boundaries in tests.
+  explicit SealableTrie(const PageStoreConfig& cfg)
+      : core_(std::make_shared<StoreCore>(cfg)) {}
+
+  // Not copyable: per-block state capture is snapshot()'s job and is
+  // O(pages/1024) instead of a deep copy.  Movable; a moved-from trie
+  // may only be destroyed or assigned to.
+  SealableTrie(const SealableTrie&) = delete;
+  SealableTrie& operator=(const SealableTrie&) = delete;
+  SealableTrie(SealableTrie&&) noexcept = default;
+  SealableTrie& operator=(SealableTrie&&) noexcept = default;
 
   /// Inserts or updates `key`.  Throws SealedError if the path crosses
   /// a sealed region, PrefixError on prefix-freedom violations.  The
@@ -108,106 +84,66 @@ class SealableTrie {
   void commit();
 
   /// True if there are writes whose hashes have not been committed.
-  [[nodiscard]] bool has_uncommitted() const noexcept { return root_.dirty; }
+  [[nodiscard]] bool has_uncommitted() const noexcept { return root_.dirty(); }
 
   /// Root commitment.  All-zero for the empty trie.  Auto-commits
   /// pending writes.
   [[nodiscard]] Hash32 root_hash() const;
 
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return root_.is_empty(); }
 
   /// Builds a membership or non-membership proof for `key`.
   /// Throws SealedError if the path enters a sealed region.
   /// Auto-commits pending writes.
   [[nodiscard]] Proof prove(ByteView key) const;
 
+  /// Publishes an immutable snapshot of the committed state (commits
+  /// first if needed).  The snapshot stays valid — and readable from
+  /// any thread — for its whole lifetime, even across later mutations
+  /// of this trie or its destruction.
+  [[nodiscard]] TrieSnapshot snapshot();
+
   [[nodiscard]] TrieStats stats() const { return stats_; }
+
+  /// Backing-store counters: pages allocated/freed/resident, spill
+  /// traffic.  "pages freed vs seal rate" comes from here.
+  [[nodiscard]] PageStoreStats page_stats() const { return core_->page_stats(); }
+  /// Physical pages retired but parked until snapshots release them.
+  [[nodiscard]] std::size_t pending_free_pages() const {
+    return core_->pending_free_pages();
+  }
 
   /// Recomputes TrieStats from the live nodes and throws
   /// std::logic_error if the incrementally maintained counters have
-  /// drifted.  Used by tests and sanitizer runs.
+  /// drifted.  Also cross-checks page residency: per-page live-slot
+  /// counts, mapped-vs-occupied agreement, and physical-page
+  /// uniqueness.  Used by tests and sanitizer runs.
   void debug_check_stats() const;
 
  private:
-  static constexpr std::uint32_t kNil = 0xFFFFFFFF;
-  /// Node ids pack the arena kind into the top bits of the index.
-  static constexpr std::uint32_t kKindShift = 30;
-  static constexpr std::uint32_t kIndexMask = (1u << kKindShift) - 1;
-  enum Kind : std::uint32_t { kLeaf = 0, kBranch = 1, kExt = 2 };
+  friend class TrieSnapshot;
 
-  /// Child reference: empty, live (points at an arena node) or sealed
-  /// (hash retained, node storage reclaimed).  `dirty` marks a live
-  /// ref whose recorded hash is stale pending commit(); a dirty ref's
-  /// ancestors are always dirty too.
-  struct Ref {
-    Hash32 hash{};
-    std::uint32_t node = kNil;
-    bool sealed = false;
-    bool dirty = false;
+  [[nodiscard]] std::uint32_t alloc_leaf(OpPins& pins, ByteView suffix,
+                                         const Hash32& value);
+  [[nodiscard]] std::uint32_t alloc_branch_pair(OpPins& pins, std::uint8_t nib_a,
+                                                RefRec ref_a, std::uint8_t nib_b,
+                                                RefRec ref_b);
+  [[nodiscard]] std::uint32_t alloc_ext(OpPins& pins, ByteView path, RefRec child);
+  void free_node(OpPins& pins, std::uint32_t node_id);
+  void add_node_stats(OpPins& pins, std::uint32_t node_id);
+  void sub_node_stats(OpPins& pins, std::uint32_t node_id);
 
-    [[nodiscard]] bool is_empty() const noexcept { return node == kNil && !sealed; }
-    [[nodiscard]] bool is_live() const noexcept { return node != kNil; }
-  };
+  [[nodiscard]] Hash32 node_hash(OpPins& pins, std::uint32_t node_id) const;
 
-  struct LeafNode {
-    Nibbles suffix;
-    Hash32 value;
-  };
-  struct BranchNode {
-    std::array<Ref, 16> children;
-  };
-  struct ExtensionNode {
-    Nibbles path;
-    Ref child;
-  };
-
-  [[nodiscard]] static Kind kind_of(std::uint32_t node) noexcept {
-    return static_cast<Kind>(node >> kKindShift);
-  }
-  [[nodiscard]] static std::uint32_t index_of(std::uint32_t node) noexcept {
-    return node & kIndexMask;
-  }
-
-  [[nodiscard]] LeafNode& leaf_at(std::uint32_t node) { return leaves_[index_of(node)]; }
-  [[nodiscard]] const LeafNode& leaf_at(std::uint32_t node) const {
-    return leaves_[index_of(node)];
-  }
-  [[nodiscard]] BranchNode& branch_at(std::uint32_t node) {
-    return branches_[index_of(node)];
-  }
-  [[nodiscard]] const BranchNode& branch_at(std::uint32_t node) const {
-    return branches_[index_of(node)];
-  }
-  [[nodiscard]] ExtensionNode& ext_at(std::uint32_t node) { return exts_[index_of(node)]; }
-  [[nodiscard]] const ExtensionNode& ext_at(std::uint32_t node) const {
-    return exts_[index_of(node)];
-  }
-
-  [[nodiscard]] std::uint32_t alloc_leaf(LeafNode node);
-  [[nodiscard]] std::uint32_t alloc_branch(BranchNode node);
-  [[nodiscard]] std::uint32_t alloc_ext(ExtensionNode node);
-  void free_node(std::uint32_t node);
-
-  void add_node_stats(std::uint32_t node);
-  void sub_node_stats(std::uint32_t node);
-
-  [[nodiscard]] Hash32 node_hash(std::uint32_t node) const;
-  void append_node_preimage(Bytes& out, std::uint32_t node) const;
-  [[nodiscard]] static std::optional<Hash32> ref_hash(const Ref& ref);
-
-  Ref set_rec(Ref ref, const Nibbles& nibs, std::size_t pos, const Hash32& value);
+  RefRec set_rec(OpPins& pins, RefRec ref, ByteView path, std::size_t pos,
+                 const Hash32& value);
   void ensure_committed() const;
-  [[nodiscard]] TrieStats recompute_stats() const;
+  [[nodiscard]] TrieStats recompute_stats(
+      std::array<std::unordered_map<std::uint32_t, std::uint32_t>, kNumKinds>*
+          occupancy) const;
 
-  // Typed slab arenas with free lists; sealing returns slots.
-  std::vector<LeafNode> leaves_;
-  std::vector<std::uint32_t> free_leaves_;
-  std::vector<BranchNode> branches_;
-  std::vector<std::uint32_t> free_branches_;
-  std::vector<ExtensionNode> exts_;
-  std::vector<std::uint32_t> free_exts_;
-
-  Ref root_;
+  std::shared_ptr<StoreCore> core_;
+  RefRec root_;
   TrieStats stats_;
 };
 

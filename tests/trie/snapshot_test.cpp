@@ -1,0 +1,261 @@
+#include "trie/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "crypto/sha256.hpp"
+#include "trie/trie.hpp"
+
+namespace bmg::trie {
+namespace {
+
+using crypto::Sha256;
+
+Hash32 val(std::string_view s) { return Sha256::digest(bytes_of(s)); }
+
+Bytes key_of(std::string_view s) {
+  const Hash32 h = Sha256::digest(bytes_of(s));
+  return Bytes(h.bytes.begin(), h.bytes.end());
+}
+
+PageStoreConfig tiny_file_cfg() {
+  PageStoreConfig cfg;
+  cfg.backend = PageStoreConfig::Backend::kFile;
+  cfg.page_bytes = 1024;
+  cfg.max_resident_pages = 8;
+  return cfg;
+}
+
+TEST(TrieSnapshot, NullSnapshotThrows) {
+  const TrieSnapshot snap;
+  EXPECT_FALSE(snap.valid());
+  EXPECT_THROW((void)snap.root_hash(), TrieError);
+  EXPECT_THROW((void)snap.get(key_of("a")), TrieError);
+  EXPECT_THROW((void)snap.prove(key_of("a")), TrieError);
+}
+
+TEST(TrieSnapshot, EmptyTrieSnapshotHasZeroRoot) {
+  SealableTrie t;
+  const TrieSnapshot snap = t.snapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_TRUE(snap.root_hash().is_zero());
+  EXPECT_EQ(snap.get(key_of("a")), Lookup::kAbsent);
+  EXPECT_TRUE(snap.prove(key_of("a")).nodes.empty());
+}
+
+TEST(TrieSnapshot, ReadsAreIsolatedFromLaterWrites) {
+  SealableTrie t;
+  for (int i = 0; i < 100; ++i)
+    t.set(key_of("k" + std::to_string(i)), val("v" + std::to_string(i)));
+  const Hash32 root_then = t.root_hash();
+  const TrieSnapshot snap = t.snapshot();
+
+  // Mutate heavily after the snapshot: overwrite, insert, seal.
+  for (int i = 0; i < 100; ++i)
+    t.set(key_of("k" + std::to_string(i)), val("overwritten"));
+  for (int i = 100; i < 300; ++i) t.set(key_of("k" + std::to_string(i)), val("new"));
+  for (int i = 0; i < 50; ++i) t.seal(key_of("k" + std::to_string(i)));
+  t.commit();
+  ASSERT_NE(t.root_hash(), root_then);
+
+  // The snapshot still serves the old state, including entries the
+  // live trie has since sealed away.
+  EXPECT_EQ(snap.root_hash(), root_then);
+  for (int i = 0; i < 100; ++i) {
+    Hash32 out;
+    ASSERT_EQ(snap.get(key_of("k" + std::to_string(i)), &out), Lookup::kFound) << i;
+    EXPECT_EQ(out, val("v" + std::to_string(i)));
+  }
+  EXPECT_EQ(snap.get(key_of("k200")), Lookup::kAbsent);
+}
+
+TEST(TrieSnapshot, ProofsByteIdenticalToLiveAtSameRoot) {
+  SealableTrie t;
+  for (int i = 0; i < 200; ++i)
+    t.set(key_of("p" + std::to_string(i)), val(std::to_string(i)));
+  t.commit();
+  // Proofs from the live trie, captured before any further mutation.
+  std::vector<Bytes> live_proofs;
+  for (int i = 0; i < 220; ++i)
+    live_proofs.push_back(t.prove(key_of("p" + std::to_string(i))).serialize());
+
+  const TrieSnapshot snap = t.snapshot();
+  for (int i = 300; i < 500; ++i) t.set(key_of("p" + std::to_string(i)), val("x"));
+  t.commit();
+
+  for (int i = 0; i < 220; ++i) {
+    const Bytes snap_proof = snap.prove(key_of("p" + std::to_string(i))).serialize();
+    ASSERT_EQ(snap_proof, live_proofs[static_cast<std::size_t>(i)]) << "key " << i;
+  }
+}
+
+TEST(TrieSnapshot, OutlivesTheTrie) {
+  std::optional<TrieSnapshot> snap;
+  Hash32 root;
+  {
+    SealableTrie t;
+    for (int i = 0; i < 64; ++i) t.set(key_of(std::to_string(i)), val("v"));
+    root = t.root_hash();
+    snap = t.snapshot();
+  }  // trie destroyed; the snapshot keeps the store core alive
+  ASSERT_TRUE(snap->valid());
+  EXPECT_EQ(snap->root_hash(), root);
+  Hash32 out;
+  EXPECT_EQ(snap->get(key_of("7"), &out), Lookup::kFound);
+  const VerifyOutcome vo = verify_proof(root, key_of("7"), snap->prove(key_of("7")));
+  EXPECT_EQ(vo.kind, VerifyOutcome::Kind::kFound);
+}
+
+TEST(TrieSnapshot, ReleasingSnapshotsReclaimsParkedPages) {
+  SealableTrie t;
+  for (int i = 0; i < 400; ++i) t.set(key_of(std::to_string(i)), val("a"));
+  t.commit();
+  {
+    const TrieSnapshot snap = t.snapshot();
+    // Overwriting every key forces COW of (almost) every leaf page;
+    // the old physical pages are retired but must stay parked while
+    // the snapshot can still read them.
+    for (int i = 0; i < 400; ++i) t.set(key_of(std::to_string(i)), val("b"));
+    t.commit();
+    EXPECT_GT(t.pending_free_pages(), 0u);
+    Hash32 out;
+    ASSERT_EQ(snap.get(key_of("0"), &out), Lookup::kFound);
+    EXPECT_EQ(out, val("a"));
+  }
+  // Snapshot gone: the next retirement sweep frees the parked pages.
+  for (int i = 0; i < 400; ++i) t.set(key_of(std::to_string(i)), val("c"));
+  t.commit();
+  (void)t.snapshot();  // publish+drop advances and sweeps epochs
+  EXPECT_EQ(t.pending_free_pages(), 0u);
+  t.debug_check_stats();
+}
+
+TEST(TrieSnapshot, ManySnapshotsEachServeTheirOwnHeight) {
+  SealableTrie t;
+  std::vector<TrieSnapshot> snaps;
+  std::vector<Hash32> roots;
+  for (int h = 0; h < 16; ++h) {
+    for (int i = 0; i < 32; ++i)
+      t.set(key_of("h" + std::to_string(h) + "-" + std::to_string(i)),
+            val(std::to_string(h)));
+    snaps.push_back(t.snapshot());
+    roots.push_back(t.root_hash());
+  }
+  for (int h = 0; h < 16; ++h) {
+    EXPECT_EQ(snaps[static_cast<std::size_t>(h)].root_hash(),
+              roots[static_cast<std::size_t>(h)]);
+    // A key from the *next* batch is absent in this snapshot.
+    const std::string next =
+        "h" + std::to_string(h + 1) + "-" + std::to_string(0);
+    EXPECT_EQ(snaps[static_cast<std::size_t>(h)].get(key_of(next)), Lookup::kAbsent)
+        << h;
+  }
+  // Release out of order; the store must sweep whatever becomes free.
+  snaps.erase(snaps.begin() + 3, snaps.begin() + 12);
+  snaps.clear();
+  (void)t.snapshot();
+  EXPECT_EQ(t.pending_free_pages(), 0u);
+}
+
+TEST(TrieSnapshot, FileBackedSnapshotsSurviveEvictionChurn) {
+  SealableTrie t{tiny_file_cfg()};
+  for (int i = 0; i < 300; ++i) t.set(key_of("f" + std::to_string(i)), val("1"));
+  const Hash32 root = t.root_hash();
+  const TrieSnapshot snap = t.snapshot();
+  // Push far more state through the tiny resident set.
+  for (int i = 300; i < 900; ++i) t.set(key_of("f" + std::to_string(i)), val("2"));
+  t.commit();
+  EXPECT_EQ(snap.root_hash(), root);
+  for (int i = 0; i < 300; i += 17) {
+    const Bytes k = key_of("f" + std::to_string(i));
+    const VerifyOutcome vo = verify_proof(root, k, snap.prove(k));
+    ASSERT_EQ(vo.kind, VerifyOutcome::Kind::kFound) << i;
+    EXPECT_EQ(vo.value, val("1"));
+  }
+}
+
+// --- ProofService ------------------------------------------------------
+
+TEST(ProofService, BatchMatchesSerialProving) {
+  SealableTrie t;
+  for (int i = 0; i < 256; ++i) t.set(key_of("b" + std::to_string(i)), val("v"));
+  const TrieSnapshot snap = t.snapshot();
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(key_of("b" + std::to_string(i)));
+
+  const std::vector<Proof> batch = ProofService::prove_batch(snap, keys);
+  ASSERT_EQ(batch.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    ASSERT_EQ(batch[i].serialize(), snap.prove(keys[i]).serialize()) << i;
+}
+
+TEST(ProofService, ProvesConcurrentlyWithCommits) {
+  SealableTrie t;
+  for (int i = 0; i < 512; ++i) t.set(key_of("c" + std::to_string(i)), val("0"));
+  t.commit();
+
+  ProofService service;
+  std::vector<std::future<std::vector<Proof>>> futures;
+  std::vector<Hash32> roots;
+  std::vector<std::vector<Bytes>> key_batches;
+  // Interleave: publish a snapshot, hand its proof batch to the
+  // service, and immediately start mutating/committing the next block
+  // while the worker proves against the frozen pages.
+  for (int block = 0; block < 8; ++block) {
+    const TrieSnapshot snap = t.snapshot();
+    roots.push_back(snap.root_hash());
+    std::vector<Bytes> keys;
+    for (int i = 0; i < 64; ++i)
+      keys.push_back(key_of("c" + std::to_string((block * 37 + i) % 512)));
+    key_batches.push_back(keys);
+    futures.push_back(service.submit(snap, std::move(keys)));
+    for (int i = 0; i < 512; i += 3)
+      t.set(key_of("c" + std::to_string(i)), val("b" + std::to_string(block)));
+    t.commit();
+  }
+  for (std::size_t b = 0; b < futures.size(); ++b) {
+    const std::vector<Proof> proofs = futures[b].get();
+    ASSERT_EQ(proofs.size(), key_batches[b].size());
+    for (std::size_t i = 0; i < proofs.size(); ++i) {
+      const VerifyOutcome vo = verify_proof(roots[b], key_batches[b][i], proofs[i]);
+      ASSERT_EQ(vo.kind, VerifyOutcome::Kind::kFound) << "block " << b << " key " << i;
+    }
+  }
+}
+
+TEST(ProofService, SealedKeyFailsTheBatch) {
+  SealableTrie t;
+  t.set(key_of("a"), val("1"));
+  t.set(key_of("b"), val("2"));
+  t.seal(key_of("a"));
+  const TrieSnapshot snap = t.snapshot();
+  ProofService service;
+  auto fut = service.submit(snap, {key_of("a"), key_of("b")});
+  EXPECT_THROW((void)fut.get(), SealedError);
+}
+
+TEST(ProofService, BatchResultsAreThreadCountInvariant) {
+  SealableTrie t;
+  for (int i = 0; i < 200; ++i) t.set(key_of("t" + std::to_string(i)), val("v"));
+  const TrieSnapshot snap = t.snapshot();
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 200; ++i) keys.push_back(key_of("t" + std::to_string(i)));
+
+  const std::size_t saved = parallel::thread_count();
+  parallel::set_thread_count(1);
+  const std::vector<Proof> serial = ProofService::prove_batch(snap, keys);
+  parallel::set_thread_count(8);
+  const std::vector<Proof> wide = ProofService::prove_batch(snap, keys);
+  parallel::set_thread_count(saved);
+
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i].serialize(), wide[i].serialize()) << i;
+}
+
+}  // namespace
+}  // namespace bmg::trie

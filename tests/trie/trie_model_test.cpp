@@ -43,9 +43,8 @@ struct SpaceModel {
 
 class TrieModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
-  Rng rng(GetParam());
-  SealableTrie trie;
+void run_long_random_model(std::uint64_t seed, SealableTrie& trie) {
+  Rng rng(seed);
   std::map<std::uint64_t, SpaceModel> model;
   const std::uint64_t kSpaces = 3;
 
@@ -120,6 +119,24 @@ TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
       }
     }
   }
+}
+
+TEST_P(TrieModelTest, LongRandomRunAgreesWithModel) {
+  SealableTrie trie;
+  run_long_random_model(GetParam(), trie);
+}
+
+TEST_P(TrieModelTest, LongRandomRunAgreesWithModelFileBackedTinyPages) {
+  // Same model sweep with 1 KiB pages and an 8-frame resident set:
+  // every spine walk churns the LRU, and page splits/evictions happen
+  // constantly.  Behaviour (and every root) must be identical to the
+  // in-RAM run by construction.
+  PageStoreConfig cfg;
+  cfg.backend = PageStoreConfig::Backend::kFile;
+  cfg.page_bytes = 1024;
+  cfg.max_resident_pages = 8;
+  SealableTrie trie{cfg};
+  run_long_random_model(GetParam(), trie);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TrieModelTest,
