@@ -8,10 +8,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <memory>
 #include <string>
 
 #include "common/shard_pool.hpp"
+#include "parse.hpp"
 #include "relayer/deployment.hpp"
 
 namespace bmg::bench {
@@ -31,20 +33,49 @@ struct Args {
   long grid_seeds = 0;
   const char* timing_csv = nullptr;
 
-  static Args parse(int argc, char** argv, double default_days) {
+  /// Strict parsing: malformed values and unknown flags exit 2 instead
+  /// of silently running a corrupted configuration.  Drivers with their
+  /// own flag loops list those flags in `extra_value_flags` (each takes
+  /// exactly one value, which is skipped here).
+  static Args parse(int argc, char** argv, double default_days,
+                    std::initializer_list<const char*> extra_value_flags = {}) {
     Args a;
     a.days = default_days;
+    const char* prog = argc > 0 ? argv[0] : "bench";
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc)
-        a.days = std::atof(argv[++i]);
-      else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
-        a.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      else if (std::strcmp(argv[i], "--shard-workers") == 0 && i + 1 < argc)
-        shard::set_worker_count(static_cast<std::size_t>(std::atoll(argv[++i])));
-      else if (std::strcmp(argv[i], "--grid-seeds") == 0 && i + 1 < argc)
-        a.grid_seeds = std::atol(argv[++i]);
-      else if (std::strcmp(argv[i], "--timing-csv") == 0 && i + 1 < argc)
-        a.timing_csv = argv[++i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s needs a value\n", prog, argv[i]);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(argv[i], "--days") == 0)
+        a.days = parse_positive_double(prog, "--days", value());
+      else if (std::strcmp(argv[i], "--seed") == 0)
+        a.seed = static_cast<std::uint64_t>(parse_uint64(prog, "--seed", value()));
+      else if (std::strcmp(argv[i], "--shard-workers") == 0)
+        shard::set_worker_count(static_cast<std::size_t>(
+            parse_positive_long(prog, "--shard-workers", value())));
+      else if (std::strcmp(argv[i], "--grid-seeds") == 0)
+        a.grid_seeds =
+            static_cast<long>(parse_uint64(prog, "--grid-seeds", value()));
+      else if (std::strcmp(argv[i], "--timing-csv") == 0)
+        a.timing_csv = value();
+      else {
+        bool extra = false;
+        for (const char* f : extra_value_flags)
+          if (std::strcmp(argv[i], f) == 0) {
+            extra = true;
+            break;
+          }
+        if (extra) {
+          (void)value();  // the driver's own loop validated it
+          continue;
+        }
+        std::fprintf(stderr, "%s: unknown flag '%s'\n", prog, argv[i]);
+        std::exit(2);
+      }
     }
     return a;
   }

@@ -35,6 +35,20 @@ inline double parse_positive_double(const char* prog, const char* flag,
   return v;
 }
 
+/// Non-negative integer (seeds and counts where zero is meaningful).
+inline unsigned long long parse_uint64(const char* prog, const char* flag,
+                                       const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || text[0] == '-') {
+    std::fprintf(stderr, "%s: %s expects a non-negative integer, got '%s'\n", prog,
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
 /// Non-negative decimal in [0, 1] (seal rates, fractions).
 inline double parse_fraction(const char* prog, const char* flag, const char* text) {
   char* end = nullptr;

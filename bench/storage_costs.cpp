@@ -121,7 +121,10 @@ int main(int argc, char** argv) {
     // Remaining flags (--seed, --days, ...) belong to bench::Args below.
   }
 
-  const bench::Args args = bench::Args::parse(argc, argv, 0.0);
+  const bench::Args args = bench::Args::parse(
+      argc, argv, 0.0,
+      {"--churn-packets", "--window", "--cadence-writes", "--per-block",
+       "--page-entries", "--page-bytes", "--resident-pages", "--page-backend"});
   bench::print_header("Section V-D: storage costs", args);
 
   // Rent for the largest possible account.

@@ -20,6 +20,16 @@ void InvariantAuditor::start() {
 }
 
 void InvariantAuditor::check_now(const std::string& trigger) {
+  if (host_.fork_mode() && host_.fork_epoch() != last_fork_epoch_) {
+    // A reorg rewound guest state: monotonicity baselines recorded on
+    // the losing fork are void, and the rebuilt rooted-and-finalised
+    // prefix is re-audited from the start.
+    last_fork_epoch_ = host_.fork_epoch();
+    prev_seqs_.clear();
+    prev_guest_client_height_ = 0;
+    prev_cp_client_height_ = 0;
+    next_root_check_ = 1;
+  }
   ++checks_run_;
   check_conservation(trigger);
   check_sequences(trigger);
@@ -209,6 +219,20 @@ Verdict InvariantAuditor::verdict(std::string label) const {
   v.violations = violations_total_;
   if (violations_total_ != 0) v.report = report();
   return v;
+}
+
+std::string token_state_digest(const ibc::Bank& bank) {
+  std::ostringstream os;
+  for (const auto& [key, amount] : bank.balances()) {
+    if (amount == 0) continue;  // emptied accounts are not state
+    os << key.first << "|" << key.second << "=" << amount << ";";
+  }
+  os << "#";
+  for (const auto& [denom, supply] : bank.supplies()) {
+    if (supply == 0) continue;
+    os << denom << "=" << supply << ";";
+  }
+  return os.str();
 }
 
 Verdict merge_verdicts(const std::vector<Verdict>& cells) {

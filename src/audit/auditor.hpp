@@ -72,6 +72,12 @@ struct Verdict {
 /// the merged verdict is byte-identical at every worker count.
 [[nodiscard]] Verdict merge_verdicts(const std::vector<Verdict>& cells);
 
+/// Canonical textual digest of a bank ledger (every balance and every
+/// denom supply, in map order).  Fork-convergence tests compare the
+/// digests of a reorg-storm run against a reorg-free run of the same
+/// workload: with full survival they must match exactly.
+[[nodiscard]] std::string token_state_digest(const ibc::Bank& bank);
+
 class InvariantAuditor {
  public:
   InvariantAuditor(sim::Simulation& sim, host::Chain& host, guest::GuestContract& guest,
@@ -137,6 +143,12 @@ class InvariantAuditor {
   ibc::Height next_root_check_ = 1;  ///< finalised-prefix cursor
   ibc::Height prev_guest_client_height_ = 0;
   ibc::Height prev_cp_client_height_ = 0;
+  /// Host fork epoch the stateful cursors above were recorded in.  A
+  /// reorg legitimately rewinds sequences, client heights and the
+  /// finalised prefix; on an epoch change the cursors reset instead of
+  /// reporting phantom regressions, and the rebuilt prefix is
+  /// re-audited from scratch.
+  std::uint64_t last_fork_epoch_ = 0;
 
   std::vector<Violation> violations_;
   std::uint64_t violations_total_ = 0;

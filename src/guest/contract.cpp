@@ -1,6 +1,8 @@
 #include "guest/contract.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
 
 namespace bmg::guest {
 
@@ -20,18 +22,26 @@ GuestContract::GuestContract(GuestConfig cfg,
     : cfg_(std::move(cfg)),
       module_(store_, cfg_.ack_seal_lag),
       transfer_(module_, bank_, "transfer"),
+      genesis_validators_(std::move(genesis_validators)),
+      genesis_counterparty_validators_(std::move(counterparty_validators)),
       treasury_(crypto::PrivateKey::from_label(cfg_.chain_id + ":treasury").public_key()),
       vault_(crypto::PrivateKey::from_label(cfg_.chain_id + ":stake-vault").public_key()),
       burn_(crypto::PrivateKey::from_label(cfg_.chain_id + ":burn").public_key()) {
-  // Light client of the counterparty, embedded in the contract.
-  auto client = std::make_unique<ibc::QuorumLightClient>(cfg_.counterparty_chain_id,
-                                                         std::move(counterparty_validators));
+  init_genesis();
+}
+
+void GuestContract::init_genesis() {
+  // Light client of the counterparty, embedded in the contract.  A
+  // copy of the genesis validator set goes in so a later fork reset
+  // can rebuild an identical client.
+  auto client = std::make_unique<ibc::QuorumLightClient>(
+      cfg_.counterparty_chain_id, genesis_counterparty_validators_);
   counterparty_client_ = client.get();
   counterparty_client_id_ = module_.add_client(std::move(client));
   module_.set_self_identity(cfg_.chain_id, [this] { return epoch_->hash(); });
 
   // Genesis validators are pre-staked candidates.
-  for (const auto& v : genesis_validators) candidates_[v.key] = Candidate{v.stake};
+  for (const auto& v : genesis_validators_) candidates_[v.key] = Candidate{v.stake};
   epoch_ = std::make_shared<const ibc::ValidatorSet>(select_validators());
   if (epoch_->empty())
     throw std::invalid_argument("guest contract: empty genesis validator set");
@@ -42,6 +52,47 @@ GuestContract::GuestContract(GuestConfig cfg,
   genesis.finalised = true;
   blocks_.push_back(std::move(genesis));
   snapshots_[0] = store_.snapshot();
+}
+
+void GuestContract::fork_capture_baseline() {
+  if (blocks_.size() != 1)
+    throw std::logic_error(
+        "guest: fork baseline must be captured before any block is produced");
+  baseline_bank_ = bank_;
+}
+
+void GuestContract::fork_reset_to_baseline() {
+  // Snapshots hold copy-on-write views into store_'s pages: drop them
+  // before the trie they reference.
+  snapshots_.clear();
+  store_ = trie::SealableTrie();
+  // module_ holds a reference to store_ and transfer_'s constructor
+  // binds its port into module_, so both are reconstructed in place, in
+  // that order.  Member addresses must not change — agents and the
+  // deployment hold references into this contract.
+  std::destroy_at(&module_);
+  std::construct_at(&module_, store_, cfg_.ack_seal_lag);
+  bank_ = baseline_bank_;
+  std::destroy_at(&transfer_);
+  std::construct_at(&transfer_, module_, bank_, ibc::PortId("transfer"));
+  counterparty_client_ = nullptr;
+  counterparty_client_id_ = {};
+  blocks_.clear();
+  pruned_below_ = 0;
+  pending_packets_.clear();
+  epoch_.reset();
+  epoch_start_host_slot_ = 0;
+  candidates_.clear();
+  banned_.clear();
+  withdrawals_.clear();
+  pending_update_.reset();
+  buffers_.clear();
+  ack_log_.clear();
+  fees_collected_ = 0;
+  rewards_paid_ = 0;
+  last_client_update_time_ = -1e18;
+  terminated_ = false;
+  init_genesis();
 }
 
 void GuestContract::execute(host::TxContext& ctx, ByteView instruction_data) {

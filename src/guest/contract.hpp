@@ -73,6 +73,9 @@ class GuestContract final : public host::Program {
   // host::Program:
   void execute(host::TxContext& ctx, ByteView instruction_data) override;
   [[nodiscard]] std::size_t account_bytes() const override;
+  [[nodiscard]] bool fork_supported() const override { return true; }
+  void fork_capture_baseline() override;
+  void fork_reset_to_baseline() override;
 
   // --- off-chain read API (account reads are free on the host) --------
   [[nodiscard]] const GuestBlock& head() const { return blocks_.back(); }
@@ -210,6 +213,10 @@ class GuestContract final : public host::Program {
 
   [[nodiscard]] Bytes take_buffer(host::TxContext& ctx, std::uint64_t buffer_id);
   [[nodiscard]] ibc::ValidatorSet select_validators() const;
+  /// Shared between the constructor and fork_reset_to_baseline():
+  /// installs the counterparty light client, genesis candidates, the
+  /// first epoch and the genesis block into freshly-reset members.
+  void init_genesis();
   void finalise_block(host::TxContext& ctx, GuestBlock& block);
   void collect_send_fee(host::TxContext& ctx);
   void record_sent_packet(host::TxContext& ctx, const ibc::Packet& packet);
@@ -246,6 +253,15 @@ class GuestContract final : public host::Program {
   std::optional<PendingUpdate> pending_update_;
   std::map<std::pair<std::string, std::uint64_t>, Bytes> buffers_;
   std::map<std::tuple<ibc::PortId, ibc::ChannelId, std::uint64_t>, Bytes> ack_log_;
+
+  /// Construction-time inputs, retained so a host fork rollback can
+  /// rebuild genesis state from scratch (the constructor moves them
+  /// into the live structures).
+  std::vector<ibc::ValidatorInfo> genesis_validators_;
+  ibc::ValidatorSet genesis_counterparty_validators_;
+  /// Bank ledger as of Chain::start() (pre-start mints included);
+  /// restored verbatim before the fork journal replays.
+  ibc::Bank baseline_bank_;
 
   crypto::PublicKey treasury_;
   crypto::PublicKey vault_;

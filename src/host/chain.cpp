@@ -36,7 +36,11 @@ void TxContext::transfer_from_payer(const crypto::PublicKey& to, std::uint64_t l
 }
 
 Chain::Chain(sim::Simulation& sim, Rng rng, ChainConfig cfg)
-    : sim_(sim), rng_(rng), fault_rng_(cfg.fault_seed), cfg_(std::move(cfg)) {}
+    : sim_(sim),
+      rng_(rng),
+      fault_rng_(cfg.fault_seed),
+      reorg_rng_(cfg.reorg_seed),
+      cfg_(std::move(cfg)) {}
 
 void Chain::register_program(const std::string& name, std::unique_ptr<Program> program) {
   programs_[name] = std::move(program);
@@ -75,6 +79,24 @@ double Chain::time() const noexcept { return sim_.now(); }
 void Chain::start() {
   if (started_) return;
   started_ = true;
+  if (cfg_.fork_aware || cfg_.fault.has_reorg_windows()) {
+    fork_mode_ = true;
+    // Every registered program must be rollback-capable before the
+    // first transaction executes; arming mid-run is not supported.
+    for (auto& [name, prog] : programs_) {
+      if (!prog->fork_supported())
+        throw std::runtime_error("chain: program '" + name +
+                                 "' does not support fork mode "
+                                 "(fork_supported() == false)");
+      prog->fork_capture_baseline();
+    }
+    baseline_.balances = balances_;
+    baseline_.rent_deposits = rent_deposits_;
+    baseline_.payer_stats = payer_stats_;
+    baseline_.executed = executed_;
+    baseline_.failed = failed_;
+    baseline_.fee_spiked = fault_counters_.fee_spiked;
+  }
   sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
 }
 
@@ -207,6 +229,7 @@ void Chain::submit_with_faults(Transaction tx, ResultHandler on_result,
 
 void Chain::on_slot() {
   ++slot_;
+  if (fork_mode_) maybe_trigger_reorg();
 
   if (cfg_.fault.has_chain_faults() && cfg_.fault.in_outage(sim_.now())) {
     // Outage slot: produced, but includes nothing.  Defer everything to
@@ -233,45 +256,48 @@ void Chain::on_slot() {
         pending_[slot_ + 1].push_back(std::move(ptx));
       }
     }
-    sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
-    return;
-  }
+  } else {
+    const auto it = pending_.find(slot_);
+    if (it != pending_.end()) {
+      std::vector<PendingTx> batch = std::move(it->second);
+      pending_.erase(it);
 
-  const auto it = pending_.find(slot_);
-  if (it != pending_.end()) {
-    std::vector<PendingTx> batch = std::move(it->second);
-    pending_.erase(it);
+      // Block producer ordering: bundles first, then priority fee by
+      // price, then base-fee FIFO.
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const PendingTx& a, const PendingTx& b) {
+        auto rank = [](const FeePolicy& f) {
+          switch (f.kind) {
+            case FeePolicy::Kind::kBundle:
+              return 0;
+            case FeePolicy::Kind::kPriority:
+              return 1;
+            default:
+              return 2;
+          }
+        };
+        const int ra = rank(a.tx.fee), rb = rank(b.tx.fee);
+        if (ra != rb) return ra < rb;
+        return a.tx.fee.cu_price_microlamports > b.tx.fee.cu_price_microlamports;
+      });
 
-    // Block producer ordering: bundles first, then priority fee by
-    // price, then base-fee FIFO.
-    std::stable_sort(batch.begin(), batch.end(), [](const PendingTx& a, const PendingTx& b) {
-      auto rank = [](const FeePolicy& f) {
-        switch (f.kind) {
-          case FeePolicy::Kind::kBundle:
-            return 0;
-          case FeePolicy::Kind::kPriority:
-            return 1;
-          default:
-            return 2;
+      std::uint64_t block_cu = 0;
+      for (auto& ptx : batch) {
+        if (block_cu >= cfg_.block_compute_units) {
+          // Block full: spill to the next slot.
+          pending_[slot_ + 1].push_back(std::move(ptx));
+          continue;
         }
-      };
-      const int ra = rank(a.tx.fee), rb = rank(b.tx.fee);
-      if (ra != rb) return ra < rb;
-      return a.tx.fee.cu_price_microlamports > b.tx.fee.cu_price_microlamports;
-    });
-
-    std::uint64_t block_cu = 0;
-    for (auto& ptx : batch) {
-      if (block_cu >= cfg_.block_compute_units) {
-        // Block full: spill to the next slot.
-        pending_[slot_ + 1].push_back(std::move(ptx));
-        continue;
+        execute_tx(ptx);
+        block_cu += cfg_.max_compute_units;  // conservative per-tx reservation
       }
-      execute_tx(ptx);
-      block_cu += cfg_.max_compute_units;  // conservative per-tx reservation
     }
   }
 
+  if (fork_mode_) {
+    deliver_deferred();
+    fire_rooted_waits();
+  }
   sim_.after(cfg_.slot_seconds, [this] { on_slot(); });
 }
 
@@ -286,30 +312,46 @@ FeeBreakdown compute_fee(const Transaction& tx, std::uint64_t cu_used) {
 }
 
 void Chain::execute_tx(PendingTx& ptx) {
+  (void)execute_tx_at(ptx, slot_, sim_.now(), ExecMode::kLive, true);
+}
+
+TxResult Chain::execute_tx_at(PendingTx& ptx, std::uint64_t slot, double time,
+                              ExecMode mode, bool journaled_sig_ok) {
   const Transaction& tx = ptx.tx;
   TxResult res;
   res.executed = true;
-  res.slot = slot_;
-  res.time = sim_.now();
+  res.slot = slot;
+  res.time = time;
   res.label = tx.label;
 
   tx_event_buffer_.clear();
   tx_transfer_buffer_.clear();
 
-  TxContext ctx(*this, tx, slot_, sim_.now(), cfg_.max_compute_units);
+  TxContext ctx(*this, tx, slot, time, cfg_.max_compute_units);
   std::string touched_program;
+  bool sig_ok = true;
   try {
     // Ed25519 pre-compile runs before the programs.  All signatures of
     // a transaction are checked as one batch (real runtimes verify the
-    // whole packet's signatures up front, too).
+    // whole packet's signatures up front, too).  Fork replays charge
+    // the same compute but reuse the journalled verdict — the bytes
+    // are unchanged, so re-verifying would only burn wall clock.
     ctx.consume_cu(kCuEd25519PerSig * tx.sig_verifies.size());
     if (!tx.sig_verifies.empty()) {
-      std::vector<crypto::ed25519::VerifyItem> items;
-      items.reserve(tx.sig_verifies.size());
-      for (const auto& sv : tx.sig_verifies)
-        items.push_back({sv.pubkey.raw(), sv.message.view(), sv.signature.raw()});
-      for (const bool good : crypto::ed25519::verify_batch(items))
-        if (!good) throw TxError("ed25519 pre-compile: invalid signature");
+      if (mode == ExecMode::kLive) {
+        std::vector<crypto::ed25519::VerifyItem> items;
+        items.reserve(tx.sig_verifies.size());
+        for (const auto& sv : tx.sig_verifies)
+          items.push_back({sv.pubkey.raw(), sv.message.view(), sv.signature.raw()});
+        for (const bool good : crypto::ed25519::verify_batch(items))
+          if (!good) {
+            sig_ok = false;
+            throw TxError("ed25519 pre-compile: invalid signature");
+          }
+      } else if (!journaled_sig_ok) {
+        sig_ok = false;
+        throw TxError("ed25519 pre-compile: invalid signature");
+      }
     }
     for (const auto& ins : tx.instructions) {
       ctx.consume_cu(kCuInstructionBase);
@@ -333,7 +375,9 @@ void Chain::execute_tx(PendingTx& ptx) {
   if (cfg_.fault.has_chain_faults()) {
     // Fee spike: the market components (priority fee, bundle tip) cost
     // a multiple of their quoted price; the protocol base fee is fixed.
-    const double m = cfg_.fault.fee_multiplier(sim_.now());
+    // Replays evaluate the multiplier at the original execution time,
+    // reproducing the journalled charge exactly.
+    const double m = cfg_.fault.fee_multiplier(time);
     if (m != 1.0 && (res.fee.priority_lamports > 0 || res.fee.tip_lamports > 0)) {
       res.fee.priority_lamports =
           static_cast<std::uint64_t>(static_cast<double>(res.fee.priority_lamports) * m);
@@ -352,6 +396,7 @@ void Chain::execute_tx(PendingTx& ptx) {
   stats.tx_count += 1;
   stats.sig_count += 1 + tx.sig_verifies.size();
 
+  std::vector<Event> events;
   if (res.success) {
     ++executed_;
     // Apply buffered transfers, then flush events to subscribers.
@@ -361,13 +406,15 @@ void Chain::execute_tx(PendingTx& ptx) {
       src -= moved;
       balances_[to] += moved;
     }
-    std::vector<Event> events = std::move(tx_event_buffer_);
+    events = std::move(tx_event_buffer_);
     tx_event_buffer_.clear();
-    for (Event& ev : events) {
-      ev.program = touched_program;
-      const auto sub = subscribers_.find(ev.program);
-      if (sub != subscribers_.end())
-        for (const auto& handler : sub->second) handler(ev);
+    for (Event& ev : events) ev.program = touched_program;
+    if (mode != ExecMode::kSilentReplay) {
+      for (const Event& ev : events) {
+        const auto sub = subscribers_.find(ev.program);
+        if (sub != subscribers_.end())
+          for (const auto& handler : sub->second) handler(ev);
+      }
     }
   } else {
     ++failed_;
@@ -375,11 +422,197 @@ void Chain::execute_tx(PendingTx& ptx) {
     tx_transfer_buffer_.clear();
   }
 
-  if (ptx.on_result) ptx.on_result(res);
+  if (mode != ExecMode::kSilentReplay && ptx.on_result) ptx.on_result(res);
+
+  // Journal the execution for fork replay and deferred commitment
+  // delivery.  Silent replays reconstruct state for entries already in
+  // the journal; live and winning-fork executions (re)append theirs.
+  if (fork_mode_ && mode != ExecMode::kSilentReplay)
+    journal_[slot].push_back(JournalTx{std::move(ptx.tx), std::move(ptx.on_result),
+                                       res, std::move(events), sig_ok});
+  return res;
 }
 
 void Chain::subscribe(const std::string& program, EventHandler handler) {
   subscribers_[program].push_back(std::move(handler));
+}
+
+void Chain::subscribe(const std::string& program, EventHandler handler,
+                      SubscribeOptions options) {
+  // Armed now, or guaranteed to arm at start() — subscriptions are
+  // routinely registered before slot production begins.
+  const bool armed = fork_mode_ || (!started_ && (cfg_.fork_aware ||
+                                                  cfg_.fault.has_reorg_windows()));
+  if (!armed || options.level == Commitment::kProcessed) {
+    if (armed && options.on_retract)
+      processed_retract_.emplace_back(program, std::move(options.on_retract));
+    subscribers_[program].push_back(std::move(handler));
+    return;
+  }
+  DeferredSub sub;
+  sub.program = program;
+  sub.handler = std::move(handler);
+  sub.on_retract = std::move(options.on_retract);
+  sub.level = options.level;
+  sub.confirmations = std::max<std::uint64_t>(1, options.confirmations);
+  sub.cursor = deferred_target(sub) + 1;  // no history replay on subscribe
+  deferred_subs_.push_back(std::move(sub));
+}
+
+Chain::RootedWaitId Chain::when_rooted(std::uint64_t slot, std::function<void()> fn) {
+  const bool armed = fork_mode_ || (!started_ && (cfg_.fork_aware ||
+                                                  cfg_.fault.has_reorg_windows()));
+  if (!armed || slot <= rooted_slot()) {
+    // Linear chains root instantly; already-rooted slots fire inline.
+    if (fn) fn();
+    return 0;
+  }
+  const RootedWaitId id = next_rooted_wait_++;
+  rooted_waits_.emplace(id, RootedWait{slot, std::move(fn)});
+  return id;
+}
+
+void Chain::cancel_rooted(RootedWaitId id) {
+  if (id != 0) rooted_waits_.erase(id);
+}
+
+std::uint64_t Chain::deferred_target(const DeferredSub& sub) const {
+  if (sub.level == Commitment::kRooted) return rooted_slot();
+  return slot_ > sub.confirmations ? slot_ - sub.confirmations : 0;
+}
+
+void Chain::deliver_deferred() {
+  // Index loop: a handler may add subscriptions, invalidating
+  // references into deferred_subs_.
+  for (std::size_t i = 0; i < deferred_subs_.size(); ++i) {
+    const std::uint64_t target = deferred_target(deferred_subs_[i]);
+    if (deferred_subs_[i].cursor > target) continue;
+    for (auto it = journal_.lower_bound(deferred_subs_[i].cursor);
+         it != journal_.end() && it->first <= target; ++it)
+      for (const JournalTx& jt : it->second)
+        for (const Event& ev : jt.events)
+          if (ev.program == deferred_subs_[i].program) deferred_subs_[i].handler(ev);
+    deferred_subs_[i].cursor = target + 1;
+  }
+}
+
+void Chain::fire_rooted_waits() {
+  const std::uint64_t rooted = rooted_slot();
+  // Two passes: a fired handler may register or cancel other waits, so
+  // collect matured ids first and re-look each up before firing.
+  std::vector<RootedWaitId> due;
+  for (const auto& [id, wait] : rooted_waits_)
+    if (wait.slot <= rooted) due.push_back(id);
+  for (const RootedWaitId id : due) {
+    const auto it = rooted_waits_.find(id);
+    if (it == rooted_waits_.end()) continue;  // cancelled by an earlier handler
+    auto fn = std::move(it->second.fn);
+    rooted_waits_.erase(it);
+    if (fn) fn();
+  }
+}
+
+void Chain::maybe_trigger_reorg() {
+  const double now = sim_.now();
+  const double p = cfg_.fault.reorg_probability(now);
+  // No draw outside active windows: the reorg stream advances only
+  // where the plan says forks can happen.
+  if (p <= 0.0 || !reorg_rng_.chance(p)) return;
+  const std::uint64_t max_depth = cfg_.fault.reorg_max_depth(now);
+  if (max_depth == 0) return;
+  std::uint64_t depth = 1 + reorg_rng_.uniform_int(max_depth);
+  // Only the unrooted strict past [rooted+1, slot_-1] is reorgable.
+  const std::uint64_t rooted = rooted_slot();
+  const std::uint64_t reorgable = slot_ - 1 > rooted ? slot_ - 1 - rooted : 0;
+  depth = std::min(depth, reorgable);
+  if (depth == 0) return;
+  perform_reorg(depth);
+}
+
+void Chain::perform_reorg(std::uint64_t depth) {
+  const std::uint64_t first_retracted = slot_ - depth;  // retract [first_retracted, slot_-1]
+  const double now = sim_.now();
+
+  // 1. Retraction callbacks, newest first, before anything rewinds —
+  // subscribers observe the pre-rollback chain while being told which
+  // of their events are about to be taken back.
+  const auto retract_range = [&](std::uint64_t lo, std::uint64_t hi,
+                                 const std::string& program,
+                                 const EventHandler& on_retract) {
+    std::vector<const std::vector<JournalTx>*> slots;
+    for (auto it = journal_.lower_bound(lo); it != journal_.end() && it->first <= hi;
+         ++it)
+      slots.push_back(&it->second);
+    for (auto sit = slots.rbegin(); sit != slots.rend(); ++sit)
+      for (auto jt = (*sit)->rbegin(); jt != (*sit)->rend(); ++jt)
+        for (auto ev = jt->events.rbegin(); ev != jt->events.rend(); ++ev)
+          if (ev->program == program) on_retract(*ev);
+  };
+  for (const auto& [program, on_retract] : processed_retract_)
+    retract_range(first_retracted, slot_ - 1, program, on_retract);
+  for (DeferredSub& sub : deferred_subs_) {
+    if (sub.cursor <= first_retracted) continue;  // never saw the retracted slots
+    if (sub.on_retract)
+      retract_range(first_retracted, sub.cursor - 1, sub.program, sub.on_retract);
+    sub.cursor = first_retracted;
+  }
+
+  // 2. New fork epoch.
+  ++fork_epoch_;
+  ++fault_counters_.reorgs_triggered;
+  fault_counters_.slots_rolled_back += depth;
+
+  // 3. Pull the retracted suffix out of the journal.
+  std::vector<std::pair<std::uint64_t, std::vector<JournalTx>>> retracted;
+  for (auto it = journal_.lower_bound(first_retracted); it != journal_.end();) {
+    retracted.emplace_back(it->first, std::move(it->second));
+    it = journal_.erase(it);
+  }
+
+  // 4. Rewind the ledger and every program to the start() baseline.
+  balances_ = baseline_.balances;
+  rent_deposits_ = baseline_.rent_deposits;
+  payer_stats_ = baseline_.payer_stats;
+  executed_ = baseline_.executed;
+  failed_ = baseline_.failed;
+  fault_counters_.fee_spiked = baseline_.fee_spiked;
+  for (auto& [name, prog] : programs_) prog->fork_reset_to_baseline();
+
+  // 5. Silent genesis replay of the surviving prefix: identical inputs
+  // against identical state must reproduce the journalled outcome —
+  // any divergence means the rollback itself is broken, so fail loud.
+  for (const auto& [s, txs] : journal_) {
+    for (const JournalTx& jt : txs) {
+      PendingTx ptx{jt.tx, {}, UINT64_MAX};
+      const TxResult r = execute_tx_at(ptx, jt.result.slot, jt.result.time,
+                                       ExecMode::kSilentReplay, jt.sig_ok);
+      if (r.success != jt.result.success || r.cu_used != jt.result.cu_used)
+        throw std::logic_error("chain: fork replay diverged from journal at slot " +
+                               std::to_string(s));
+    }
+  }
+
+  // 6. Winning fork: per-tx survival draw; survivors re-execute
+  // visibly at their original coordinates (their events and result
+  // handlers fire again — consumers are stale-guarded), deaths notify
+  // their submitters once with reorged_out set.
+  for (auto& [s, txs] : retracted) {
+    for (JournalTx& jt : txs) {
+      const double survival = cfg_.fault.reorg_survival(now, jt.tx.label);
+      const bool survives = survival >= 1.0 || reorg_rng_.chance(survival);
+      if (survives) {
+        ++fault_counters_.txs_replayed;
+        PendingTx ptx{std::move(jt.tx), std::move(jt.on_result), UINT64_MAX};
+        (void)execute_tx_at(ptx, jt.result.slot, jt.result.time,
+                            ExecMode::kVisibleReplay, jt.sig_ok);
+      } else {
+        ++fault_counters_.txs_reorged_out;
+        TxResult res = jt.result;
+        res.reorged_out = true;
+        if (jt.on_result) jt.on_result(res);
+      }
+    }
+  }
 }
 
 const Chain::PayerStats& Chain::payer_stats(const crypto::PublicKey& who) const {

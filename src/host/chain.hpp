@@ -31,6 +31,28 @@ struct Event {
   Bytes data;
 };
 
+/// How much finality a subscriber (or pipeline) demands before acting
+/// on chain state — mirroring Solana's commitment levels.
+enum class Commitment : std::uint8_t {
+  kProcessed,  ///< optimistic tip: instant delivery, may be retracted
+  kConfirmed,  ///< delivered once the slot is `confirmations` slots old
+  kRooted,     ///< delivered once the slot can no longer be reorged
+};
+
+/// Options for commitment-aware Chain::subscribe.  On a chain that is
+/// not fork-aware every level degenerates to processed (blocks are
+/// final the instant they are produced), which keeps non-fork runs
+/// byte-identical to the seed.
+struct SubscribeOptions {
+  Commitment level = Commitment::kProcessed;
+  /// kConfirmed only: how many slots old an event must be.
+  std::uint64_t confirmations = 1;
+  /// kProcessed only: invoked (newest first) for every already
+  /// delivered event retracted by a reorg.  Confirmed subscribers get
+  /// retractions only when a reorg reaches deeper than their lag.
+  std::function<void(const Event&)> on_retract;
+};
+
 /// Tunables of the inclusion model: probability a pending transaction
 /// is picked up in any given slot, per fee policy.  These express how
 /// congested the host chain is.
@@ -55,6 +77,21 @@ struct ChainConfig {
   /// from its own stream so the inclusion RNG is never perturbed.
   FaultPlan fault;
   std::uint64_t fault_seed = 0xFA01'7F4A'11C3'0D5Eull;
+
+  // --- fork/reorg model (fork-aware mode) ----------------------------
+  /// Arms the fork machinery even without reorg windows in the plan —
+  /// needed to measure rooted-commitment latency on a fork-capable
+  /// chain, and to let tests append reorg windows after start().  The
+  /// chain also arms itself when the plan already holds effective
+  /// reorg windows at start().  Off (and plan reorg-free) = the
+  /// historical linear chain, byte-identical to the seed.
+  bool fork_aware = false;
+  /// Slots behind the optimistic tip at which a slot roots (becomes
+  /// irreversible); bounds every reorg depth to rooted_lag_slots - 1.
+  std::uint64_t rooted_lag_slots = 32;
+  /// Dedicated RNG stream for reorg trigger/depth/survival draws, so
+  /// arming forks never perturbs the inclusion or fault streams.
+  std::uint64_t reorg_seed = 0x4E0'26F0'5CA1'D21Bull;
 };
 
 class Chain {
@@ -89,6 +126,32 @@ class Chain {
   void submit(Transaction tx, ResultHandler on_result = {});
 
   void subscribe(const std::string& program, EventHandler handler);
+  /// Commitment-aware subscription.  On a non-fork-aware chain all
+  /// levels deliver inline at execution (processed semantics) and no
+  /// retraction ever fires; on a fork-aware chain confirmed/rooted
+  /// events are delivered from the journal once old enough, inline at
+  /// slot boundaries (no extra simulation events either way).
+  void subscribe(const std::string& program, EventHandler handler,
+                 SubscribeOptions options);
+
+  // --- fork/finality introspection -----------------------------------
+  /// Newest slot that can no longer be reorged.
+  [[nodiscard]] std::uint64_t rooted_slot() const noexcept {
+    return slot_ > cfg_.rooted_lag_slots ? slot_ - cfg_.rooted_lag_slots : 0;
+  }
+  /// Whether the fork machinery is armed (set once at start()).
+  [[nodiscard]] bool fork_mode() const noexcept { return fork_mode_; }
+  /// Incremented on every reorg; consumers compare epochs to detect
+  /// that previously observed optimistic state may have been retracted.
+  [[nodiscard]] std::uint64_t fork_epoch() const noexcept { return fork_epoch_; }
+
+  /// Calls `fn` once `slot` roots — inline at the slot boundary that
+  /// roots it (immediately if already rooted, or at registration on a
+  /// non-fork-aware chain where inclusion is final).  Waits survive
+  /// reorgs: slot numbers never rewind, only their contents change.
+  using RootedWaitId = std::uint64_t;
+  RootedWaitId when_rooted(std::uint64_t slot, std::function<void()> fn);
+  void cancel_rooted(RootedWaitId id);
 
   [[nodiscard]] std::uint64_t slot() const noexcept { return slot_; }
   [[nodiscard]] double time() const noexcept;
@@ -122,17 +185,64 @@ class Chain {
     std::uint64_t expiry_slot = UINT64_MAX;
   };
 
+  /// One executed transaction as recorded for fork replay: enough to
+  /// re-execute it silently (rebuilding program state bit-for-bit) or
+  /// visibly (winning fork), and to feed deferred commitment delivery.
+  struct JournalTx {
+    Transaction tx;
+    ResultHandler on_result;
+    TxResult result;            ///< as delivered on the current fork
+    std::vector<Event> events;  ///< dispatched events (empty on failure)
+    bool sig_ok = true;         ///< pre-compile verdict (replay skips crypto)
+  };
+
+  /// A deferred (confirmed/rooted) subscriber with its delivery cursor.
+  struct DeferredSub {
+    std::string program;
+    EventHandler handler;
+    EventHandler on_retract;
+    Commitment level = Commitment::kConfirmed;
+    std::uint64_t confirmations = 1;
+    std::uint64_t cursor = 1;  ///< next journal slot to deliver
+  };
+
+  struct RootedWait {
+    std::uint64_t slot = 0;
+    std::function<void()> fn;
+  };
+
+  enum class ExecMode : std::uint8_t {
+    kLive,           ///< normal execution: dispatch, notify, journal
+    kSilentReplay,   ///< state reconstruction only: no events, no handlers
+    kVisibleReplay,  ///< winning-fork re-execution: dispatch + notify + journal
+  };
+
   void on_slot();
   void execute_tx(PendingTx& ptx);
+  /// Core execution at explicit (slot, time) coordinates; replay modes
+  /// reuse the journalled pre-compile verdict instead of re-verifying.
+  TxResult execute_tx_at(PendingTx& ptx, std::uint64_t slot, double time,
+                         ExecMode mode, bool journaled_sig_ok);
   [[nodiscard]] double inclusion_probability(const FeePolicy& fee) const;
   /// Fault-aware half of submit(): per-slot inclusion scan honouring
   /// congestion/outage windows, blackholes and duplicate replays.
   void submit_with_faults(Transaction tx, ResultHandler on_result,
                           std::uint64_t first_slot);
 
+  // --- fork machinery (armed chains only) ------------------------------
+  void maybe_trigger_reorg();
+  void perform_reorg(std::uint64_t depth);
+  /// Deliver journal events to confirmed/rooted subscribers whose
+  /// target advanced, then fire matured rooted waits.  Inline at the
+  /// end of every slot.
+  void deliver_deferred();
+  void fire_rooted_waits();
+  [[nodiscard]] std::uint64_t deferred_target(const DeferredSub& sub) const;
+
   sim::Simulation& sim_;
   Rng rng_;
   Rng fault_rng_;
+  Rng reorg_rng_;
   ChainConfig cfg_;
   FaultCounters fault_counters_;
 
@@ -150,6 +260,29 @@ class Chain {
   std::uint64_t executed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t dropped_ = 0;
+
+  // --- fork state ------------------------------------------------------
+  bool fork_mode_ = false;
+  std::uint64_t fork_epoch_ = 0;
+  /// Per-slot execution journal (armed chains only).  Never pruned:
+  /// rollback is genesis replay, O(executed history) per reorg — fine
+  /// for chaos-window runs, documented in DESIGN §15.
+  std::map<std::uint64_t, std::vector<JournalTx>> journal_;
+  std::vector<DeferredSub> deferred_subs_;
+  /// Processed subscribers that asked for retraction callbacks.
+  std::vector<std::pair<std::string, EventHandler>> processed_retract_;
+  std::map<RootedWaitId, RootedWait> rooted_waits_;
+  RootedWaitId next_rooted_wait_ = 1;
+  /// Chain-ledger baseline captured at start() for genesis replay.
+  struct Baseline {
+    std::map<crypto::PublicKey, std::uint64_t> balances;
+    std::map<crypto::PublicKey, std::uint64_t> rent_deposits;
+    std::map<crypto::PublicKey, PayerStats> payer_stats;
+    std::uint64_t executed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t fee_spiked = 0;
+  };
+  Baseline baseline_;
 
   friend class TxContext;
   /// Event/transfer buffers for the transaction being executed.

@@ -1,5 +1,7 @@
 #include "host/fault.hpp"
 
+#include <algorithm>
+
 namespace bmg::host {
 
 namespace {
@@ -14,7 +16,11 @@ bool active(const FaultWindow& w, double t) { return t >= w.start && t < w.end; 
 }  // namespace
 
 FaultPlan& FaultPlan::add(FaultWindow w) {
-  if (w.kind != FaultKind::kCrash) ++chain_windows_;
+  if (w.kind == FaultKind::kReorg) {
+    if (w.severity >= 1.0) ++reorg_windows_;  // depth-0 windows are inert
+  } else if (w.kind != FaultKind::kCrash) {
+    ++chain_windows_;
+  }
   windows_.push_back(std::move(w));
   return *this;
 }
@@ -47,6 +53,13 @@ FaultPlan& FaultPlan::fee_spike(double start, double end, double multiplier) {
 
 FaultPlan& FaultPlan::crash(double start, double end, std::string agent) {
   return add({FaultKind::kCrash, start, end, 1.0, 1.0, std::move(agent)});
+}
+
+FaultPlan& FaultPlan::reorg(double start, double end, std::uint64_t max_depth,
+                            double probability, double survival,
+                            std::string label_prefix) {
+  return add({FaultKind::kReorg, start, end, static_cast<double>(max_depth),
+              probability, std::move(label_prefix), survival});
 }
 
 std::vector<FaultWindow> FaultPlan::crash_windows() const {
@@ -91,6 +104,31 @@ double FaultPlan::fee_multiplier(double t) const {
   for (const auto& w : windows_)
     if (w.kind == FaultKind::kFeeSpike && active(w, t)) m *= w.severity;
   return m;
+}
+
+double FaultPlan::reorg_probability(double t) const {
+  double p_none = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kReorg && w.severity >= 1.0 && active(w, t))
+      p_none *= 1.0 - w.probability;
+  return 1.0 - p_none;
+}
+
+std::uint64_t FaultPlan::reorg_max_depth(double t) const {
+  std::uint64_t depth = 0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kReorg && active(w, t))
+      depth = std::max(depth, static_cast<std::uint64_t>(w.severity));
+  return depth;
+}
+
+double FaultPlan::reorg_survival(double t, const std::string& label) const {
+  double s = 1.0;
+  for (const auto& w : windows_)
+    if (w.kind == FaultKind::kReorg && w.severity >= 1.0 && active(w, t) &&
+        label_matches(w, label))
+      s *= w.survival;
+  return s;
 }
 
 }  // namespace bmg::host

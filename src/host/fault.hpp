@@ -34,6 +34,7 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,   ///< tx executes a second time (ghost replay)
   kFeeSpike,    ///< market fee components multiplied by `severity`
   kCrash,       ///< agent process killed at `start`, restarted at `end`
+  kReorg,       ///< optimistic tip forks: up to `severity` slots retracted
 };
 
 /// One scheduled fault over the half-open sim-time window [start, end).
@@ -49,8 +50,14 @@ struct FaultWindow {
   /// Restricts the fault to transactions whose label starts with this
   /// prefix; empty matches everything.  Outages ignore the filter
   /// (blocks are empty for everyone).  For kCrash the prefix matches
-  /// agent names instead (empty = every registered agent).
+  /// agent names instead (empty = every registered agent).  For kReorg
+  /// the prefix selects which retracted transactions the `survival`
+  /// draw applies to (non-matching txs always survive the fork).
   std::string label_prefix;
+  /// kReorg only: probability that a retracted transaction reappears
+  /// on the winning fork (1.0 = pure rollback-and-replay; lower values
+  /// kill txs, forcing submitters to resubmit across the fork).
+  double survival = 1.0;
 };
 
 /// How often each fault class actually fired.
@@ -61,6 +68,12 @@ struct FaultCounters {
   std::uint64_t blackholed = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t fee_spiked = 0;
+  // kReorg windows (tracked separately from the chain-fault gate; see
+  // FaultPlan::has_reorg_windows()).
+  std::uint64_t reorgs_triggered = 0;    ///< forks that actually fired
+  std::uint64_t slots_rolled_back = 0;   ///< total retracted slots
+  std::uint64_t txs_replayed = 0;        ///< retracted txs that survived onto the winning fork
+  std::uint64_t txs_reorged_out = 0;     ///< retracted txs killed by the survival draw
 };
 
 /// A scriptable, composable schedule of fault windows.  Windows of the
@@ -83,10 +96,20 @@ class FaultPlan {
   /// Kills agents whose name starts with `agent` at `start` and
   /// restarts them at `end` (empty prefix = every registered agent).
   FaultPlan& crash(double start, double end, std::string agent = {});
+  /// Arms fork windows: inside [start, end) each slot boundary forks
+  /// with `probability`, retracting a uniform 1..max_depth recent
+  /// slots (clamped to the unrooted suffix).  Retracted transactions
+  /// matching `label_prefix` survive onto the winning fork with
+  /// probability `survival` (others always survive).  max_depth == 0
+  /// windows are inert and keep the chain byte-identical to the seed.
+  FaultPlan& reorg(double start, double end, std::uint64_t max_depth,
+                   double probability = 1.0, double survival = 1.0,
+                   std::string label_prefix = {});
 
   void clear() {
     windows_.clear();
     chain_windows_ = 0;
+    reorg_windows_ = 0;
   }
   [[nodiscard]] bool empty() const noexcept { return windows_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return windows_.size(); }
@@ -94,6 +117,12 @@ class FaultPlan {
   /// The chain gates its fault machinery — and its fault RNG draws —
   /// on this, so crash-only plans stay byte-identical to no plan.
   [[nodiscard]] bool has_chain_faults() const noexcept { return chain_windows_ > 0; }
+  /// Whether any *effective* (max_depth >= 1) kReorg window exists.
+  /// The chain arms its fork machinery — journalling, deferred
+  /// commitment delivery and the dedicated reorg RNG stream — on this;
+  /// kReorg windows never count as chain faults, so arming reorgs
+  /// leaves the submit/fault RNG streams untouched.
+  [[nodiscard]] bool has_reorg_windows() const noexcept { return reorg_windows_ > 0; }
   [[nodiscard]] const std::vector<FaultWindow>& windows() const noexcept {
     return windows_;
   }
@@ -109,10 +138,18 @@ class FaultPlan {
   [[nodiscard]] double duplicate_probability(double t, const std::string& label) const;
   /// Product of active fee-spike multipliers.
   [[nodiscard]] double fee_multiplier(double t) const;
+  /// Combined per-slot probability that the tip forks at time `t`.
+  [[nodiscard]] double reorg_probability(double t) const;
+  /// Deepest max_depth among active kReorg windows at `t` (0 = none).
+  [[nodiscard]] std::uint64_t reorg_max_depth(double t) const;
+  /// Product of active windows' survival for a retracted tx labelled
+  /// `label`; windows whose prefix doesn't match contribute 1.
+  [[nodiscard]] double reorg_survival(double t, const std::string& label) const;
 
  private:
   std::vector<FaultWindow> windows_;
-  std::size_t chain_windows_ = 0;  ///< count of non-kCrash windows
+  std::size_t chain_windows_ = 0;  ///< count of non-kCrash, non-kReorg windows
+  std::size_t reorg_windows_ = 0;  ///< count of kReorg windows with max_depth >= 1
 };
 
 }  // namespace bmg::host

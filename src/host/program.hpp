@@ -102,6 +102,19 @@ class Program {
   /// Serialized size of the program's account data; the runtime
   /// enforces kMaxAccountSize after every successful transaction.
   [[nodiscard]] virtual std::size_t account_bytes() const { return 0; }
+
+  // --- fork/reorg support (host fork-aware mode) -----------------------
+  /// Whether this program can be rolled back across a host fork.  A
+  /// chain armed with reorg windows refuses to start with programs
+  /// that cannot (Chain::start throws).
+  [[nodiscard]] virtual bool fork_supported() const { return false; }
+  /// Called once at Chain::start() on an armed chain, before any
+  /// transaction executes: snapshot the genesis-equivalent state the
+  /// chain will reset to before replaying the journal.
+  virtual void fork_capture_baseline() {}
+  /// Rewind all program state to the captured baseline.  The chain
+  /// then silently re-executes the journalled winning-fork prefix.
+  virtual void fork_reset_to_baseline() {}
 };
 
 }  // namespace bmg::host

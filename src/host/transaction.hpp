@@ -94,6 +94,11 @@ struct TxResult {
   std::uint64_t cu_used = 0;
   FeeBreakdown fee;
   std::string label;
+  /// The tx had executed on a fork that was retracted and did NOT
+  /// survive onto the winning fork: its effects are gone and it must
+  /// be resubmitted.  `slot`/`time`/`fee` describe the original
+  /// (now-retracted) execution.
+  bool reorged_out = false;
 };
 
 }  // namespace bmg::host

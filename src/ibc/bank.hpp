@@ -25,6 +25,15 @@ class Bank {
   [[nodiscard]] std::uint64_t balance(const Account& who, const Denom& denom) const;
   [[nodiscard]] std::uint64_t total_supply(const Denom& denom) const;
 
+  /// Full ledger views, for fork baselines and convergence digests.
+  [[nodiscard]] const std::map<std::pair<Account, Denom>, std::uint64_t>& balances()
+      const noexcept {
+    return balances_;
+  }
+  [[nodiscard]] const std::map<Denom, std::uint64_t>& supplies() const noexcept {
+    return supply_;
+  }
+
  private:
   std::map<std::pair<Account, Denom>, std::uint64_t> balances_;
   std::map<Denom, std::uint64_t> supply_;

@@ -149,6 +149,28 @@ void Deployment::wire_finalisation_tracker() {
       last_event_id_.assign(ev.data.begin(), ev.data.end());
     }
   });
+  // Rooted-confirmation tracking: on a linear host this fires inline
+  // with the processed subscription above (rooted_at == finalised_at);
+  // on a fork-aware host it trails by the rooted lag and is never
+  // retracted.
+  host::SubscribeOptions rooted_opts;
+  rooted_opts.level = host::Commitment::kRooted;
+  host_.subscribe(
+      guest::kProgramName,
+      [this](const host::Event& ev) {
+        if (ev.name != guest::GuestContract::kEvFinalisedBlock) return;
+        Decoder d(ev.data);
+        const ibc::Height h = d.u64();
+        if (h >= guest_->block_count()) return;
+        for (const ibc::Packet& p : guest_->block_at(h).packets) {
+          const auto it = sent_.find(p.sequence);
+          if (it != sent_.end() && !it->second->rooted) {
+            it->second->rooted = true;
+            it->second->rooted_at = sim_.now();
+          }
+        }
+      },
+      rooted_opts);
 }
 
 void Deployment::start() {
@@ -355,6 +377,15 @@ std::shared_ptr<Deployment::SendRecord> Deployment::send_transfer_from_guest(
   tx.instructions.push_back(guest::ix::send_transfer(
       guest_channel_, "SOL", amount, "alice", "bob", 0, sim_.now() + timeout_after_s));
   host_.submit(std::move(tx), [record](const host::TxResult& res) {
+    if (res.reorged_out) {
+      // The execution was retracted by a host reorg and did not
+      // survive onto the winning fork.  Clients do not resubmit: the
+      // transfer is gone (the optimistic-confirmation hazard the
+      // rooted-latency columns quantify).
+      record->executed = false;
+      record->failed = true;
+      return;
+    }
     record->executed = res.executed && res.success;
     record->failed = !record->executed;
     record->executed_at = res.time;

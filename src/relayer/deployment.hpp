@@ -106,11 +106,15 @@ class Deployment {
     double submitted_at = 0;
     double executed_at = 0;   ///< SendPacket invocation (on-chain)
     double finalised_at = 0;  ///< FinalisedBlock containing the packet
+    /// Rooted delivery of that FinalisedBlock (== finalised_at on a
+    /// linear host; trails by the rooted lag on a fork-aware one).
+    double rooted_at = 0;
     double fee_usd = 0;
     std::uint64_t sequence = 0;
     bool executed = false;
     bool failed = false;
     bool finalised = false;
+    bool rooted = false;
   };
 
   /// Sends an ICS-20 transfer from the guest side under `fee`.

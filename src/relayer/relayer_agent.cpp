@@ -36,15 +36,27 @@ void RelayerAgent::start() {
   // Subscriptions are append-only (they live as long as the chains),
   // so they are registered once and gated on running_: a crashed
   // process simply misses the events fired while it is down.
-  host_.subscribe(guest::kProgramName, [this](const host::Event& ev) {
-    if (!running_) return;
-    if (ev.name != guest::GuestContract::kEvFinalisedBlock) return;
-    Decoder d(ev.data);
-    const ibc::Height height = d.u64();
-    sim_.after_cancellable(
-        cfg_.poll_latency_s, [this, height] { on_guest_block_finalised(height); },
-        timer_owner_);
-  });
+  //
+  // On a fork-aware host the guest→counterparty direction consumes
+  // FinalisedBlock at *rooted* commitment regardless of the configured
+  // pipeline level: the counterparty never rolls back, so exporting
+  // guest state that a host reorg could still retract would break
+  // conservation permanently.
+  host::SubscribeOptions finalised_opts;
+  finalised_opts.level = host_.fork_mode() ? host::Commitment::kRooted
+                                           : host::Commitment::kProcessed;
+  host_.subscribe(
+      guest::kProgramName,
+      [this](const host::Event& ev) {
+        if (!running_) return;
+        if (ev.name != guest::GuestContract::kEvFinalisedBlock) return;
+        Decoder d(ev.data);
+        const ibc::Height height = d.u64();
+        sim_.after_cancellable(
+            cfg_.poll_latency_s, [this, height] { on_guest_block_finalised(height); },
+            timer_owner_);
+      },
+      finalised_opts);
   // Counterparty-sent packets enter the relay queue at the next cp
   // block (when they become provable).
   cp_.ibc().set_packet_listener([this](const ibc::Packet& packet) {

@@ -19,6 +19,8 @@ const char* to_string(RelayErrorKind kind) {
       return "counterparty-reject";
     case RelayErrorKind::kCrashRestart:
       return "crash-restart";
+    case RelayErrorKind::kReorgedOut:
+      return "reorged-out";
     default:
       return "unknown";
   }
@@ -146,6 +148,10 @@ void TxPipeline::reset() {
     s->finished = true;
     sim_.cancel(s->deadline);
     s->deadline = 0;
+    if (s->rooted_wait != 0) {
+      host_.cancel_rooted(s->rooted_wait);
+      s->rooted_wait = 0;
+    }
     --in_flight_;
     ++sequences_reset_;
   }
@@ -171,23 +177,49 @@ void TxPipeline::submit_current(const std::shared_ptr<Seq>& s) {
     ++escalations_total_;
   }
   const std::uint64_t id = ++s->attempt_id;
+  const std::size_t idx = s->next;
   if (cfg_.tx_deadline_s > 0) {
     s->deadline = sim_.after_cancellable(cfg_.tx_deadline_s,
                                          [this, s, id] { on_deadline(s, id); });
   }
-  host_.submit(std::move(tx),
-               [this, s, id](const host::TxResult& res) { on_result(s, id, res); });
+  host_.submit(std::move(tx), [this, s, idx, id](const host::TxResult& res) {
+    on_result(s, idx, id, res);
+  });
 }
 
-void TxPipeline::on_result(const std::shared_ptr<Seq>& s, std::uint64_t id,
-                           const host::TxResult& res) {
+void TxPipeline::on_result(const std::shared_ptr<Seq>& s, std::size_t idx,
+                           std::uint64_t id, const host::TxResult& res) {
+  // Reorged-out notifications refer to a *past* execution the pipeline
+  // has usually already advanced past — they must bypass the stale
+  // guard below.
+  if (res.reorged_out) {
+    on_reorged_out(s, idx, id, res);
+    return;
+  }
   // Stale: a deadline or retry superseded this attempt, or the sequence
-  // was already dead-lettered.
+  // was already dead-lettered.  Winning-fork re-executions of already
+  // delivered transactions land here too and are idempotently ignored.
   if (s->finished || id != s->attempt_id) return;
+  if (s->holding) {
+    // Rooted mode, tx re-executed while held (it survived a reorg onto
+    // the winning fork): the fresh result replaces the held one; the
+    // rooted wait, registered for the same slot, stays armed.  A
+    // duplicate-inclusion failure while holding is noise.
+    if (res.executed && res.success) s->held = res;
+    return;
+  }
   sim_.cancel(s->deadline);
   s->deadline = 0;
 
   if (res.executed && res.success) {
+    if (cfg_.commitment == host::Commitment::kRooted && host_.fork_mode()) {
+      // Hold until the executing slot roots; when_rooted fires inline
+      // if it already has.
+      s->holding = true;
+      s->held = res;
+      s->rooted_wait = host_.when_rooted(res.slot, [this, s, id] { on_rooted(s, id); });
+      return;
+    }
     if (!s->outcome.started_at) s->outcome.started_at = res.time;
     s->outcome.finished_at = res.time;
     s->outcome.cost_usd += res.fee.usd();
@@ -205,6 +237,57 @@ void TxPipeline::on_result(const std::shared_ptr<Seq>& s, std::uint64_t id,
 
   retry(s, res.executed ? RelayErrorKind::kExecFailed : RelayErrorKind::kDropped,
         res.error);
+}
+
+void TxPipeline::on_rooted(const std::shared_ptr<Seq>& s, std::uint64_t id) {
+  if (s->finished || !s->holding || id != s->attempt_id) return;
+  s->rooted_wait = 0;
+  s->holding = false;
+  const host::TxResult res = s->held;
+  s->outcome.rooted_at = sim_.now();
+  if (!s->outcome.started_at) s->outcome.started_at = res.time;
+  s->outcome.finished_at = res.time;
+  s->outcome.cost_usd += res.fee.usd();
+  s->attempt = 0;
+  ++s->next;
+  if (s->next >= s->txs.size()) {
+    finish(s, true);
+    return;
+  }
+  submit_current(s);
+}
+
+void TxPipeline::on_reorged_out(const std::shared_ptr<Seq>& s, std::size_t idx,
+                                std::uint64_t id, const host::TxResult& res) {
+  // A retracted *failure* had no effects to restore, and its retry (if
+  // any) was already scheduled when the failure first reported.
+  if (!res.success) return;
+  ++reorged_out_total_;
+  ++s->outcome.reorged_out;
+  errors_.push(RelayError{RelayErrorKind::kReorgedOut,
+                          s->label + "#" + std::to_string(idx),
+                          "execution retracted by host reorg", sim_.now(),
+                          s->attempt});
+
+  if (!s->finished && s->holding && id == s->attempt_id) {
+    // Rooted mode: the held (not yet counted) tx died — retry in place,
+    // carrying the sequence's retry/fee state across forks.
+    host_.cancel_rooted(s->rooted_wait);
+    s->rooted_wait = 0;
+    s->holding = false;
+    retry(s, RelayErrorKind::kReorgedOut, "retracted before rooting");
+    return;
+  }
+
+  // Optimistic mode: the pipeline already advanced past (or finished
+  // after) this tx on the strength of a now-retracted execution.
+  // Rewinding `next` would double-submit everything in between, so the
+  // lost tx is repaired off-band as a fresh single-tx sequence.
+  ++reorg_repairs_;
+  std::vector<host::Transaction> repair{s->txs[idx]};
+  submit_sequence_carrying(std::move(repair), {},
+                           s->label + "#" + std::to_string(idx) + ":reorg-repair", 0,
+                           0.0, std::nullopt);
 }
 
 void TxPipeline::on_deadline(const std::shared_ptr<Seq>& s, std::uint64_t id) {

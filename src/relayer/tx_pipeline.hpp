@@ -44,6 +44,12 @@ struct SequenceOutcome {
   std::optional<double> started_at;
   double finished_at = 0;
   double cost_usd = 0;
+  /// Rooted-commitment mode only: time the last transaction's slot
+  /// became rooted (the sequence's rooted-confirmation time).
+  std::optional<double> rooted_at;
+  /// Executions of this sequence's transactions retracted by host
+  /// reorgs (each triggered an in-place retry or an off-band repair).
+  int reorged_out = 0;
 
   [[nodiscard]] double start_time() const { return started_at.value_or(0.0); }
 };
@@ -56,6 +62,7 @@ enum class RelayErrorKind : std::uint8_t {
   kBudgetExhausted,    ///< retry budget spent; sequence dead-lettered
   kCounterpartyReject, ///< a direct counterparty call was refused
   kCrashRestart,       ///< agent process killed / restarted (chaos)
+  kReorgedOut,         ///< executed on a fork the host later retracted
   kCount_,             // sentinel
 };
 [[nodiscard]] const char* to_string(RelayErrorKind kind);
@@ -133,6 +140,14 @@ struct PipelineConfig {
   /// Climb the fee ladder (base -> priority -> bundle) on retries.
   bool escalate_fees = true;
   std::size_t error_log_capacity = 64;
+  /// When the host runs fork-aware, the commitment level at which a
+  /// transaction counts as delivered.  kProcessed (optimistic) advances
+  /// on execution and repairs reorged-out transactions off-band;
+  /// kRooted holds each transaction until its slot roots before
+  /// advancing, trading latency for never advancing past a
+  /// retractable execution.  Ignored on a linear (non-fork-aware)
+  /// host, where every inclusion is final.
+  host::Commitment commitment = host::Commitment::kProcessed;
 };
 
 /// Backoff before attempt `attempt` (>= 1) with unit jitter draw `u` in
@@ -194,6 +209,16 @@ class TxPipeline {
   [[nodiscard]] std::uint64_t redriven_total() const noexcept {
     return redriven_total_;
   }
+  /// Executions retracted by host reorgs that did not survive onto the
+  /// winning fork (successes only; retracted failures had no effects).
+  [[nodiscard]] std::uint64_t reorged_out_total() const noexcept {
+    return reorged_out_total_;
+  }
+  /// Off-band single-transaction repair sequences launched for
+  /// reorged-out transactions the pipeline had already advanced past.
+  [[nodiscard]] std::uint64_t reorg_repairs() const noexcept {
+    return reorg_repairs_;
+  }
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
@@ -208,6 +233,11 @@ class TxPipeline {
     SequenceOutcome outcome;
     SequenceDone done;
     bool finished = false;
+    /// Rooted-commitment mode: txs[next] executed and is waiting for
+    /// its slot to root before the sequence advances.
+    bool holding = false;
+    host::TxResult held;
+    host::Chain::RootedWaitId rooted_wait = 0;
   };
 
   void submit_sequence_carrying(std::vector<host::Transaction> txs, SequenceDone done,
@@ -215,8 +245,11 @@ class TxPipeline {
                                 double carried_cost,
                                 std::optional<double> carried_start);
   void submit_current(const std::shared_ptr<Seq>& s);
-  void on_result(const std::shared_ptr<Seq>& s, std::uint64_t id,
+  void on_result(const std::shared_ptr<Seq>& s, std::size_t idx, std::uint64_t id,
                  const host::TxResult& res);
+  void on_reorged_out(const std::shared_ptr<Seq>& s, std::size_t idx,
+                      std::uint64_t id, const host::TxResult& res);
+  void on_rooted(const std::shared_ptr<Seq>& s, std::uint64_t id);
   void on_deadline(const std::shared_ptr<Seq>& s, std::uint64_t id);
   void retry(const std::shared_ptr<Seq>& s, RelayErrorKind kind, std::string detail);
   void finish(const std::shared_ptr<Seq>& s, bool ok);
@@ -239,6 +272,8 @@ class TxPipeline {
   std::uint64_t in_flight_ = 0;
   std::uint64_t sequences_reset_ = 0;
   std::uint64_t redriven_total_ = 0;
+  std::uint64_t reorged_out_total_ = 0;
+  std::uint64_t reorg_repairs_ = 0;
 };
 
 }  // namespace bmg::relayer

@@ -56,6 +56,10 @@ void ValidatorAgent::on_new_block(ibc::Height height, double announced_at) {
   sim_.after_cancellable(
       delay,
       [this, height, announced_at] {
+        // A host reorg may have rolled the announced block away while
+        // this signing delay was pending; if the winning fork re-mints
+        // it, the re-fired NewBlock event schedules a fresh signing.
+        if (height >= contract_.block_count()) return;
         // Read the block digest from the contract account and sign it.
         const Hash32 digest = contract_.block_at(height).hash();
         host::Transaction tx;

@@ -1,0 +1,316 @@
+// Reorg chaos suite (ISSUE 10): the full deployment on a fork-aware
+// host.  Scripted and fuzzed reorg storms — alone, composed with the
+// classic fault schedule (congestion / blackholes / outages) and with
+// Byzantine adversaries — must leave the invariant auditor clean,
+// deliver every packet eventually, and converge to the same token
+// state as a reorg-free run of the identical workload.  Empty and
+// depth-0 reorg plans must stay byte-identical to the seed.
+//
+// CI runs this suite under several fixed seeds via BMG_CHAOS_SEED.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "adversary/campaign.hpp"
+#include "audit/auditor.hpp"
+#include "relayer/deployment.hpp"
+
+namespace bmg::relayer {
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("BMG_CHAOS_SEED"))
+    return std::strtoull(env, nullptr, 10);
+  return 1001;
+}
+
+DeploymentConfig reorg_config(std::uint64_t seed, bool fork_aware) {
+  DeploymentConfig cfg;
+  cfg.seed = seed;
+  cfg.guest.delta_seconds = 60.0;
+  cfg.host.fork_aware = fork_aware;
+  for (int i = 0; i < 4; ++i) {
+    ValidatorProfile p;
+    p.name = "reorg-val-" + std::to_string(i);
+    p.stake = 100;
+    p.latency = sim::LatencyProfile::from_quantiles(2.0, 3.0, 0.4);
+    p.fee = host::FeePolicy::priority(1'000'000);
+    cfg.validators.push_back(std::move(p));
+  }
+  cfg.counterparty.num_validators = 10;
+  cfg.counterparty.block_interval_s = 6.0;
+  return cfg;
+}
+
+/// The fixed four-transfer workload every convergence test runs: three
+/// counterparty->guest sends and one guest->counterparty send whose
+/// ack must cross back.  Returns once both directions fully delivered
+/// and every packet resolved.
+struct WorkloadResult {
+  std::shared_ptr<Deployment::SendRecord> guest_send;
+  bool delivered = false;
+};
+
+WorkloadResult run_fixed_workload(Deployment& d) {
+  const ibc::Packet p1 = d.send_transfer_from_cp(10);
+  d.run_for(15.0);
+  const ibc::Packet p2 = d.send_transfer_from_cp(20);
+  d.run_for(15.0);
+  const ibc::Packet p3 = d.send_transfer_from_cp(30);
+  WorkloadResult w;
+  w.guest_send = d.send_transfer_from_guest(500, host::FeePolicy::priority(5'000'000));
+
+  const std::string in_voucher = "transfer/" + d.guest_channel() + "/PICA";
+  const std::string out_voucher = "transfer/" + d.cp_channel() + "/SOL";
+  w.delivered =
+      d.run_until(
+          [&] {
+            return d.guest().bank().balance("alice", in_voucher) == 60 &&
+                   d.cp().bank().balance("bob", out_voucher) == 500;
+          },
+          3000.0) &&
+      d.run_until(
+          [&] {
+            return !d.cp().ibc().packet_pending("transfer", d.cp_channel(),
+                                                p1.sequence) &&
+                   !d.cp().ibc().packet_pending("transfer", d.cp_channel(),
+                                                p2.sequence) &&
+                   !d.cp().ibc().packet_pending("transfer", d.cp_channel(),
+                                                p3.sequence) &&
+                   !d.guest().ibc().packet_pending("transfer", d.guest_channel(),
+                                                   w.guest_send->sequence);
+          },
+          3000.0);
+  return w;
+}
+
+std::string banks_digest(Deployment& d) {
+  return audit::token_state_digest(d.guest().bank()) + "||" +
+         audit::token_state_digest(d.cp().bank());
+}
+
+// --- byte-identity of the non-fork path ------------------------------------
+
+TEST(ReorgChaos, EmptyAndDepthZeroPlansByteIdenticalToSeed) {
+  // A depth-0 reorg window never arms the fork machinery: the run must
+  // be indistinguishable — event count, balances, retries, token state
+  // — from a deployment built with the untouched seed configuration.
+  const auto run_once = [](bool depth_zero_window) {
+    Deployment d(reorg_config(chaos_seed(), /*fork_aware=*/false));
+    d.open_ibc();
+    if (depth_zero_window)
+      d.host().fault_plan().reorg(d.sim().now(), d.sim().now() + 600.0,
+                                  /*max_depth=*/0, /*probability=*/1.0);
+    EXPECT_FALSE(d.host().fork_mode());
+    (void)d.send_transfer_from_cp(42);
+    d.run_for(600.0);
+    const host::FaultCounters& fc = d.host().fault_counters();
+    EXPECT_EQ(fc.reorgs_triggered, 0u);
+    EXPECT_EQ(fc.txs_replayed, 0u);
+    return std::make_tuple(d.sim().events_processed(),
+                           d.guest().bank().balance(
+                               "alice", "transfer/" + d.guest_channel() + "/PICA"),
+                           d.relayer().pipeline().retries_total(),
+                           d.guest().block_count(),
+                           audit::token_state_digest(d.guest().bank()));
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+// --- convergence -----------------------------------------------------------
+
+TEST(ReorgChaos, StormConvergesToReorgFreeTokenState) {
+  // Full-survival storm: every retracted transaction is replayed on
+  // the winning fork, so once the workload drains, both banks must be
+  // byte-identical to a reorg-free run — the rollback/replay journal
+  // loses nothing.
+  const auto run_once = [](bool storm) {
+    Deployment d(reorg_config(chaos_seed(), /*fork_aware=*/storm));
+    audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+    auditor.start();
+    d.open_ibc();
+    auditor.watch_client(d.guest_client_on_cp());
+    auditor.watch_transfer_lane(
+        audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+    if (storm)
+      d.host().fault_plan().reorg(d.sim().now() + 5.0, d.sim().now() + 120.0,
+                                  /*max_depth=*/4, /*probability=*/0.10);
+    const WorkloadResult w = run_fixed_workload(d);
+    EXPECT_TRUE(w.delivered);
+    if (storm) EXPECT_GT(d.host().fault_counters().reorgs_triggered, 0u);
+    auditor.check_now("final");
+    EXPECT_TRUE(auditor.clean()) << auditor.report();
+    return banks_digest(d);
+  };
+  EXPECT_EQ(run_once(true), run_once(false));
+}
+
+// --- composition -----------------------------------------------------------
+
+TEST(ReorgChaos, FuzzedSchedulesComposedWithCrashFaultsStayClean) {
+  // Randomised reorg windows layered over the classic chaos plan
+  // (congestion, fee spike, blackholes, a full outage).  Whatever the
+  // fuzzer scripts, the bar is absolute: auditor clean, both
+  // directions delivered, supply conserved.
+  Rng fuzz(Rng::split(chaos_seed(), 0xF0F0));
+  for (int iter = 0; iter < 2; ++iter) {
+    Deployment d(reorg_config(chaos_seed() + static_cast<std::uint64_t>(iter),
+                              /*fork_aware=*/true));
+    audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+    auditor.start();
+    d.open_ibc();
+    auditor.watch_client(d.guest_client_on_cp());
+    auditor.watch_transfer_lane(
+        audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+
+    const double t0 = d.sim().now();
+    d.host()
+        .fault_plan()
+        .congestion(t0 + 5, t0 + 60, 0.3)
+        .fee_spike(t0 + 5, t0 + 60, 3.0)
+        .blackhole(t0 + 10, t0 + 50, 0.5, "recv-packet")
+        .outage(t0 + 65, t0 + 75);
+    const int windows = 1 + static_cast<int>(fuzz.uniform_int(3));
+    for (int wdx = 0; wdx < windows; ++wdx) {
+      const double start = t0 + 5.0 + fuzz.uniform() * 60.0;
+      const double len = 20.0 + fuzz.uniform() * 60.0;
+      const std::uint64_t depth = 1 + fuzz.uniform_int(5);
+      const double prob = 0.05 + fuzz.uniform() * 0.15;
+      d.host().fault_plan().reorg(start, start + len, depth, prob);
+    }
+
+    const WorkloadResult w = run_fixed_workload(d);
+    EXPECT_TRUE(w.delivered) << "fuzz iter " << iter;
+
+    const std::string in_voucher = "transfer/" + d.guest_channel() + "/PICA";
+    const std::string out_voucher = "transfer/" + d.cp_channel() + "/SOL";
+    EXPECT_EQ(d.guest().bank().total_supply(in_voucher), 60u);
+    EXPECT_EQ(d.cp().bank().total_supply(out_voucher), 500u);
+    EXPECT_EQ(d.guest().bank().total_supply("SOL"), 1'000'000u);
+    EXPECT_EQ(d.cp().bank().total_supply("PICA"), 1'000'000u);
+
+    EXPECT_EQ(d.relayer().pipeline().in_flight(), 0u);
+    auditor.check_now("final");
+    EXPECT_TRUE(auditor.clean()) << "fuzz iter " << iter << ": " << auditor.report();
+  }
+}
+
+TEST(ReorgChaos, StormComposedWithByzantineAdversaryStaysClean) {
+  // Reorgs on the host while a Byzantine validator equivocates on the
+  // guest: retractions must not confuse the fisherman or the auditor,
+  // and the offender still loses its stake.
+  DeploymentConfig cfg = reorg_config(chaos_seed(), /*fork_aware=*/true);
+  cfg.guest.delta_seconds = 30.0;
+  Deployment d(std::move(cfg));
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
+  d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+
+  const double t0 = d.sim().now();
+  d.host().fault_plan().reorg(t0 + 5.0, t0 + 150.0, /*max_depth=*/3,
+                              /*probability=*/0.08);
+  adversary::AdversaryPlan plan;
+  plan.equivocate(t0 + 10.0, t0 + 120.0, /*validators=*/1, /*rate=*/1.0);
+  adversary::Campaign campaign(d, std::move(plan));
+  campaign.start();
+  ASSERT_EQ(campaign.offenders().size(), 1u);
+  const crypto::PublicKey offender = campaign.offenders()[0];
+
+  (void)d.send_transfer_from_cp(25);
+  const std::string in_voucher = "transfer/" + d.guest_channel() + "/PICA";
+  ASSERT_TRUE(d.run_until(
+      [&] { return d.guest().bank().balance("alice", in_voucher) == 25; }, 3000.0));
+  ASSERT_TRUE(d.run_until([&] { return d.guest().is_banned(offender); }, 3000.0));
+  EXPECT_EQ(d.guest().stake_of(offender), 0u);
+  EXPECT_GT(campaign.counters().equivocations, 0u);
+  EXPECT_GT(d.host().fault_counters().reorgs_triggered, 0u);
+
+  auditor.check_now("final");
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+// --- commitment levels and lossy forks -------------------------------------
+
+TEST(ReorgChaos, RootedCommitmentPipelineDeliversUnderStorm) {
+  DeploymentConfig cfg = reorg_config(chaos_seed(), /*fork_aware=*/true);
+  cfg.relayer.pipeline.commitment = host::Commitment::kRooted;
+  Deployment d(std::move(cfg));
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
+  d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+  d.host().fault_plan().reorg(d.sim().now() + 5.0, d.sim().now() + 120.0,
+                              /*max_depth=*/4, /*probability=*/0.10);
+
+  const WorkloadResult w = run_fixed_workload(d);
+  EXPECT_TRUE(w.delivered);
+  EXPECT_GT(d.host().fault_counters().reorgs_triggered, 0u);
+
+  // The client send's finalisation also rooted, and rooting can only
+  // trail execution and finalisation.
+  ASSERT_TRUE(d.run_until([&] { return w.guest_send->rooted; }, 600.0));
+  EXPECT_GE(w.guest_send->rooted_at, w.guest_send->finalised_at);
+  EXPECT_GE(w.guest_send->rooted_at, w.guest_send->executed_at);
+
+  EXPECT_EQ(d.relayer().pipeline().in_flight(), 0u);
+  auditor.check_now("final");
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+TEST(ReorgChaos, LossyStormIsRepairedAndStillDelivers) {
+  // 15% of retracted transactions die on the winning fork; the
+  // pipeline's reorged-out repair path must resubmit whatever the fork
+  // killed until delivery completes.
+  Deployment d(reorg_config(chaos_seed(), /*fork_aware=*/true));
+  audit::InvariantAuditor auditor(d.sim(), d.host(), d.guest(), d.cp());
+  auditor.start();
+  d.open_ibc();
+  auditor.watch_client(d.guest_client_on_cp());
+  auditor.watch_transfer_lane(
+      audit::TransferLane{d.guest_channel(), d.cp_channel(), "SOL", "PICA"});
+  d.host().fault_plan().reorg(d.sim().now() + 5.0, d.sim().now() + 150.0,
+                              /*max_depth=*/4, /*probability=*/0.12,
+                              /*survival=*/0.85);
+
+  const WorkloadResult w = run_fixed_workload(d);
+  EXPECT_TRUE(w.delivered);
+  EXPECT_GT(d.host().fault_counters().reorgs_triggered, 0u);
+  EXPECT_EQ(d.relayer().pipeline().in_flight(), 0u);
+  // The pipeline only sees deaths among its own transactions; it can
+  // never report more than the host killed.
+  EXPECT_LE(d.relayer().pipeline().reorged_out_total(),
+            d.host().fault_counters().txs_reorged_out);
+  auditor.check_now("final");
+  EXPECT_TRUE(auditor.clean()) << auditor.report();
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(ReorgChaos, SameSeedReproducesIdenticalStormTrace) {
+  const auto run_once = [] {
+    Deployment d(reorg_config(chaos_seed(), /*fork_aware=*/true));
+    d.open_ibc();
+    d.host().fault_plan().reorg(d.sim().now() + 5.0, d.sim().now() + 120.0,
+                                /*max_depth=*/4, /*probability=*/0.10,
+                                /*survival=*/0.9);
+    (void)d.send_transfer_from_cp(42);
+    d.run_for(600.0);
+    const host::FaultCounters& fc = d.host().fault_counters();
+    return std::make_tuple(d.sim().events_processed(), fc.reorgs_triggered,
+                           fc.slots_rolled_back, fc.txs_replayed, fc.txs_reorged_out,
+                           d.host().fork_epoch(),
+                           d.relayer().pipeline().retries_total(),
+                           audit::token_state_digest(d.guest().bank()));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bmg::relayer
